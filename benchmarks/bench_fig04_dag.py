@@ -1,0 +1,19 @@
+"""Figure 4: trace DAGs of the Example 9 conditional branch.
+
+Paper: both exact observers count 2 traces (1 bit); the stuttering
+block-trace observer counts 1 (0 bits).
+"""
+
+from repro.casestudy.figure4 import figure4
+
+
+def test_figure4_dags(once):
+    result = once(figure4)
+    assert result.address_count == 2
+    assert result.block_count == 2
+    assert result.block_stuttering_count == 1
+    print()
+    print("Figure 4 — address-trace observer DAG (count=2):")
+    print(result.address_dot)
+    print("Figure 4 — block-trace observer DAG (count=2, stuttering=1):")
+    print(result.block_dot)

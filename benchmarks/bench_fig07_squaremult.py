@@ -1,0 +1,22 @@
+"""Figure 7: leakage of the square-and-multiply algorithms (§8.3).
+
+Paper 7a (libgcrypt 1.5.2): 1 bit in every cell.
+Paper 7b (libgcrypt 1.5.3): I-cache 1/1/0, D-cache 0/0/0.
+"""
+
+from repro.casestudy import experiments
+
+
+def test_figure7a(once):
+    result = once(experiments.figure7a)
+    print("\n" + result.format())
+    assert result.all_match, result.format()
+
+
+def test_figure7b(once):
+    result = once(experiments.figure7b)
+    print("\n" + result.format())
+    assert result.all_match, result.format()
+    # Zero-leakage cells are proofs of absence (paper §8.5).
+    assert result.cell("D-Cache", "address").measured_bits == 0.0
+    assert result.cell("I-Cache", "b-block").measured_bits == 0.0

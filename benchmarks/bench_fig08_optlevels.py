@@ -1,0 +1,26 @@
+"""Figure 8: square-and-always-multiply at -O0 with 32-byte lines.
+
+Paper: 1 bit in every cell — the countermeasure's effectiveness depends on
+compilation strategy and line size.
+"""
+
+from repro.casestudy import experiments
+
+
+def test_figure8(once):
+    result = once(experiments.figure8)
+    print("\n" + result.format())
+    assert result.all_match, result.format()
+
+
+def test_compilation_dependence(once):
+    """The same source is safe at -O2/64B (Fig 7b) and leaky at -O0/32B."""
+
+    def both():
+        return experiments.figure7b(), experiments.figure8()
+
+    safe, leaky = once(both)
+    assert safe.cell("I-Cache", "b-block").measured_bits == 0.0
+    assert leaky.cell("I-Cache", "b-block").measured_bits == 1.0
+    assert safe.cell("D-Cache", "block").measured_bits == 0.0
+    assert leaky.cell("D-Cache", "block").measured_bits == 1.0

@@ -1,0 +1,53 @@
+"""Figures 1, 2, 9, 13: memory/code layout diagrams and their captions.
+
+Paper Figure 9: at -O2/64B both arms of the 1.5.3 conditional produce the
+same stuttering block trace; at -O0/32B the taken arm owns a block.
+Figures 1/2/13 are the data-layout diagrams motivating §8.4.
+"""
+
+from repro.casestudy import targets
+from repro.casestudy.layout import (
+    branch_block_summary,
+    render_bank_layout,
+    render_code_blocks,
+    render_plain_table_layout,
+    render_scatter_gather_layout,
+)
+
+
+def test_figure9_block_summaries(once):
+    def both():
+        return (
+            branch_block_summary(targets.sqam_target(opt_level=2, line_bytes=64)),
+            branch_block_summary(targets.sqam_target(opt_level=0, line_bytes=32)),
+        )
+
+    safe, leaky = once(both)
+    print("\nFigure 9a (-O2, 64B):")
+    print(safe.format())
+    print("Figure 9b (-O0, 32B):")
+    print(leaky.format())
+    assert not safe.distinguishable
+    assert leaky.distinguishable
+    assert leaky.blocks_exclusive_to(1)
+
+
+def test_figure9_code_rendering(once):
+    text = once(render_code_blocks, targets.sqam_target(opt_level=0, line_bytes=32))
+    assert "block" in text
+    print("\n" + "\n".join(text.splitlines()[:12]) + "\n  ...")
+
+
+def test_figure1_2_13_data_layouts(once):
+    def render_all():
+        return (
+            render_plain_table_layout(),
+            render_scatter_gather_layout(),
+            render_bank_layout(),
+        )
+
+    plain, interleaved, banks = once(render_all)
+    print("\n" + plain + "\n\n" + interleaved + "\n\n" + banks)
+    assert "reveals WHICH value" in plain
+    assert "EVERY value" in interleaved
+    assert "0..3 or 4..7" in banks

@@ -1,0 +1,54 @@
+"""Figure 14 (+ the CacheBleed bank analysis): table-lookup countermeasures
+at the paper's full 3072-bit geometry (384-byte entries, §8.4).
+
+Paper:
+  14a  lookup 1.6.1:  I 1/1/1, D 5.6/2.3/2.3 bits
+  14b  secure 1.6.3:  0 bits everywhere
+  14c  scatter/gather 1.0.2f: I 0, D address 1152 bits, block/b-block 0
+  bank observer on 14c: 384 bits (CacheBleed)
+  14d  defensive gather 1.0.2g: 0 bits everywhere
+"""
+
+import pytest
+
+from repro.casestudy import experiments, targets
+from repro.core.observers import AccessKind
+
+D = AccessKind.DATA
+
+
+def test_figure14a(once):
+    result = once(experiments.figure14a)
+    print("\n" + result.format())
+    assert result.all_match, result.format()
+    # log2(50) = 5.64 ("5.6 bit"): two correlated 7-way lookups + the e0=0 path.
+    assert result.cell("D-Cache", "address").measured_bits == pytest.approx(5.6439, abs=1e-3)
+    assert result.cell("D-Cache", "block").measured_bits == pytest.approx(2.3219, abs=1e-3)
+
+
+def test_figure14b_full_limbs(once):
+    result = once(experiments.figure14b, nlimbs=targets.PAPER_LIMBS)
+    print("\n" + result.format())
+    assert result.all_match, result.format()
+
+
+def test_figure14c_full_entries(once):
+    result = once(experiments.figure14c, nbytes=targets.PAPER_ENTRY_BYTES)
+    print("\n" + result.format())
+    assert result.all_match, result.format()
+    assert result.cell("D-Cache", "address").measured_bits == 1152.0
+    assert result.cell("D-Cache", "block").measured_bits == 0.0
+
+
+def test_cachebleed_bank_observer(once):
+    measured, expected = once(experiments.cachebleed_bank_analysis,
+                              nbytes=targets.PAPER_ENTRY_BYTES)
+    print(f"\nbank-trace observer on scatter/gather: {measured:.0f} bits "
+          f"(paper: 384 bits)")
+    assert measured == expected == 384.0
+
+
+def test_figure14d_full_entries(once):
+    result = once(experiments.figure14d, nbytes=targets.PAPER_ENTRY_BYTES)
+    print("\n" + result.format())
+    assert result.all_match, result.format()

@@ -1,0 +1,40 @@
+"""Figure 15: the lookup's I-cache b-block leak appears at -O2 and
+disappears at -O1 (layout of the conditional branch).
+"""
+
+from repro.casestudy import experiments, targets
+from repro.casestudy.layout import branch_block_summary, render_code_blocks
+
+
+def test_figure15_bblock_effect(once):
+    effect = once(experiments.figure15_effect)
+    print(f"\nI-cache b-block leak: -O2 = {effect[2]} bit, -O1 = {effect[1]} bit "
+          "(paper: leak at -O2 eliminated at -O1)")
+    assert effect == {2: 1.0, 1: 0.0}
+
+
+def test_figure15_concrete_traces(once):
+    def both():
+        return (
+            branch_block_summary(targets.lookup_target(opt_level=2)),
+            branch_block_summary(targets.lookup_target(opt_level=1)),
+        )
+
+    aba, inline = once(both)
+    print("\nFigure 15a (-O2):")
+    print(aba.format())
+    print("Figure 15b (-O1):")
+    print(inline.format())
+    assert aba.distinguishable
+    assert not inline.distinguishable
+
+
+def test_figure15_renderings(once):
+    def render():
+        return (
+            render_code_blocks(targets.lookup_target(opt_level=2)),
+            render_code_blocks(targets.lookup_target(opt_level=1)),
+        )
+
+    o2_text, o1_text = once(render)
+    assert o2_text.count("---- block") >= o1_text.count("---- block")

@@ -1,0 +1,73 @@
+"""The CacheBleed story (paper §8.4): why scatter/gather is safe at cache-line
+granularity yet leaks to a cache-bank adversary, and how OpenSSL 1.0.2g fixed
+it.
+
+Walks through the three layers of the argument:
+
+1. the memory layouts (paper Figures 2 and 13): the interleaved table puts a
+   byte of *every* value in each block, but different values in different
+   banks;
+2. the static bounds: block observer 0 bits, bank observer 1 bit/access,
+   address observer 3 bits/access; the defensive gather closes everything;
+3. concrete confirmation: VM runs with different secrets produce identical
+   block-level views but distinct bank-level views.
+
+Run:  python examples/cachebleed.py
+"""
+
+from repro.casestudy import targets
+from repro.casestudy.layout import (
+    render_bank_layout,
+    render_scatter_gather_layout,
+)
+from repro.core.observers import AccessKind
+
+D = AccessKind.DATA
+NBYTES = 48  # entry size for this walkthrough (paper: 384)
+
+
+def concrete_views(target, observer_bits: int) -> set:
+    """Distinct adversary views over all 8 secret keys, one fixed layout."""
+    from repro.analysis.validation import ConcreteValidator
+
+    validator = ConcreteValidator(target.image, target.spec)
+    lam = {"r": 0x09000000, "buf": 0x09010000}
+    return validator.views(lam, "D", observer_bits)
+
+
+def main() -> None:
+    print("=== 1. The scatter/gather layout (Figures 2 and 13) ===\n")
+    print(render_scatter_gather_layout())
+    print()
+    print(render_bank_layout())
+
+    print("\n=== 2. Static bounds (Figure 14c + the bank observer) ===\n")
+    gather = targets.gather_target(nbytes=NBYTES)
+    result = gather.analyze()
+    for observer in ("address", "bank", "block"):
+        bits = result.report.bits(D, observer)
+        per_access = bits / NBYTES if bits else 0.0
+        print(f"  {observer:>8}-trace observer: {bits:7.0f} bits "
+              f"({per_access:.0f} per access)")
+    print("  -> secure against cache-line adversaries, broken for CacheBleed")
+
+    defensive = targets.defensive_gather_target(nbytes=NBYTES).analyze()
+    print("\n  OpenSSL 1.0.2g defensive gather:")
+    for observer in ("address", "bank", "block"):
+        print(f"  {observer:>8}-trace observer: "
+              f"{defensive.report.bits(D, observer):7.0f} bits")
+    print("  -> proves the fix, up to the full address trace")
+
+    print("\n=== 3. Concrete confirmation (8 secrets, one heap layout) ===\n")
+    block_views = concrete_views(gather, observer_bits=6)
+    bank_views = concrete_views(gather, observer_bits=2)
+    print(f"  distinct block-level views: {len(block_views)} "
+          "(cache-line adversary learns nothing)")
+    print(f"  distinct bank-level views:  {len(bank_views)} "
+          "(bank adversary separates the keys)")
+    assert len(block_views) == 1
+    assert len(bank_views) == 2  # keys 0..3 vs 4..7
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""The Figure 16 performance study: what the countermeasures cost.
+
+Measures one table retrieval per variant exactly on the instruction-level
+VM (Figure 16b) and models full modular exponentiations with the hybrid
+limb-cost model (Figure 16a), printing our numbers next to the paper's.
+
+Run:  python examples/performance_study.py [--bits N]
+"""
+
+import sys
+
+from repro.casestudy.performance import (
+    PAPER_16A,
+    PAPER_16B,
+    figure16a,
+    figure16b,
+    format_figure16,
+)
+
+
+def main(bits: int = 256) -> None:
+    print("=== Figure 16b: one retrieval of a 384-byte table entry ===\n")
+    kernels = figure16b(nbytes=384)
+    for name, measurement in kernels.items():
+        paper = PAPER_16B[name]
+        print(f"  {name:16s} {measurement.instructions:7,} instructions "
+              f"(paper {paper['instructions']:6,}); "
+              f"{measurement.memory_accesses:6,} memory accesses")
+    base = kernels["scatter_102f"].instructions
+    print("\n  relative cost (paper 1.0 : 2.9 : 4.4):  1.0 : "
+          f"{kernels['secure_163'].instructions / base:.1f} : "
+          f"{kernels['defensive_102g'].instructions / base:.1f}")
+
+    print(f"\n=== Figure 16a: full modular exponentiation ({bits}-bit) ===\n")
+    measurements = figure16a(bits=bits)
+    print(format_figure16(measurements))
+
+    sqm = measurements["sqm_152"].instructions
+    sqam = measurements["sqam_153"].instructions
+    print(f"\n  always-multiply overhead: {sqam / sqm:.3f}x (paper 1.335x)")
+    window = measurements["window_161"].instructions
+    print(f"  windowed vs square-and-multiply: {window / sqm:.3f}x "
+          "(paper 0.819x; converges with key size)")
+    print("\n  paper reference (3072-bit keys, Intel Q9550, x10^6):")
+    for name, row in PAPER_16A.items():
+        print(f"    {name:16s} {row['instructions']:7.2f}M instructions")
+
+
+if __name__ == "__main__":
+    bits = 256
+    if "--bits" in sys.argv:
+        bits = int(sys.argv[sys.argv.index("--bits") + 1])
+    main(bits)

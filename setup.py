@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment has no ``wheel`` package and no network access, so
+PEP 517 editable installs (which require ``bdist_wheel``) fail.  This shim
+lets ``pip install -e . --no-build-isolation --no-use-pep517`` (and plain
+``python setup.py develop``) work offline.  Configuration lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

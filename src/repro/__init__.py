@@ -1,0 +1,50 @@
+"""repro — a reproduction of "Rigorous Analysis of Software Countermeasures
+against Cache Attacks" (Doychev & Köpf, PLDI 2017).
+
+Public API overview
+-------------------
+- :func:`repro.analyze` — bound the per-observer cache leakage of a binary
+  region (the paper's main analysis);
+- :mod:`repro.core` — the masked symbol domain, observers, trace DAGs;
+- :mod:`repro.isa` / :mod:`repro.lang` — the x86-subset ISA and the mini-C
+  compiler that produce the analyzed binaries;
+- :mod:`repro.vm` — the concrete CPU/cache simulator (validation and the
+  Figure 16 performance study);
+- :mod:`repro.crypto` — the case-study workloads (MPI, modexp variants,
+  ElGamal, countermeasure kernels);
+- :mod:`repro.casestudy` — runnable reproductions of every table and figure
+  of the paper's evaluation.
+
+See README.md for a quickstart, DESIGN.md for the system inventory, and
+EXPERIMENTS.md for paper-vs-measured results.
+"""
+
+from repro.analysis import (
+    AnalysisConfig,
+    AnalysisError,
+    AnalysisResult,
+    InputSpec,
+    analyze,
+)
+from repro.analysis.config import ArgInit, MemInit, RegInit
+from repro.core import (
+    AccessKind,
+    CacheGeometry,
+    LeakageReport,
+    Mask,
+    MaskedSymbol,
+    SymbolTable,
+    TraceDAG,
+    ValueSet,
+)
+from repro.isa import parse_asm
+from repro.lang import compile_program
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessKind", "AnalysisConfig", "AnalysisError", "AnalysisResult",
+    "ArgInit", "CacheGeometry", "InputSpec", "LeakageReport", "Mask",
+    "MaskedSymbol", "MemInit", "RegInit", "SymbolTable", "TraceDAG",
+    "ValueSet", "analyze", "compile_program", "parse_asm",
+]

@@ -1,0 +1,25 @@
+"""Static analysis: abstract interpretation of binaries for leakage bounds.
+
+Top-level entry point: :func:`repro.analysis.analyze`.
+"""
+
+from repro.analysis.analyzer import AnalysisResult, analyze, build_initial_state
+from repro.analysis.cfg import BasicBlock, ControlFlowGraph, build_cfg
+from repro.analysis.config import (
+    AnalysisConfig,
+    AnalysisError,
+    InputSpec,
+    MemInit,
+    RegInit,
+)
+from repro.analysis.engine import Engine, EngineResult
+from repro.analysis.flags import FlagState
+from repro.analysis.state import AbsMemory, AbsState, AnalysisContext
+from repro.analysis.transfer import Transfer
+
+__all__ = [
+    "AbsMemory", "AbsState", "AnalysisConfig", "AnalysisContext",
+    "AnalysisError", "AnalysisResult", "BasicBlock", "ControlFlowGraph",
+    "Engine", "EngineResult", "FlagState", "InputSpec", "MemInit", "RegInit",
+    "Transfer", "analyze", "build_cfg", "build_initial_state",
+]

@@ -1,0 +1,153 @@
+"""Control-flow reconstruction from binary images.
+
+CacheAudit's front end reconstructs control flow before analysis; our
+path-exploration engine discovers control flow on the fly, but an explicit
+CFG remains useful for diagnostics, the layout figures (which blocks does an
+arm of a branch occupy?), and for sanity-checking compiled code.  Recursive
+descent from an entry point follows direct jumps, both arms of conditional
+branches, and call/return edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.image import Image
+from repro.isa.instructions import Instruction
+
+__all__ = ["BasicBlock", "ControlFlowGraph", "build_cfg"]
+
+
+@dataclass(slots=True)
+class BasicBlock:
+    """A maximal straight-line instruction sequence."""
+
+    start: int
+    instructions: list[Instruction] = field(default_factory=list)
+    successors: list[int] = field(default_factory=list)  # block start addrs
+
+    @property
+    def end(self) -> int:
+        """Address one past the last instruction."""
+        if not self.instructions:
+            return self.start
+        last = self.instructions[-1]
+        return last.addr + last.encoded_size
+
+    def terminator(self) -> Instruction | None:
+        """The last instruction, if any."""
+        return self.instructions[-1] if self.instructions else None
+
+    def blocks_touched(self, line_bytes: int) -> list[int]:
+        """Memory blocks this basic block's instruction fetches touch."""
+        touched = []
+        for instruction in self.instructions:
+            for offset in range(instruction.encoded_size):
+                block = (instruction.addr + offset) // line_bytes
+                if not touched or touched[-1] != block:
+                    touched.append(block)
+        unique: list[int] = []
+        for block in touched:
+            if block not in unique:
+                unique.append(block)
+        return unique
+
+
+@dataclass(slots=True)
+class ControlFlowGraph:
+    """Basic blocks keyed by start address."""
+
+    entry: int
+    blocks: dict[int, BasicBlock] = field(default_factory=dict)
+
+    def block_at(self, addr: int) -> BasicBlock:
+        return self.blocks[addr]
+
+    def reachable_instructions(self) -> int:
+        return sum(len(block.instructions) for block in self.blocks.values())
+
+    def edges(self) -> list[tuple[int, int]]:
+        return [
+            (block.start, successor)
+            for block in self.blocks.values()
+            for successor in block.successors
+        ]
+
+
+def _is_branch(instruction: Instruction) -> bool:
+    return instruction.mnemonic.startswith("j") and instruction.mnemonic != "jmp"
+
+
+def build_cfg(image: Image, entry: int | str, max_instructions: int = 100_000) -> ControlFlowGraph:
+    """Recursive-descent control-flow reconstruction."""
+    if isinstance(entry, str):
+        entry = image.symbol(entry)
+    cfg = ControlFlowGraph(entry=entry)
+    # Discover leaders first: entry, branch targets, fall-throughs.
+    leaders = {entry}
+    worklist = [entry]
+    seen: set[int] = set()
+    budget = max_instructions
+    while worklist:
+        addr = worklist.pop()
+        while addr not in seen:
+            seen.add(addr)
+            budget -= 1
+            if budget < 0:
+                raise ValueError("CFG reconstruction budget exhausted")
+            instruction = image.decode_at(addr)
+            mnemonic = instruction.mnemonic
+            next_addr = addr + instruction.encoded_size
+            if mnemonic == "jmp":
+                leaders.add(instruction.operands[0])
+                worklist.append(instruction.operands[0])
+                break
+            if _is_branch(instruction):
+                leaders.add(instruction.operands[0])
+                leaders.add(next_addr)
+                worklist.append(instruction.operands[0])
+                worklist.append(next_addr)
+                break
+            if mnemonic == "call":
+                leaders.add(instruction.operands[0])
+                leaders.add(next_addr)
+                worklist.append(instruction.operands[0])
+                addr = next_addr
+                continue
+            if mnemonic in ("ret", "hlt"):
+                break
+            addr = next_addr
+
+    # Carve blocks between leaders.
+    for leader in sorted(leaders):
+        if leader not in seen:
+            continue
+        block = BasicBlock(start=leader)
+        addr = leader
+        while True:
+            instruction = image.decode_at(addr)
+            block.instructions.append(instruction)
+            next_addr = addr + instruction.encoded_size
+            mnemonic = instruction.mnemonic
+            if mnemonic == "jmp":
+                block.successors = [instruction.operands[0]]
+                break
+            if _is_branch(instruction):
+                block.successors = [instruction.operands[0], next_addr]
+                break
+            if mnemonic in ("ret", "hlt"):
+                block.successors = []
+                break
+            if mnemonic == "call":
+                # Intra-procedural view: fall through past the call.
+                if next_addr in leaders:
+                    block.successors = [next_addr]
+                    break
+                addr = next_addr
+                continue
+            if next_addr in leaders:
+                block.successors = [next_addr]
+                break
+            addr = next_addr
+        cfg.blocks[leader] = block
+    return cfg

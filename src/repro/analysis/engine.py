@@ -1,0 +1,188 @@
+"""Path-exploration engine with join-point merging.
+
+The engine drives the abstract transfer function over the binary, maintaining
+a set of *configurations* — (call frames, pc, abstract state, one DAG cursor
+per observer).  Its scheduling rule makes fork/join precise for the
+compiler-generated, reducible kernels the paper analyzes:
+
+- always advance the configuration with the smallest ``(frames..., pc)`` key
+  (so both arms of a forward branch reach the join point before anything
+  beyond it executes);
+- whenever two configurations agree on call frames and pc, *merge* them:
+  abstract states are joined and the trace-DAG cursors are merged (which is
+  where identical projected traces collapse, per §6.4).
+
+Loops must be concretely bounded (as in the analyzed kernels: loop counters
+are known constants, compared through flag inference or pointer offsets) —
+secret-dependent loop bounds make the configuration set diverge and are
+reported as an :class:`AnalysisError` via the fuel bound, never as a silently
+wrong result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.config import AnalysisConfig, AnalysisError
+from repro.analysis.state import AbsState, AnalysisContext
+from repro.analysis.transfer import SENTINEL_RETURN, Transfer
+from repro.core.observers import AccessKind, Observer, project_value_set
+from repro.core.tracedag import EMPTY_ENDS, Cursor, EndSet, TraceDAG
+from repro.core.valueset import ValueSet
+from repro.isa.image import Image
+
+__all__ = ["Engine", "DagKey", "EngineResult"]
+
+DagKey = tuple[AccessKind, str]  # (cache kind, observer name)
+
+
+@dataclass(slots=True)
+class _Config:
+    """One in-flight execution path (or merged bundle of paths)."""
+
+    frames: tuple[int, ...]
+    pc: int
+    state: AbsState
+    cursors: dict[DagKey, Cursor]
+
+    @property
+    def order_key(self) -> tuple:
+        return self.frames + (self.pc,)
+
+    @property
+    def merge_key(self) -> tuple:
+        return (self.frames, self.pc)
+
+
+@dataclass(slots=True)
+class EngineResult:
+    """Final vertices per DAG plus run statistics."""
+
+    dags: dict[DagKey, TraceDAG]
+    final_vertices: dict[DagKey, EndSet]
+    steps: int = 0
+    max_configs: int = 0
+    merges: int = 0
+    forks: int = 0
+
+
+class Engine:
+    """pc-ordered abstract executor."""
+
+    def __init__(
+        self,
+        image: Image,
+        context: AnalysisContext,
+        transfer: Transfer,
+        observers: list[Observer] | None = None,
+        kinds: tuple[AccessKind, ...] | None = None,
+    ) -> None:
+        self.image = image
+        self.context = context
+        self.transfer = transfer
+        config: AnalysisConfig = context.config
+        self.observers = observers if observers is not None else config.observers()
+        self.kinds = kinds if kinds is not None else config.kinds
+        self.dags: dict[DagKey, TraceDAG] = {
+            (kind, observer.name): TraceDAG()
+            for kind in self.kinds
+            for observer in self.observers
+        }
+
+    # ------------------------------------------------------------------
+    # Access routing
+    # ------------------------------------------------------------------
+    def _emit(self, cursors: dict[DagKey, Cursor], access_kind: str,
+              address: ValueSet, size: int) -> None:
+        matched_kinds = {AccessKind.SHARED}
+        matched_kinds.add(
+            AccessKind.INSTRUCTION if access_kind == "I" else AccessKind.DATA
+        )
+        for observer in self.observers:
+            label = None
+            for kind in self.kinds:
+                if kind not in matched_kinds:
+                    continue
+                if label is None:
+                    label = project_value_set(
+                        address, observer.offset_bits, self.context.table,
+                        self.context.config.projection_policy,
+                    )
+                key = (kind, observer.name)
+                cursors[key] = self.dags[key].access(cursors[key], label)
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self, entry: int, initial_state: AbsState) -> EngineResult:
+        """Explore every path from ``entry`` to the sentinel return."""
+        result = EngineResult(dags=self.dags, final_vertices={})
+        cursors = {key: dag.root_cursor() for key, dag in self.dags.items()}
+        configs: list[_Config] = [
+            _Config(frames=(), pc=entry, state=initial_state, cursors=cursors)
+        ]
+        finished: list[_Config] = []
+        fuel = self.context.config.fuel
+
+        while configs:
+            result.max_configs = max(result.max_configs, len(configs))
+            configs.sort(key=lambda c: c.order_key)
+            config = configs.pop(0)
+            if config.pc == SENTINEL_RETURN:
+                finished.append(config)
+                continue
+            if result.steps >= fuel:
+                raise AnalysisError(
+                    f"fuel exhausted after {result.steps} abstract steps "
+                    f"(diverging loop or bound too small)"
+                )
+            result.steps += 1
+
+            instruction = self.image.decode_at(config.pc)
+            emit = lambda kind, address, size: self._emit(
+                config.cursors, kind, address, size)  # noqa: E731
+            successors = self.transfer.step(config.state, instruction, emit)
+
+            if len(successors) > 1:
+                result.forks += 1
+            for position, successor in enumerate(successors):
+                frames = config.frames
+                if successor.frame_op == "push":
+                    frames = frames + (instruction.addr,)
+                elif successor.frame_op == "pop":
+                    if frames:
+                        frames = frames[:-1]
+                new_cursors = (
+                    config.cursors if position == len(successors) - 1
+                    else dict(config.cursors)
+                )
+                configs.append(_Config(
+                    frames=frames, pc=successor.pc,
+                    state=successor.state, cursors=new_cursors,
+                ))
+
+            configs = self._merge(configs, result)
+
+        # Finalize all cursors per DAG.
+        for key, dag in self.dags.items():
+            ends = EMPTY_ENDS
+            for config in finished:
+                ends = ends.union(dag.finalize(config.cursors[key]))
+            result.final_vertices[key] = ends
+        return result
+
+    def _merge(self, configs: list[_Config], result: EngineResult) -> list[_Config]:
+        """Merge configurations that share call frames and pc."""
+        by_key: dict[tuple, _Config] = {}
+        for config in configs:
+            existing = by_key.get(config.merge_key)
+            if existing is None:
+                by_key[config.merge_key] = config
+                continue
+            result.merges += 1
+            existing.state = existing.state.join(config.state, self.context)
+            for dag_key, dag in self.dags.items():
+                existing.cursors[dag_key] = dag.merge(
+                    existing.cursors[dag_key], config.cursors[dag_key]
+                )
+        return list(by_key.values())

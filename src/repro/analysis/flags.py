@@ -1,0 +1,96 @@
+"""Abstract flag domain (paper §5.4.3).
+
+The abstract flag state is a non-empty set of concrete flag tuples
+``(ZF, CF, SF, OF)``.  Each abstract operation yields a set of
+:class:`~repro.core.masked.FlagBits` (one per masked-symbol pair); unknown
+bits (None) expand to both values, implementing the paper's rule that "in any
+other case, we assume that all combinations of flag values are possible".
+
+Condition codes evaluate to the set of possible outcomes; a singleton outcome
+means the branch is decided statically (e.g. loop guards compared through
+pointer offsets, Example 8), a two-element set forces the engine to fork.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+from repro.core.masked import FlagBits
+from repro.isa.instructions import condition_holds
+
+__all__ = ["FlagState", "TOP_FLAGS", "expand_flagbits"]
+
+FlagTuple = tuple[int, int, int, int]  # (zf, cf, sf, of)
+
+_ALL_TUPLES = frozenset(product((0, 1), repeat=4))
+
+
+def expand_flagbits(bits: FlagBits) -> frozenset[FlagTuple]:
+    """Expand partially known flag bits into all compatible concrete tuples."""
+    choices = [
+        (bit,) if bit is not None else (0, 1)
+        for bit in (bits.zf, bits.cf, bits.sf, bits.of)
+    ]
+    return frozenset(product(*choices))
+
+
+class FlagState:
+    """A non-empty set of possible concrete flag tuples."""
+
+    __slots__ = ("tuples",)
+
+    def __init__(self, tuples: frozenset[FlagTuple]):
+        if not tuples:
+            raise ValueError("flag state must be non-empty")
+        self.tuples = frozenset(tuples)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def top(cls) -> "FlagState":
+        """All flag combinations possible (initial state)."""
+        return cls(_ALL_TUPLES)
+
+    @classmethod
+    def from_flagbits(cls, outcomes) -> "FlagState":
+        """Build from the set of FlagBits produced by a lifted operation."""
+        tuples: set[FlagTuple] = set()
+        for bits in outcomes:
+            tuples |= expand_flagbits(bits)
+        return cls(frozenset(tuples))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def outcomes(self, condition: str) -> set[bool]:
+        """Possible truth values of a condition code."""
+        return {
+            condition_holds(condition, *flag_tuple) for flag_tuple in self.tuples
+        }
+
+    def restrict(self, condition: str, outcome: bool) -> "FlagState":
+        """Keep only the tuples consistent with a branch outcome."""
+        kept = frozenset(
+            flag_tuple for flag_tuple in self.tuples
+            if condition_holds(condition, *flag_tuple) == outcome
+        )
+        return FlagState(kept)
+
+    def join(self, other: "FlagState") -> "FlagState":
+        """Set union."""
+        return FlagState(self.tuples | other.tuples)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, FlagState) and self.tuples == other.tuples
+
+    def __hash__(self) -> int:
+        return hash(self.tuples)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.tuples == _ALL_TUPLES:
+            return "FlagState(⊤)"
+        return f"FlagState({sorted(self.tuples)})"
+
+
+TOP_FLAGS = FlagState.top()

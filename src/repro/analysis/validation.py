@@ -1,0 +1,167 @@
+"""Concrete validation of static leakage bounds (Theorem 1, executable).
+
+The paper's central soundness claim is that for every low input λ (heap
+layout), the number of distinct adversary views over all secrets is bounded
+by the count computed on the abstract trace DAG.  For small secrets this is
+directly checkable: enumerate every secret valuation, run the concrete VM,
+collect each observer's view of the trace, and compare ``|views|`` against
+the static bound.
+
+This harness is used throughout the test suite (including property-based
+tests that randomize the heap layout λ) and by the examples; a bound
+violation would falsify the implementation, so these tests double as the
+reproduction's soundness regression suite.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.analysis.analyzer import AnalysisResult
+from repro.analysis.config import AnalysisError, InputSpec
+from repro.core.observers import AccessKind
+from repro.isa.image import Image
+from repro.vm.cpu import CPU
+from repro.vm.memory import FlatMemory
+from repro.vm.tracer import Trace
+
+__all__ = ["ConcreteValidator", "ValidationReport"]
+
+
+@dataclass(slots=True)
+class ValidationReport:
+    """Outcome of validating one report against concrete executions."""
+
+    checked: int = 0
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+class ConcreteValidator:
+    """Enumerates secrets and layouts; compares views with static bounds."""
+
+    def __init__(self, image: Image, spec: InputSpec, fuel: int = 1_000_000):
+        self.image = image
+        self.spec = spec
+        self.fuel = fuel
+
+    # ------------------------------------------------------------------
+    # Enumeration
+    # ------------------------------------------------------------------
+    def _secret_choices(self) -> list[list[tuple]]:
+        """Each secret input contributes a list of ('reg'/'mem'/'arg', where, value)."""
+        choices = []
+        for reg_init in self.spec.registers:
+            if reg_init.high_values is not None:
+                choices.append([
+                    ("reg", reg_init.reg, value) for value in reg_init.high_values
+                ])
+        for index, arg in enumerate(self.spec.args):
+            if arg.high_values is not None:
+                choices.append([
+                    ("arg", index, value) for value in arg.high_values
+                ])
+        for mem_init in self.spec.memory:
+            if mem_init.high_values is not None:
+                choices.append([
+                    ("mem", mem_init, value) for value in mem_init.high_values
+                ])
+        return choices
+
+    def _resolve_at(self, at, lam: dict[str, int]) -> int:
+        if isinstance(at, int):
+            return at
+        if isinstance(at, str):
+            return lam[at]
+        name, offset = at
+        return lam[name] + offset
+
+    def _run_once(self, lam: dict[str, int], secret_combo) -> Trace:
+        memory = FlatMemory()
+        trace = Trace()
+        cpu = CPU(self.image, memory=memory, trace=trace)
+
+        for reg_init in self.spec.registers:
+            if reg_init.constant is not None:
+                cpu.set_reg(reg_init.reg, reg_init.constant)
+            elif reg_init.symbol is not None:
+                if reg_init.symbol not in lam:
+                    raise AnalysisError(
+                        f"validation λ missing symbol {reg_init.symbol!r}")
+                cpu.set_reg(reg_init.reg, lam[reg_init.symbol])
+        for mem_init in self.spec.memory:
+            addr = self._resolve_at(mem_init.at, lam)
+            if mem_init.constant is not None:
+                memory.write(addr, mem_init.constant, mem_init.size)
+            elif mem_init.symbol is not None:
+                memory.write(addr, lam[mem_init.symbol], mem_init.size)
+        arg_values: list[int] = []
+        for arg in self.spec.args:
+            if arg.constant is not None:
+                arg_values.append(arg.constant)
+            elif arg.symbol is not None:
+                arg_values.append(lam[arg.symbol])
+            else:
+                arg_values.append(0)  # placeholder, filled by the combo below
+        for kind, where, value in secret_combo:
+            if kind == "reg":
+                cpu.set_reg(where, value)
+            elif kind == "arg":
+                arg_values[where] = value
+            else:
+                memory.write(self._resolve_at(where.at, lam), value, where.size)
+
+        for value in reversed(arg_values):
+            cpu.push(value)
+        cpu.run(self.spec.entry, fuel=self.fuel)
+        return trace
+
+    def views(self, lam: dict[str, int], cache_kind: str, offset_bits: int,
+              stuttering: bool = False) -> set[tuple]:
+        """All distinct adversary views over the full secret enumeration."""
+        collected = set()
+        choice_lists = self._secret_choices() or [[()]]
+        for combo in itertools.product(*choice_lists):
+            combo = tuple(c for c in combo if c)
+            trace = self._run_once(lam, combo)
+            collected.add(trace.view(cache_kind, offset_bits, stuttering))
+        return collected
+
+    # ------------------------------------------------------------------
+    # Checking against a report
+    # ------------------------------------------------------------------
+    def check(self, result: AnalysisResult, layouts: list[dict[str, int]],
+              geometry=None) -> ValidationReport:
+        """Check every recorded bound against every provided layout λ."""
+        report = ValidationReport()
+        geometry = geometry or result.context.config.geometry
+        observer_bits = {
+            observer.name: observer.offset_bits
+            for observer in result.context.config.observers()
+        }
+        kind_codes = {
+            AccessKind.INSTRUCTION: "I",
+            AccessKind.DATA: "D",
+            AccessKind.SHARED: "shared",
+        }
+        for lam in layouts:
+            for (kind, observer_name), bound in result.report.bounds.items():
+                offset_bits = observer_bits[observer_name]
+                for stuttering, limit in (
+                    (False, bound.count), (True, bound.stuttering_count),
+                ):
+                    observed = self.views(
+                        lam, kind_codes[kind], offset_bits, stuttering)
+                    report.checked += 1
+                    if len(observed) > limit:
+                        report.violations.append(
+                            f"{kind.value}/{observer_name}"
+                            f"{'/stutter' if stuttering else ''}: "
+                            f"observed {len(observed)} views > bound {limit} "
+                            f"for λ={lam}"
+                        )
+        return report

@@ -1,0 +1,33 @@
+"""Case study harness: the paper's §8 experiments as runnable functions."""
+
+from repro.casestudy.experiments import (
+    cachebleed_bank_analysis,
+    figure7a,
+    figure7b,
+    figure8,
+    figure14a,
+    figure14b,
+    figure14c,
+    figure14d,
+    figure15_effect,
+)
+from repro.casestudy.figure4 import figure4
+from repro.casestudy.performance import figure16a, figure16b
+from repro.casestudy.targets import (
+    Target,
+    defensive_gather_target,
+    gather_target,
+    lookup_target,
+    scatter_target,
+    secure_retrieve_target,
+    sqam_target,
+    sqm_target,
+)
+
+__all__ = [
+    "Target", "cachebleed_bank_analysis", "defensive_gather_target",
+    "figure14a", "figure14b", "figure14c", "figure14d", "figure15_effect",
+    "figure16a", "figure16b", "figure4", "figure7a", "figure7b", "figure8",
+    "gather_target", "lookup_target", "scatter_target",
+    "secure_retrieve_target", "sqam_target", "sqm_target",
+]

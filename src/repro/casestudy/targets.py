@@ -1,0 +1,160 @@
+"""Construction of the analyzed targets (paper §8.2).
+
+Each target bundles a compiled binary image, the input spec classifying its
+inputs (secret window/exponent bits, unknown heap pointers), and the
+analysis configuration (cache geometry).  The table geometry follows the
+paper: window size 3 → 8 pre-computed values, 3072-bit entries = 384 bytes,
+spacing 8, 64-byte cache lines, 4-byte banks; smaller entry sizes can be
+requested for fast tests (the leakage *per access* is unchanged — only the
+number of loop iterations scales).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.analyzer import AnalysisResult, analyze
+from repro.analysis.config import AnalysisConfig, ArgInit, InputSpec
+from repro.core.observers import CacheGeometry
+from repro.crypto import sources
+from repro.isa.image import Image
+from repro.lang.driver import compile_program
+
+__all__ = [
+    "Target", "sqm_target", "sqam_target", "lookup_target",
+    "secure_retrieve_target", "gather_target", "scatter_target",
+    "defensive_gather_target", "PAPER_ENTRY_BYTES", "PAPER_LIMBS",
+]
+
+PAPER_ENTRY_BYTES = 384  # 3072-bit pre-computed values
+PAPER_LIMBS = 96
+TABLE_ENTRIES = 8
+SPACING = 8
+
+# Pads that straddle the pointer/size tables of the unprotected lookup
+# across 64-byte line boundaries (4+3 entries per block, giving the paper's
+# 2.3-bit block-level bound).
+LOOKUP_TABLE_PADS = {"b2i3": 48, "b2i3size": 36}
+
+
+@dataclass(frozen=True)
+class Target:
+    """One analyzable case-study binary."""
+
+    name: str
+    image: Image
+    spec: InputSpec
+    config: AnalysisConfig
+    opt_level: int
+    description: str = ""
+
+    def analyze(self) -> AnalysisResult:
+        """Run the static analysis on this target."""
+        return analyze(self.image, self.spec, self.config)
+
+
+def _config(line_bytes: int = 64,
+            observers: tuple[str, ...] = ("address", "bank", "block")) -> AnalysisConfig:
+    return AnalysisConfig(
+        geometry=CacheGeometry(line_bytes=line_bytes),
+        observer_names=observers,
+    )
+
+
+def sqm_target(opt_level: int = 2, line_bytes: int = 64) -> Target:
+    """Square-and-multiply step, libgcrypt 1.5.2 (Figures 5/7a)."""
+    image = compile_program(
+        sources.SQM_STEP, opt_level=opt_level,
+        function_align=line_bytes, cold_align=line_bytes)
+    spec = InputSpec(
+        entry="sqm_step",
+        args=(ArgInit.pointer("rp"), ArgInit.pointer("bp"),
+              ArgInit.pointer("mp"), ArgInit.high([0, 1])),
+        description="square-and-multiply (libgcrypt 1.5.2)",
+    )
+    return Target("sqm_152", image, spec, _config(line_bytes), opt_level)
+
+
+def sqam_target(opt_level: int = 2, line_bytes: int = 64) -> Target:
+    """Square-and-always-multiply step, libgcrypt 1.5.3 (Figures 6/7b/8)."""
+    image = compile_program(
+        sources.SQAM_STEP, opt_level=opt_level,
+        function_align=line_bytes, cold_align=line_bytes)
+    spec = InputSpec(
+        entry="sqam_step",
+        args=(ArgInit.pointer("rp"), ArgInit.pointer("tmp"),
+              ArgInit.pointer("bp"), ArgInit.pointer("mp"),
+              ArgInit.high([0, 1]),
+              ArgInit.of(PAPER_LIMBS), ArgInit.of(PAPER_LIMBS)),
+        description="square-and-always-multiply (libgcrypt 1.5.3)",
+    )
+    return Target("sqam_153", image, spec, _config(line_bytes), opt_level)
+
+
+def lookup_target(opt_level: int = 2, line_bytes: int = 64) -> Target:
+    """Unprotected table lookup, libgcrypt 1.6.1 (Figures 10/14a/15)."""
+    image = compile_program(
+        sources.LOOKUP_161, opt_level=opt_level,
+        function_align=line_bytes,
+        cold_align=line_bytes if opt_level >= 2 else None,
+        data_pad=LOOKUP_TABLE_PADS)
+    spec = InputSpec(
+        entry="lookup",
+        args=(ArgInit.high(range(TABLE_ENTRIES)),
+              ArgInit.pointer("bp"), ArgInit.pointer("bsize")),
+        description="unprotected lookup (libgcrypt 1.6.1)",
+    )
+    return Target("lookup_161", image, spec, _config(line_bytes), opt_level)
+
+
+def secure_retrieve_target(opt_level: int = 2, nlimbs: int = PAPER_LIMBS) -> Target:
+    """Access-all-entries copy, libgcrypt 1.6.3 (Figures 11/14b)."""
+    image = compile_program(
+        sources.SECURE_RETRIEVE_163, opt_level=opt_level, function_align=64)
+    spec = InputSpec(
+        entry="secure_retrieve",
+        args=(ArgInit.pointer("r"), ArgInit.pointer("p"),
+              ArgInit.high(range(7)), ArgInit.of(7), ArgInit.of(nlimbs)),
+        description="secure table access (libgcrypt 1.6.3)",
+    )
+    return Target("secure_163", image, spec, _config(), opt_level)
+
+
+def gather_target(opt_level: int = 2, nbytes: int = PAPER_ENTRY_BYTES) -> Target:
+    """Scatter/gather retrieval, OpenSSL 1.0.2f (Figures 3/14c + CacheBleed)."""
+    image = compile_program(
+        sources.SCATTER_GATHER_102F, opt_level=opt_level, function_align=64)
+    spec = InputSpec(
+        entry="gather",
+        args=(ArgInit.pointer("r"), ArgInit.pointer("buf"),
+              ArgInit.high(range(TABLE_ENTRIES)), ArgInit.of(nbytes)),
+        description="scatter/gather (OpenSSL 1.0.2f)",
+    )
+    return Target("scatter_102f", image, spec, _config(), opt_level)
+
+
+def scatter_target(opt_level: int = 2, nbytes: int = PAPER_ENTRY_BYTES) -> Target:
+    """The scatter (store) half of the 1.0.2f countermeasure."""
+    image = compile_program(
+        sources.SCATTER_GATHER_102F, opt_level=opt_level, function_align=64)
+    spec = InputSpec(
+        entry="scatter",
+        args=(ArgInit.pointer("buf"), ArgInit.pointer("p"),
+              ArgInit.high(range(TABLE_ENTRIES)), ArgInit.of(nbytes)),
+        description="scatter (OpenSSL 1.0.2f)",
+    )
+    return Target("scatter_store_102f", image, spec, _config(), opt_level)
+
+
+def defensive_gather_target(opt_level: int = 2,
+                            nbytes: int = PAPER_ENTRY_BYTES) -> Target:
+    """Defensive gather, OpenSSL 1.0.2g (Figures 12/14d)."""
+    image = compile_program(
+        sources.DEFENSIVE_GATHER_102G, opt_level=opt_level, function_align=64)
+    spec = InputSpec(
+        entry="defensive_gather",
+        args=(ArgInit.pointer("r"), ArgInit.pointer("buf"),
+              ArgInit.high(range(TABLE_ENTRIES)), ArgInit.of(nbytes)),
+        description="defensive gather (OpenSSL 1.0.2g)",
+    )
+    return Target("defensive_102g", image, spec, _config(), opt_level)

@@ -1,0 +1,50 @@
+"""Core abstract domains of the paper: masked symbols, observers, trace DAGs.
+
+This package implements the paper's primary contribution:
+
+- :mod:`repro.core.mask`, :mod:`repro.core.symbols`, :mod:`repro.core.masked`,
+  :mod:`repro.core.valueset` — the masked symbol domain M♯ (§5);
+- :mod:`repro.core.observers` — the hierarchy of memory-trace observers and
+  their projections (§3.2, §5.3);
+- :mod:`repro.core.tracedag` — the memory trace domain T♯ (§6);
+- :mod:`repro.core.leakage` — static quantification of leaks (§4).
+"""
+
+from repro.core.leakage import LeakageReport, ObservationBound, log2_int
+from repro.core.mask import Mask
+from repro.core.masked import FlagBits, MaskedOps, MaskedSymbol
+from repro.core.observers import (
+    AccessKind,
+    CacheGeometry,
+    Observer,
+    ProjectedLabel,
+    ProjectionPolicy,
+    project_value_set,
+    standard_observers,
+)
+from repro.core.symbols import SymbolTable, Valuation
+from repro.core.tracedag import TraceDAG
+from repro.core.valueset import PrecisionLoss, ValueSet, ValueSetOps
+
+__all__ = [
+    "AccessKind",
+    "CacheGeometry",
+    "FlagBits",
+    "LeakageReport",
+    "Mask",
+    "MaskedOps",
+    "MaskedSymbol",
+    "ObservationBound",
+    "Observer",
+    "PrecisionLoss",
+    "ProjectedLabel",
+    "ProjectionPolicy",
+    "SymbolTable",
+    "TraceDAG",
+    "Valuation",
+    "ValueSet",
+    "ValueSetOps",
+    "log2_int",
+    "project_value_set",
+    "standard_observers",
+]

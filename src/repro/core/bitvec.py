@@ -1,0 +1,124 @@
+"""Fixed-width bitvector arithmetic helpers.
+
+All abstract and concrete machine arithmetic in this library operates on
+unsigned fixed-width bitvectors represented as Python ints in
+``[0, 2**width)``.  This module centralizes truncation, sign handling, and
+carry/borrow-exact arithmetic so that the concrete CPU simulator
+(:mod:`repro.vm.cpu`) and the masked-symbol abstract domain
+(:mod:`repro.core.masked`) agree bit-for-bit on every operation.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "mask_of",
+    "truncate",
+    "to_signed",
+    "from_signed",
+    "sign_bit",
+    "add_with_carry",
+    "sub_with_borrow",
+    "bit",
+    "set_bit",
+    "rotate_left",
+    "rotate_right",
+    "popcount",
+    "low_ones",
+]
+
+
+def mask_of(width: int) -> int:
+    """Return the all-ones bitvector of ``width`` bits (e.g. 0xFFFFFFFF)."""
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    return (1 << width) - 1
+
+
+def truncate(value: int, width: int) -> int:
+    """Truncate ``value`` to an unsigned ``width``-bit quantity."""
+    return value & mask_of(width)
+
+
+def to_signed(value: int, width: int) -> int:
+    """Interpret an unsigned ``width``-bit value as two's complement."""
+    value = truncate(value, width)
+    if value >= 1 << (width - 1):
+        return value - (1 << width)
+    return value
+
+
+def from_signed(value: int, width: int) -> int:
+    """Encode a (possibly negative) int as an unsigned ``width``-bit value."""
+    return truncate(value, width)
+
+
+def sign_bit(value: int, width: int) -> int:
+    """Return the most significant bit of a ``width``-bit value (0 or 1)."""
+    return (value >> (width - 1)) & 1
+
+
+def add_with_carry(x: int, y: int, carry_in: int, width: int) -> tuple[int, int, int]:
+    """Add two ``width``-bit values with a carry-in.
+
+    Returns ``(result, carry_out, overflow)`` where ``carry_out`` is the
+    unsigned carry flag and ``overflow`` the signed overflow flag, matching
+    x86 ``ADD``/``ADC`` semantics.
+    """
+    raw = truncate(x, width) + truncate(y, width) + (carry_in & 1)
+    result = truncate(raw, width)
+    carry_out = 1 if raw >> width else 0
+    sx, sy, sr = sign_bit(x, width), sign_bit(y, width), sign_bit(result, width)
+    overflow = 1 if (sx == sy and sr != sx) else 0
+    return result, carry_out, overflow
+
+
+def sub_with_borrow(x: int, y: int, borrow_in: int, width: int) -> tuple[int, int, int]:
+    """Subtract ``y`` (plus borrow) from ``x``.
+
+    Returns ``(result, borrow_out, overflow)``; ``borrow_out`` matches the x86
+    carry flag after ``SUB``/``SBB`` (set when an unsigned borrow occurred).
+    """
+    raw = truncate(x, width) - truncate(y, width) - (borrow_in & 1)
+    result = truncate(raw, width)
+    borrow_out = 1 if raw < 0 else 0
+    sx, sy, sr = sign_bit(x, width), sign_bit(y, width), sign_bit(result, width)
+    overflow = 1 if (sx != sy and sr != sx) else 0
+    return result, borrow_out, overflow
+
+
+def bit(value: int, index: int) -> int:
+    """Return bit ``index`` of ``value`` (0 or 1)."""
+    return (value >> index) & 1
+
+
+def set_bit(value: int, index: int, bit_value: int) -> int:
+    """Return ``value`` with bit ``index`` forced to ``bit_value``."""
+    if bit_value:
+        return value | (1 << index)
+    return value & ~(1 << index)
+
+
+def rotate_left(value: int, amount: int, width: int) -> int:
+    """Rotate a ``width``-bit value left by ``amount`` positions."""
+    amount %= width
+    value = truncate(value, width)
+    return truncate((value << amount) | (value >> (width - amount)), width)
+
+
+def rotate_right(value: int, amount: int, width: int) -> int:
+    """Rotate a ``width``-bit value right by ``amount`` positions."""
+    amount %= width
+    value = truncate(value, width)
+    return truncate((value >> amount) | (value << (width - amount)), width)
+
+
+def popcount(value: int) -> int:
+    """Number of set bits in a nonnegative int."""
+    return bin(value).count("1")
+
+
+def low_ones(count: int) -> int:
+    """Return a value with the ``count`` least significant bits set."""
+    if count < 0:
+        raise ValueError(f"count must be nonnegative, got {count}")
+    return (1 << count) - 1

@@ -1,0 +1,129 @@
+"""Leakage quantification and reporting (paper §4 and §8).
+
+Leakage is ``log2`` of the maximum number of observations an adversary can
+make over all low inputs (Equation 1).  The analysis produces, for each
+(cache kind, observer) pair, an upper bound on that count; this module turns
+counts into bits and formats the tables of the paper's Figures 7, 8 and 14.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.observers import AccessKind
+
+__all__ = ["log2_int", "ObservationBound", "LeakageReport", "format_bits"]
+
+
+def log2_int(count: int) -> float:
+    """Exact-enough ``log2`` for arbitrarily large positive ints.
+
+    ``math.log2`` overflows beyond ``2**1024``; counts in this library can be
+    as large as ``8**384`` (the scatter/gather address-trace bound), so large
+    values are rescaled through their bit length first.
+    """
+    if count < 1:
+        raise ValueError(f"count must be positive, got {count}")
+    if count < (1 << 512):
+        return math.log2(count)
+    bits = count.bit_length() - 53
+    return math.log2(count >> bits) + bits
+
+
+def format_bits(bits: float) -> str:
+    """Format a leakage bound the way the paper prints it (e.g. ``5.6 bit``)."""
+    if bits == int(bits):
+        return f"{int(bits)} bit"
+    return f"{bits:.1f} bit"
+
+
+@dataclass(frozen=True, slots=True)
+class ObservationBound:
+    """Counting results of one observer on one access stream."""
+
+    kind: AccessKind
+    observer: str
+    count: int
+    stuttering_count: int
+
+    @property
+    def bits(self) -> float:
+        """Leakage bound in bits for the exact observer."""
+        return log2_int(self.count)
+
+    @property
+    def stuttering_bits(self) -> float:
+        """Leakage bound in bits for the stuttering variant."""
+        return log2_int(self.stuttering_count)
+
+
+@dataclass(slots=True)
+class LeakageReport:
+    """All observation bounds of one analyzed program."""
+
+    target: str = ""
+    bounds: dict[tuple[AccessKind, str], ObservationBound] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def record(self, bound: ObservationBound) -> None:
+        """Insert one observer's result."""
+        self.bounds[(bound.kind, bound.observer)] = bound
+
+    def bound(self, kind: AccessKind, observer: str) -> ObservationBound:
+        """Look up the result for a (cache kind, observer) pair."""
+        return self.bounds[(kind, observer)]
+
+    def bits(self, kind: AccessKind, observer: str, stuttering: bool = False) -> float:
+        """Leakage bound in bits for one adversary."""
+        bound = self.bound(kind, observer)
+        return bound.stuttering_bits if stuttering else bound.bits
+
+    def is_non_interferent(self, kind: AccessKind, observer: str) -> bool:
+        """True iff the bound proves the absence of a leak (L = 1, 0 bits)."""
+        return self.bound(kind, observer).count == 1
+
+    # ------------------------------------------------------------------
+    # Paper-style tables
+    # ------------------------------------------------------------------
+    def paper_row(self, kind: AccessKind) -> dict[str, float]:
+        """The ``address | block | b-block`` row of Figures 7/8/14."""
+        return {
+            "address": self.bits(kind, "address"),
+            "block": self.bits(kind, "block"),
+            "b-block": self.bits(kind, "block", stuttering=True),
+        }
+
+    def format_paper_table(self, title: str | None = None) -> str:
+        """Render the two-row table used throughout the paper's §8."""
+        lines = []
+        if title or self.target:
+            lines.append(title or self.target)
+        header = f"{'Observer':<10} {'address':>10} {'block':>10} {'b-block':>10}"
+        lines.append(header)
+        for kind in (AccessKind.INSTRUCTION, AccessKind.DATA):
+            if (kind, "address") not in self.bounds:
+                continue
+            row = self.paper_row(kind)
+            lines.append(
+                f"{kind.value:<10} "
+                f"{format_bits(row['address']):>10} "
+                f"{format_bits(row['block']):>10} "
+                f"{format_bits(row['b-block']):>10}"
+            )
+        return "\n".join(lines)
+
+    def format_full_table(self) -> str:
+        """Render every observer (including bank and page) for both caches."""
+        observers = sorted({name for _, name in self.bounds})
+        lines = [f"{'Observer':<12}" + "".join(f"{name:>12}" for name in observers)]
+        for kind in (AccessKind.INSTRUCTION, AccessKind.DATA, AccessKind.SHARED):
+            cells = []
+            for name in observers:
+                if (kind, name) in self.bounds:
+                    cells.append(format_bits(self.bits(kind, name)))
+                else:
+                    cells.append("-")
+            if any(cell != "-" for cell in cells):
+                lines.append(f"{kind.value:<12}" + "".join(f"{c:>12}" for c in cells))
+        return "\n".join(lines)

@@ -1,0 +1,152 @@
+"""Masks over ``{0, 1, ⊤}^n`` (paper §5.1).
+
+A mask records, for each bit position of an ``n``-bit word, whether the bit is
+*known* at analysis time (and then its value, 0 or 1) or *symbolic* (written
+``⊤``).  We represent a mask as a pair of ints:
+
+- ``known``: bit ``i`` is set iff position ``i`` is known (masked);
+- ``value``: the values of the known bits (0 on symbolic positions).
+
+The all-symbolic mask ``(⊤, …, ⊤)`` is ``Mask.top(n)``; a fully known mask is
+a plain bitvector, ``Mask.constant(v, n)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.bitvec import bit, low_ones, mask_of, truncate
+
+__all__ = ["Mask", "TOP_CHAR"]
+
+TOP_CHAR = "T"
+
+
+@dataclass(frozen=True, slots=True)
+class Mask:
+    """A pattern of known and symbolic bits for an ``width``-bit word."""
+
+    known: int
+    value: int
+    width: int
+
+    def __post_init__(self) -> None:
+        full = mask_of(self.width)
+        if self.known & ~full:
+            raise ValueError("known bits exceed mask width")
+        if self.value & ~self.known:
+            raise ValueError("value bits set on symbolic positions")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def top(cls, width: int) -> "Mask":
+        """The all-symbolic mask ``(⊤, …, ⊤)``."""
+        return cls(known=0, value=0, width=width)
+
+    @classmethod
+    def constant(cls, value: int, width: int) -> "Mask":
+        """A fully known mask representing the bitvector ``value``."""
+        return cls(known=mask_of(width), value=truncate(value, width), width=width)
+
+    @classmethod
+    def from_string(cls, text: str) -> "Mask":
+        """Parse a mask from a string such as ``"TTT01"`` (MSB first)."""
+        width = len(text)
+        known = 0
+        value = 0
+        for position, char in enumerate(text):
+            index = width - 1 - position
+            if char in "01":
+                known |= 1 << index
+                if char == "1":
+                    value |= 1 << index
+            elif char.upper() != TOP_CHAR:
+                raise ValueError(f"invalid mask character {char!r}")
+        return cls(known=known, value=value, width=width)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def is_constant(self) -> bool:
+        """True iff every bit is known, i.e. the mask is a bitvector."""
+        return self.known == mask_of(self.width)
+
+    @property
+    def is_top(self) -> bool:
+        """True iff every bit is symbolic."""
+        return self.known == 0
+
+    def bit_at(self, index: int) -> int | None:
+        """Value of bit ``index``: 0, 1, or None when symbolic."""
+        if not 0 <= index < self.width:
+            raise IndexError(f"bit index {index} out of range for width {self.width}")
+        if bit(self.known, index):
+            return bit(self.value, index)
+        return None
+
+    def is_known(self, index: int) -> bool:
+        """True iff bit ``index`` is known."""
+        return bit(self.known, index) == 1
+
+    def low_bits_known(self, count: int) -> bool:
+        """True iff the ``count`` least significant bits are all known."""
+        return (self.known & low_ones(count)) == low_ones(count)
+
+    def low_bits_value(self, count: int) -> int:
+        """The value of the ``count`` least significant bits (must be known)."""
+        if not self.low_bits_known(count):
+            raise ValueError(f"low {count} bits are not all known in {self}")
+        return self.value & low_ones(count)
+
+    def known_prefix_length(self) -> int:
+        """Number of consecutive known bits starting from the LSB."""
+        count = 0
+        while count < self.width and self.is_known(count):
+            count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    # Combinators
+    # ------------------------------------------------------------------
+    def concretize(self, symbolic_bits: int) -> int:
+        """Fill the symbolic positions from ``symbolic_bits`` (paper ``⊙``).
+
+        Returns the bitvector whose known positions come from the mask and
+        whose symbolic positions come from ``symbolic_bits``.
+        """
+        return self.value | (truncate(symbolic_bits, self.width) & ~self.known)
+
+    def matches(self, value: int) -> bool:
+        """True iff ``value`` agrees with the mask on all known positions."""
+        return truncate(value, self.width) & self.known == self.value
+
+    def with_bits(self, known: int, value: int) -> "Mask":
+        """Return a copy with additional positions forced known."""
+        new_known = self.known | known
+        new_value = (self.value & ~known) | (value & known)
+        return Mask(known=new_known, value=new_value, width=self.width)
+
+    def drop_low(self, count: int) -> "Mask":
+        """Project away the ``count`` least significant bits (π_{n:b})."""
+        if count < 0 or count > self.width:
+            raise ValueError(f"cannot drop {count} bits from width {self.width}")
+        if count == self.width:
+            return Mask.constant(0, 1)  # degenerate: empty projection
+        return Mask(
+            known=self.known >> count,
+            value=self.value >> count,
+            width=self.width - count,
+        )
+
+    def __str__(self) -> str:
+        chars = []
+        for index in reversed(range(self.width)):
+            bit_value = self.bit_at(index)
+            chars.append(TOP_CHAR if bit_value is None else str(bit_value))
+        return "".join(chars)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Mask({self})"

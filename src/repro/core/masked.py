@@ -1,0 +1,570 @@
+"""Masked symbols and their abstract operations (paper §5).
+
+A masked symbol is a pair ``(s, m)`` of a symbol ``s`` (or ``None`` for a pure
+constant) and a mask ``m ∈ {0,1,⊤}^n``.  :class:`MaskedOps` implements the
+abstract transformers of §5.4.1 for ``AND``, ``OR``, ``XOR``, ``ADD``, ``SUB``
+(plus the shifts and multiplies needed to analyze compiled code), the
+origin/offset tracking of §5.4.2, and the flag-value derivation of §5.4.3.
+
+Design notes
+------------
+- Operations on two fully known constants are computed *exactly*, including
+  the CPU flags, using the same bit-level helpers as the concrete simulator.
+- The "keep the symbol" side conditions of §5.4.1 are implemented literally:
+  a fresh symbol is introduced unless the operation provably acts neutrally
+  on every symbolic bit.
+- For ``ADD`` with a neutral constant we additionally preserve the operand's
+  known bits above the first symbolic position (the paper's Example 6 relies
+  on this: adding ``0x3F`` to an aligned pointer stays in the same line).
+- Fresh symbols record their provenance so a :class:`~repro.core.symbols.Valuation`
+  extends to them, making local soundness (Lemma 1) testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.bitvec import (
+    add_with_carry,
+    bit,
+    low_ones,
+    mask_of,
+    sign_bit,
+    sub_with_borrow,
+    to_signed,
+    truncate,
+)
+from repro.core.mask import Mask
+from repro.core.symbols import SymbolKind, SymbolTable
+
+__all__ = ["MaskedSymbol", "FlagBits", "MaskedOps", "concrete_op"]
+
+
+@dataclass(frozen=True, slots=True)
+class MaskedSymbol:
+    """A masked symbol ``(s, m)``; ``sym is None`` means a pure constant."""
+
+    sym: int | None
+    mask: Mask
+
+    def __post_init__(self) -> None:
+        if self.sym is None and not self.mask.is_constant:
+            raise ValueError("constant masked symbol must have a fully known mask")
+
+    @classmethod
+    def constant(cls, value: int, width: int) -> "MaskedSymbol":
+        """A fully known bitvector."""
+        return cls(sym=None, mask=Mask.constant(value, width))
+
+    @classmethod
+    def symbol(cls, sym: int, width: int) -> "MaskedSymbol":
+        """A fully unknown value ``(s, ⊤)``."""
+        return cls(sym=sym, mask=Mask.top(width))
+
+    @property
+    def is_constant(self) -> bool:
+        """True iff the value is fully known at analysis time."""
+        return self.mask.is_constant
+
+    @property
+    def value(self) -> int:
+        """The concrete value (only for constants)."""
+        if not self.is_constant:
+            raise ValueError(f"{self} is not a constant")
+        return self.mask.value
+
+    @property
+    def width(self) -> int:
+        """Bit width of the represented word."""
+        return self.mask.width
+
+    def describe(self, table: SymbolTable | None = None) -> str:
+        """Human-readable rendering, e.g. ``(buf, TTT000)`` or ``0x40``."""
+        if self.sym is None:
+            return hex(self.mask.value)
+        name = table.name(self.sym) if table is not None else f"s{self.sym}"
+        return f"({name}, {self.mask})"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return self.describe()
+
+
+@dataclass(frozen=True, slots=True)
+class FlagBits:
+    """Partially known CPU flags produced by one abstract operation.
+
+    Each field is 0, 1, or None (unknown).  The analysis-side flag domain
+    (:mod:`repro.analysis.flags`) expands ``None`` into both possibilities.
+    """
+
+    zf: int | None = None
+    cf: int | None = None
+    sf: int | None = None
+    of: int | None = None
+
+    @classmethod
+    def exact(cls, result: int, carry: int, overflow: int, width: int) -> "FlagBits":
+        """Flags of a concrete arithmetic result."""
+        return cls(
+            zf=1 if truncate(result, width) == 0 else 0,
+            cf=carry,
+            sf=sign_bit(result, width),
+            of=overflow,
+        )
+
+
+def concrete_op(op_name: str, a: int, b: int | None, width: int) -> int:
+    """Concrete counterpart of every abstract operation.
+
+    Used by :class:`~repro.core.symbols.Valuation` to resolve provenance of
+    fresh symbols, and by the soundness tests to cross-check the domain
+    against real machine arithmetic.
+    """
+    if op_name == "AND":
+        return truncate(a & b, width)
+    if op_name == "OR":
+        return truncate(a | b, width)
+    if op_name == "XOR":
+        return truncate(a ^ b, width)
+    if op_name == "ADD":
+        return add_with_carry(a, b, 0, width)[0]
+    if op_name == "SUB":
+        return sub_with_borrow(a, b, 0, width)[0]
+    if op_name == "SHL":
+        return truncate(a << (b % width), width) if b < width else 0
+    if op_name == "SHR":
+        return truncate(a, width) >> b if b < width else 0
+    if op_name == "SAR":
+        shifted = to_signed(a, width) >> min(b, width - 1)
+        return truncate(shifted, width)
+    if op_name == "MUL":
+        return truncate(a * b, width)
+    if op_name == "NOT":
+        return truncate(~a, width)
+    if op_name == "NEG":
+        return truncate(-a, width)
+    raise ValueError(f"unknown operation {op_name}")
+
+
+class MaskedOps:
+    """Abstract transformers over masked symbols, bound to a symbol table."""
+
+    def __init__(self, table: SymbolTable, track_offsets: bool = True) -> None:
+        self.table = table
+        self.width = table.width
+        self.track_offsets = track_offsets
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _fresh_result(
+        self, op_name: str, x: MaskedSymbol, y: MaskedSymbol | None, mask: Mask
+    ) -> MaskedSymbol:
+        """Allocate a fresh derived symbol with provenance for the result."""
+        ident = self.table.fresh(
+            kind=SymbolKind.DERIVED, provenance=(op_name, x, y)
+        )
+        return MaskedSymbol(sym=ident, mask=mask)
+
+    @staticmethod
+    def _zf_from_mask(mask: Mask) -> int | None:
+        """ZF is 0 if any known bit of the result is nonzero (§5.4.3)."""
+        if mask.is_constant:
+            return 1 if mask.value == 0 else 0
+        if mask.value != 0:
+            return 0
+        return None
+
+    def _sf_from_mask(self, mask: Mask) -> int | None:
+        if mask.is_known(self.width - 1):
+            return bit(mask.value, self.width - 1)
+        return None
+
+    # ------------------------------------------------------------------
+    # Boolean operations (§5.4.1)
+    # ------------------------------------------------------------------
+    def and_(self, x: MaskedSymbol, y: MaskedSymbol) -> tuple[MaskedSymbol, FlagBits]:
+        """Abstract bitwise AND."""
+        return self._boolean("AND", x, y)
+
+    def or_(self, x: MaskedSymbol, y: MaskedSymbol) -> tuple[MaskedSymbol, FlagBits]:
+        """Abstract bitwise OR."""
+        return self._boolean("OR", x, y)
+
+    def _boolean(
+        self, op_name: str, x: MaskedSymbol, y: MaskedSymbol
+    ) -> tuple[MaskedSymbol, FlagBits]:
+        if x.is_constant and y.is_constant:
+            result = concrete_op(op_name, x.value, y.value, self.width)
+            return (
+                MaskedSymbol.constant(result, self.width),
+                FlagBits(zf=1 if result == 0 else 0, cf=0, sf=sign_bit(result, self.width), of=0),
+            )
+
+        absorbing = 0 if op_name == "AND" else 1
+        neutral = 1 if op_name == "AND" else 0
+        known = 0
+        value = 0
+        for i in range(self.width):
+            xb, yb = x.mask.bit_at(i), y.mask.bit_at(i)
+            if xb is not None and yb is not None:
+                known |= 1 << i
+                res = (xb & yb) if op_name == "AND" else (xb | yb)
+                value |= res << i
+            elif xb == absorbing or yb == absorbing:
+                known |= 1 << i
+                value |= absorbing << i
+        mask = Mask(known=known, value=value, width=self.width)
+
+        result = self._boolean_symbol(op_name, x, y, mask, neutral)
+        flags = FlagBits(zf=self._zf_from_mask(result.mask), cf=0,
+                         sf=self._sf_from_mask(result.mask), of=0)
+        return result, flags
+
+    def _boolean_symbol(
+        self, op_name: str, x: MaskedSymbol, y: MaskedSymbol, mask: Mask, neutral: int
+    ) -> MaskedSymbol:
+        if mask.is_constant:
+            return MaskedSymbol.constant(mask.value, self.width)
+        # Same symbol on both sides: AND/OR are idempotent bitwise, so every
+        # surviving symbolic bit still equals the corresponding bit of λ(s).
+        if x.sym is not None and x.sym == y.sym:
+            return MaskedSymbol(sym=x.sym, mask=mask)
+        # Keep a symbol when every bit that stays symbolic in the result is
+        # that operand's symbolic bit combined with a *neutral* known bit of
+        # the other operand (absorbed positions are known in the result, so
+        # they impose no constraint).  This is what makes the paper's
+        # Example 6 work: AND 0xFFFFFFC0 keeps the symbol.
+        for sym_side, other in ((x, y), (y, x)):
+            if sym_side.sym is None:
+                continue
+            if self._neutral_on_result_symbolic(sym_side, other, mask, neutral):
+                return MaskedSymbol(sym=sym_side.sym, mask=mask)
+        return self._fresh_result(op_name, x, y, mask)
+
+    def _neutral_on_result_symbolic(
+        self, sym_side: MaskedSymbol, other: MaskedSymbol, result: Mask, neutral: int
+    ) -> bool:
+        for i in range(self.width):
+            if result.is_known(i):
+                continue
+            if sym_side.mask.bit_at(i) is not None:
+                return False
+            if other.mask.bit_at(i) != neutral:
+                return False
+        return True
+
+    def xor(self, x: MaskedSymbol, y: MaskedSymbol) -> tuple[MaskedSymbol, FlagBits]:
+        """Abstract bitwise XOR (§5.4.1)."""
+        if x.is_constant and y.is_constant:
+            result = concrete_op("XOR", x.value, y.value, self.width)
+            return (
+                MaskedSymbol.constant(result, self.width),
+                FlagBits(zf=1 if result == 0 else 0, cf=0, sf=sign_bit(result, self.width), of=0),
+            )
+        same_symbol = x.sym is not None and x.sym == y.sym
+        known = 0
+        value = 0
+        for i in range(self.width):
+            xb, yb = x.mask.bit_at(i), y.mask.bit_at(i)
+            if xb is not None and yb is not None:
+                known |= 1 << i
+                value |= (xb ^ yb) << i
+            elif same_symbol and xb is None and yb is None:
+                # λ(s)_i ⊕ λ(s)_i = 0
+                known |= 1 << i
+        mask = Mask(known=known, value=value, width=self.width)
+
+        if mask.is_constant:
+            result = MaskedSymbol.constant(mask.value, self.width)
+        else:
+            result = None
+            for sym_side, other in ((x, y), (y, x)):
+                if sym_side.sym is None:
+                    continue
+                if self._neutral_on_result_symbolic(sym_side, other, mask, neutral=0):
+                    result = MaskedSymbol(sym=sym_side.sym, mask=mask)
+                    break
+            if result is None:
+                result = self._fresh_result("XOR", x, y, mask)
+        flags = FlagBits(zf=self._zf_from_mask(result.mask), cf=0,
+                         sf=self._sf_from_mask(result.mask), of=0)
+        return result, flags
+
+    def not_(self, x: MaskedSymbol) -> tuple[MaskedSymbol, FlagBits]:
+        """Abstract bitwise NOT (x86 NOT does not affect flags)."""
+        if x.is_constant:
+            return MaskedSymbol.constant(concrete_op("NOT", x.value, None, self.width), self.width), FlagBits()
+        known = x.mask.known
+        value = (~x.mask.value) & known
+        mask = Mask(known=known, value=value, width=self.width)
+        return self._fresh_result("NOT", x, None, mask), FlagBits()
+
+    # ------------------------------------------------------------------
+    # Addition and subtraction (§5.4.1 + §5.4.2)
+    # ------------------------------------------------------------------
+    def add(self, x: MaskedSymbol, y: MaskedSymbol) -> tuple[MaskedSymbol, FlagBits]:
+        """Abstract ADD with carry-exact known prefix and offset tracking."""
+        if x.is_constant and y.is_constant:
+            result, carry, overflow = add_with_carry(x.value, y.value, 0, self.width)
+            return MaskedSymbol.constant(result, self.width), FlagBits.exact(result, carry, overflow, self.width)
+        # Normalize: symbolic operand first, constant second when possible.
+        if x.is_constant and not y.is_constant:
+            x, y = y, x
+        if y.is_constant:
+            return self._add_symbol_constant(x, y)
+        # Both contain symbolic bits: compute the known prefix, top the rest.
+        mask = self._add_mask(x.mask, y.mask)[0]
+        result = self._fresh_result("ADD", x, y, mask)
+        return result, FlagBits(zf=self._zf_from_mask(mask), sf=self._sf_from_mask(mask))
+
+    def _add_mask(self, xm: Mask, ym: Mask) -> tuple[Mask, int | None, bool]:
+        """Bitwise ADD on masks.
+
+        Returns ``(mask, carry_at_stop, neutral_suffix_possible)`` where
+        ``carry_at_stop`` is the carry into the first symbolic position (or
+        None if the whole word was known).
+        """
+        known = 0
+        value = 0
+        carry = 0
+        stop_carry: int | None = None
+        for i in range(self.width):
+            xb, yb = xm.bit_at(i), ym.bit_at(i)
+            if xb is None or yb is None:
+                stop_carry = carry
+                break
+            total = xb + yb + carry
+            value |= (total & 1) << i
+            known |= 1 << i
+            carry = total >> 1
+        mask = Mask(known=known, value=value, width=self.width)
+        return mask, stop_carry, stop_carry == 0
+
+    def _add_symbol_constant(
+        self, x: MaskedSymbol, c: MaskedSymbol
+    ) -> tuple[MaskedSymbol, FlagBits]:
+        """ADD of a symbolic operand and a constant, with succ-table reuse."""
+        offset_delta = to_signed(c.value, self.width)
+        origin, base_offset = self.table.origin_offset(x)
+        new_offset = base_offset + offset_delta
+        if self.track_offsets:
+            if self.table.successor(origin, base_offset) is None:
+                self.table.register_successor(origin, base_offset, x)
+            memo = self.table.successor(origin, new_offset)
+            if memo is not None:
+                # §5.4.2 case 1: reuse the memoized masked symbol.
+                return memo, FlagBits(zf=self._zf_from_mask(memo.mask),
+                                      sf=self._sf_from_mask(memo.mask))
+
+        prefix_mask, stop_carry, _ = self._add_mask(x.mask, c.mask)
+        first_symbolic = prefix_mask.known_prefix_length()
+        keep_symbol = stop_carry == 0 and (c.value >> first_symbolic) == 0
+        if keep_symbol:
+            # Neutral constant: bits at and above the first symbolic position
+            # are untouched, so the operand's mask survives there.
+            high = ~low_ones(first_symbolic) & mask_of(self.width)
+            mask = Mask(
+                known=(prefix_mask.known & low_ones(first_symbolic)) | (x.mask.known & high),
+                value=(prefix_mask.value & low_ones(first_symbolic)) | (x.mask.value & high),
+                width=self.width,
+            )
+            result = MaskedSymbol(sym=x.sym, mask=mask)
+            flags = FlagBits(zf=self._zf_from_mask(mask), cf=0, sf=self._sf_from_mask(mask))
+        else:
+            result = self._fresh_result("ADD", x, c, prefix_mask)
+            flags = FlagBits(zf=self._zf_from_mask(prefix_mask), sf=self._sf_from_mask(prefix_mask))
+
+        if self.track_offsets:
+            self.table.register_origin(result, origin, new_offset)
+            self.table.register_successor(origin, new_offset, result)
+        return result, flags
+
+    def sub(self, x: MaskedSymbol, y: MaskedSymbol) -> tuple[MaskedSymbol, FlagBits]:
+        """Abstract SUB; CMP uses the same flag derivation (§5.4.3)."""
+        if x.is_constant and y.is_constant:
+            result, borrow, overflow = sub_with_borrow(x.value, y.value, 0, self.width)
+            return MaskedSymbol.constant(result, self.width), FlagBits.exact(result, borrow, overflow, self.width)
+
+        # Identical masked symbols: difference is exactly zero.
+        if x.sym is not None and x.sym == y.sym and x.mask == y.mask:
+            zero = MaskedSymbol.constant(0, self.width)
+            return zero, FlagBits(zf=1, cf=0, sf=0, of=0)
+
+        # Same origin: the difference of the offsets is exact under the
+        # no-pointer-wrap assumption (§5.4.2/§5.4.3).
+        if (
+            self.track_offsets
+            and x.sym is not None
+            and y.sym is not None
+            and self.table.same_origin(x, y)
+        ):
+            delta = self.table.origin_offset(x)[1] - self.table.origin_offset(y)[1]
+            result = MaskedSymbol.constant(truncate(delta, self.width), self.width)
+            flags = FlagBits(
+                zf=1 if delta == 0 else 0,
+                cf=1 if delta < 0 else 0,
+                sf=1 if delta < 0 else 0,
+                of=0,
+            )
+            return result, flags
+
+        # Subtracting a constant: reuse the ADD machinery with the negation,
+        # which keeps offsets consistent (offset decreases).
+        if y.is_constant and x.sym is not None:
+            negated = MaskedSymbol.constant(truncate(-y.value, self.width), self.width)
+            result, _ = self._add_symbol_constant(x, negated)
+            return result, FlagBits(zf=self._zf_from_mask(result.mask),
+                                    sf=self._sf_from_mask(result.mask))
+
+        # General case: borrow-exact known prefix; with coinciding symbols the
+        # paper's rule zeroes positions where both bits are symbolic, which is
+        # sound exactly while the incoming borrow is known to be zero.
+        same_symbol = x.sym is not None and x.sym == y.sym
+        known = 0
+        value = 0
+        borrow = 0
+        for i in range(self.width):
+            xb, yb = x.mask.bit_at(i), y.mask.bit_at(i)
+            if xb is None and yb is None and same_symbol and borrow == 0:
+                known |= 1 << i  # λ(s)_i - λ(s)_i - 0 = 0, no borrow out
+                continue
+            if xb is None or yb is None:
+                break
+            total = xb - yb - borrow
+            value |= (total & 1) << i
+            known |= 1 << i
+            borrow = 1 if total < 0 else 0
+        mask = Mask(known=known, value=value, width=self.width)
+        if mask.is_constant:
+            result = MaskedSymbol.constant(mask.value, self.width)
+            return result, FlagBits(zf=1 if mask.value == 0 else 0, cf=borrow,
+                                    sf=sign_bit(mask.value, self.width))
+        result = self._fresh_result("SUB", x, y, mask)
+        return result, FlagBits(zf=self._zf_from_mask(mask), sf=self._sf_from_mask(mask))
+
+    def cmp(self, x: MaskedSymbol, y: MaskedSymbol) -> FlagBits:
+        """CMP: SUB flags without the result."""
+        return self.sub(x, y)[1]
+
+    def neg(self, x: MaskedSymbol) -> tuple[MaskedSymbol, FlagBits]:
+        """Two's complement negation (0 - x)."""
+        zero = MaskedSymbol.constant(0, self.width)
+        result, flags = self.sub(zero, x)
+        if x.is_constant:
+            # x86 NEG sets CF iff the operand was nonzero.
+            return result, FlagBits(zf=flags.zf, cf=0 if x.value == 0 else 1,
+                                    sf=flags.sf, of=flags.of)
+        return result, flags
+
+    # ------------------------------------------------------------------
+    # Shifts and multiplication
+    # ------------------------------------------------------------------
+    def shl(self, x: MaskedSymbol, amount: int) -> tuple[MaskedSymbol, FlagBits]:
+        """Left shift by a known amount; known bits stay known.
+
+        Callers are expected to reduce the shift count modulo the width
+        beforehand (x86 masks the count register to 5 bits for 32-bit words).
+        """
+        if amount >= self.width:
+            return MaskedSymbol.constant(0, self.width), FlagBits(zf=1, sf=0)
+        if x.is_constant:
+            result = concrete_op("SHL", x.value, amount, self.width)
+            return MaskedSymbol.constant(result, self.width), FlagBits(
+                zf=1 if result == 0 else 0, sf=sign_bit(result, self.width))
+        if amount == 0:
+            return x, FlagBits(zf=self._zf_from_mask(x.mask), sf=self._sf_from_mask(x.mask))
+        known = truncate(x.mask.known << amount, self.width) | low_ones(amount)
+        value = truncate(x.mask.value << amount, self.width)
+        mask = Mask(known=known, value=value, width=self.width)
+        amount_const = MaskedSymbol.constant(amount, self.width)
+        result = self._fresh_result("SHL", x, amount_const, mask)
+        return result, FlagBits(zf=self._zf_from_mask(mask), sf=self._sf_from_mask(mask))
+
+    def shr(self, x: MaskedSymbol, amount: int) -> tuple[MaskedSymbol, FlagBits]:
+        """Logical right shift by a known amount."""
+        if x.is_constant:
+            result = concrete_op("SHR", x.value, amount, self.width)
+            return MaskedSymbol.constant(result, self.width), FlagBits(
+                zf=1 if result == 0 else 0, sf=0)
+        if amount == 0:
+            return x, FlagBits(zf=self._zf_from_mask(x.mask), sf=self._sf_from_mask(x.mask))
+        if amount >= self.width:
+            return MaskedSymbol.constant(0, self.width), FlagBits(zf=1, sf=0)
+        high_known = (~low_ones(self.width - amount)) & mask_of(self.width)
+        known = (x.mask.known >> amount) | high_known
+        value = x.mask.value >> amount
+        mask = Mask(known=known, value=value, width=self.width)
+        amount_const = MaskedSymbol.constant(amount, self.width)
+        result = self._fresh_result("SHR", x, amount_const, mask)
+        return result, FlagBits(zf=self._zf_from_mask(mask), sf=self._sf_from_mask(mask))
+
+    def sar(self, x: MaskedSymbol, amount: int) -> tuple[MaskedSymbol, FlagBits]:
+        """Arithmetic right shift by a known amount."""
+        if x.is_constant:
+            result = concrete_op("SAR", x.value, amount, self.width)
+            return MaskedSymbol.constant(result, self.width), FlagBits(
+                zf=1 if result == 0 else 0, sf=sign_bit(result, self.width))
+        if amount == 0:
+            return x, FlagBits(zf=self._zf_from_mask(x.mask), sf=self._sf_from_mask(x.mask))
+        amount = min(amount, self.width - 1)
+        sign = x.mask.bit_at(self.width - 1)
+        known = x.mask.known >> amount
+        value = x.mask.value >> amount
+        if sign is not None:
+            high = (~low_ones(self.width - amount)) & mask_of(self.width)
+            known |= high
+            if sign:
+                value |= high
+        mask = Mask(known=known, value=value, width=self.width)
+        amount_const = MaskedSymbol.constant(amount, self.width)
+        result = self._fresh_result("SAR", x, amount_const, mask)
+        return result, FlagBits(zf=self._zf_from_mask(mask), sf=self._sf_from_mask(mask))
+
+    def mul(self, x: MaskedSymbol, y: MaskedSymbol) -> tuple[MaskedSymbol, FlagBits]:
+        """Abstract multiply: exact on constants, power-of-two via SHL."""
+        if x.is_constant and y.is_constant:
+            result = concrete_op("MUL", x.value, y.value, self.width)
+            return MaskedSymbol.constant(result, self.width), FlagBits(
+                zf=1 if result == 0 else 0, sf=sign_bit(result, self.width))
+        for sym_side, const_side in ((x, y), (y, x)):
+            if const_side.is_constant and const_side.value != 0:
+                value = const_side.value
+                if value & (value - 1) == 0:  # power of two
+                    return self.shl(sym_side, value.bit_length() - 1)
+        for sym_side, const_side in ((x, y), (y, x)):
+            if const_side.is_constant and const_side.value == 0:
+                return MaskedSymbol.constant(0, self.width), FlagBits(zf=1, sf=0)
+        # Known low prefixes multiply exactly up to the shorter prefix.
+        prefix = min(x.mask.known_prefix_length(), y.mask.known_prefix_length())
+        if prefix > 0:
+            low = truncate(
+                x.mask.low_bits_value(prefix) * y.mask.low_bits_value(prefix),
+                self.width,
+            ) & low_ones(prefix)
+            mask = Mask(known=low_ones(prefix), value=low, width=self.width)
+        else:
+            mask = Mask.top(self.width)
+        result = self._fresh_result("MUL", x, y, mask)
+        return result, FlagBits(zf=self._zf_from_mask(mask))
+
+    # ------------------------------------------------------------------
+    # Dispatch used by the transfer function
+    # ------------------------------------------------------------------
+    def apply(self, op_name: str, x: MaskedSymbol, y: MaskedSymbol | None):
+        """Apply an operation by name (used by the abstract transfer function)."""
+        table = {
+            "AND": self.and_,
+            "OR": self.or_,
+            "XOR": self.xor,
+            "ADD": self.add,
+            "SUB": self.sub,
+            "MUL": self.mul,
+        }
+        if op_name in table:
+            return table[op_name](x, y)
+        if op_name == "NOT":
+            return self.not_(x)
+        if op_name == "NEG":
+            return self.neg(x)
+        raise ValueError(f"unknown operation {op_name}")

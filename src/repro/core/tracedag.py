@@ -1,0 +1,236 @@
+"""The memory trace abstract domain T♯ (paper §6).
+
+A directed acyclic graph compactly represents the set of memory-access traces
+a program may produce, as seen by one observer.  Projections are applied at
+update time (the paper's "Implementation Issues" paragraph), and maximal runs
+of accesses to the same unit are collapsed into repetition counts.
+
+Representation
+--------------
+A *cursor* is a set of virtual entries ``(parents, stutter_parents, label,
+run)`` describing the in-progress tail of each trace bundle: the last
+``run`` accesses all projected to ``label``.  When the next access projects
+to a different label, the entry is *committed* as a real vertex and a new
+virtual entry is opened.
+
+Two refinements over the paper's §6.4 presentation (both verified against
+the paper's reported numbers and by exhaustive concrete validation):
+
+- **Rep-splitting.**  Committed vertices are keyed by ``(parents, label,
+  run)`` — the repetition count is part of the identity.  The paper stores a
+  *set* ``R(v)`` of repetition counts per vertex, which conflates a path that
+  ends inside a block with one that passes through it and re-enters it (the
+  A-B-A layout of Figure 15a would count 4 instead of 2).  Per-run vertices
+  count exactly the distinct projected traces.
+- **Quotient stuttering.**  The bound for the stuttering observer (the
+  ``b-block`` columns) is computed on a parallel DAG whose vertices ignore
+  the repetition count — the quotient of the exact DAG modulo stuttering —
+  instead of replacing the ``|R(v)|`` factor by 1.
+- **No stuttering of secret-dependent labels.**  A run is only extended when
+  the label is a single observation (``count == 1``).  Repeating a
+  multi-element label would under-count independent secret choices, so such
+  accesses always commit a fresh vertex.
+
+Counting follows Proposition 2: ``cnt(v) = |π(L(v))| · Σ_{(u,v)∈E} cnt(u)``
+with the repetition factor folded into vertex identities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.observers import ProjectedLabel
+
+__all__ = ["TraceDAG", "Cursor", "EndSet", "EMPTY_ENDS", "Vertex", "StutterVertex", "ROOT_VERTEX"]
+
+ROOT_VERTEX = 0
+
+# A cursor entry: (exact parent ids, stutter parent ids, label, run).
+Entry = tuple[frozenset, frozenset, ProjectedLabel | None, int]
+Cursor = frozenset  # frozenset[Entry]
+
+
+@dataclass(frozen=True, slots=True)
+class Vertex:
+    """One committed access bundle in the exact DAG."""
+
+    ident: int
+    label: ProjectedLabel
+    parents: frozenset[int]
+    run: int
+
+
+@dataclass(frozen=True, slots=True)
+class StutterVertex:
+    """One committed access bundle in the stuttering-quotient DAG."""
+
+    ident: int
+    label: ProjectedLabel
+    parents: frozenset[int]
+
+
+@dataclass(frozen=True, slots=True)
+class EndSet:
+    """Final vertices of both DAGs (returned by :meth:`TraceDAG.finalize`)."""
+
+    exact: frozenset[int]
+    stutter: frozenset[int]
+
+    def union(self, other: "EndSet") -> "EndSet":
+        return EndSet(self.exact | other.exact, self.stutter | other.stutter)
+
+
+EMPTY_ENDS = EndSet(frozenset(), frozenset())
+
+
+class TraceDAG:
+    """A single-observer trace DAG with cursor-based updates."""
+
+    def __init__(self) -> None:
+        self._vertices: dict[int, Vertex] = {}
+        self._stutter_vertices: dict[int, StutterVertex] = {}
+        self._registry: dict[tuple, int] = {}
+        self._stutter_registry: dict[tuple, int] = {}
+        self._next = 1  # 0 is the root in both DAGs
+        self._stutter_next = 1
+        self._access_count = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def vertex(self, ident: int) -> Vertex:
+        """The exact-DAG vertex record (root has no record)."""
+        return self._vertices[ident]
+
+    def vertices(self) -> list[Vertex]:
+        """All committed exact vertices."""
+        return list(self._vertices.values())
+
+    def stutter_vertices(self) -> list[StutterVertex]:
+        """All committed stuttering-quotient vertices."""
+        return list(self._stutter_vertices.values())
+
+    @property
+    def size(self) -> int:
+        """Number of committed exact vertices plus the root."""
+        return len(self._vertices) + 1
+
+    @property
+    def accesses_recorded(self) -> int:
+        """Total number of update operations performed."""
+        return self._access_count
+
+    # ------------------------------------------------------------------
+    # Cursor operations (§6.4)
+    # ------------------------------------------------------------------
+    def root_cursor(self) -> Cursor:
+        """The cursor of the empty trace."""
+        return frozenset({(frozenset({ROOT_VERTEX}), frozenset({ROOT_VERTEX}), None, 0)})
+
+    def access(self, cursor: Cursor, label: ProjectedLabel) -> Cursor:
+        """Extend every trace bundle in ``cursor`` with one access."""
+        self._access_count += 1
+        survivors: set[Entry] = set()
+        pending_exact: set[int] = set()
+        pending_stutter: set[int] = set()
+        for parents, stutter_parents, entry_label, run in cursor:
+            if entry_label == label and label.is_single:
+                survivors.add((parents, stutter_parents, entry_label, run + 1))
+                continue
+            exact_ids, stutter_ids = self._commit(
+                parents, stutter_parents, entry_label, run)
+            pending_exact |= exact_ids
+            pending_stutter |= stutter_ids
+        if pending_exact:
+            survivors.add((
+                frozenset(pending_exact), frozenset(pending_stutter), label, 1,
+            ))
+        return frozenset(survivors)
+
+    def merge(self, first: Cursor, second: Cursor) -> Cursor:
+        """Join two cursors at a control-flow merge (joins stay lazy)."""
+        return first | second
+
+    def finalize(self, cursor: Cursor) -> EndSet:
+        """Commit all in-progress runs; returns the final vertices."""
+        exact: set[int] = set()
+        stutter: set[int] = set()
+        for parents, stutter_parents, entry_label, run in cursor:
+            exact_ids, stutter_ids = self._commit(
+                parents, stutter_parents, entry_label, run)
+            exact |= exact_ids
+            stutter |= stutter_ids
+        return EndSet(frozenset(exact), frozenset(stutter))
+
+    def _commit(self, parents: frozenset, stutter_parents: frozenset,
+                label: ProjectedLabel | None, run: int):
+        """Turn a virtual entry into real vertices in both DAGs."""
+        if label is None:  # root-virtual entry: nothing to commit
+            return set(parents), set(stutter_parents)
+        key = (parents, label, run)
+        ident = self._registry.get(key)
+        if ident is None:
+            ident = self._next
+            self._next += 1
+            self._vertices[ident] = Vertex(
+                ident=ident, label=label, parents=parents, run=run)
+            self._registry[key] = ident
+        stutter_key = (stutter_parents, label)
+        stutter_ident = self._stutter_registry.get(stutter_key)
+        if stutter_ident is None:
+            stutter_ident = self._stutter_next
+            self._stutter_next += 1
+            self._stutter_vertices[stutter_ident] = StutterVertex(
+                ident=stutter_ident, label=label, parents=stutter_parents)
+            self._stutter_registry[stutter_key] = stutter_ident
+        return {ident}, {stutter_ident}
+
+    # ------------------------------------------------------------------
+    # Counting (§6.3, Proposition 2)
+    # ------------------------------------------------------------------
+    def count(self, ends: EndSet, stuttering: bool = False) -> int:
+        """Upper bound on the number of observable traces.
+
+        ``stuttering=True`` bounds the observer that cannot distinguish
+        repeated accesses to the same unit (the ``b-block`` columns).
+        """
+        if stuttering:
+            return self._count(ends.stutter, self._stutter_vertices)
+        return self._count(ends.exact, self._vertices)
+
+    def _count(self, final: frozenset[int], vertices: dict) -> int:
+        # Iterative post-order evaluation: trace DAGs of long loops are
+        # thousands of vertices deep, beyond Python's recursion limit.
+        memo: dict[int, int] = {ROOT_VERTEX: 1}
+        stack = list(final)
+        while stack:
+            ident = stack[-1]
+            if ident in memo:
+                stack.pop()
+                continue
+            vertex = vertices[ident]
+            missing = [p for p in vertex.parents if p not in memo]
+            if missing:
+                stack.extend(missing)
+                continue
+            stack.pop()
+            memo[ident] = vertex.label.count * sum(
+                memo[parent] for parent in vertex.parents)
+        return sum(memo[ident] for ident in final) or 1
+
+    # ------------------------------------------------------------------
+    # Rendering (used for Figure 4)
+    # ------------------------------------------------------------------
+    def to_dot(self, describe=None, stuttering: bool = False) -> str:
+        """Render the DAG in Graphviz dot format."""
+        describe = describe or (lambda label: ",".join(sorted(map(str, label.keys))))
+        lines = ["digraph trace {", '  v0 [label="r"];']
+        vertices = self._stutter_vertices if stuttering else self._vertices
+        for vertex in vertices.values():
+            run_text = "" if stuttering else f" x{vertex.run}"
+            lines.append(
+                f'  v{vertex.ident} [label="{describe(vertex.label)}{run_text}"];')
+            for parent in vertex.parents:
+                lines.append(f"  v{parent} -> v{vertex.ident};")
+        lines.append("}")
+        return "\n".join(lines)

@@ -1,0 +1,246 @@
+"""Finite sets of masked symbols: the masked symbol domain M♯ (paper §5.1).
+
+An abstract machine word is a finite, non-empty set of masked symbols.  High
+(secret) data with known values is a multi-element set of constants (paper
+Example 2: ``{1, 2}``); a low-but-unknown heap pointer is a singleton symbol
+set ``{s}``; combinations such as ``{1, s}`` are allowed.
+
+Operations are lifted to sets by applying the pairwise transformer of
+:class:`~repro.core.masked.MaskedOps` to every element of the product
+(§5.4: "the lifting of those operations to sets is obtained by performing the
+operations on all pairs").  Set sizes are capped; exceeding the cap raises
+:class:`PrecisionLoss` so that the analysis fails loudly rather than silently
+returning meaningless bounds.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.core.masked import FlagBits, MaskedOps, MaskedSymbol
+
+__all__ = ["ValueSet", "ValueSetOps", "PrecisionLoss", "DEFAULT_SET_CAP"]
+
+DEFAULT_SET_CAP = 64
+
+
+class PrecisionLoss(Exception):
+    """Raised when a value set grows beyond the configured cap."""
+
+
+class ValueSet:
+    """A non-empty finite set of masked symbols (one abstract machine word)."""
+
+    __slots__ = ("elements",)
+
+    def __init__(self, elements: Iterable[MaskedSymbol]):
+        self.elements: frozenset[MaskedSymbol] = frozenset(elements)
+        if not self.elements:
+            raise ValueError("value set must be non-empty")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def constant(cls, value: int, width: int) -> "ValueSet":
+        """A known low value: singleton constant set."""
+        return cls([MaskedSymbol.constant(value, width)])
+
+    @classmethod
+    def constants(cls, values: Iterable[int], width: int) -> "ValueSet":
+        """High data with known possible values (paper Example 2)."""
+        return cls([MaskedSymbol.constant(v, width) for v in values])
+
+    @classmethod
+    def symbol(cls, sym: int, width: int) -> "ValueSet":
+        """A low-but-unknown value: singleton symbol set ``{s}``."""
+        return cls([MaskedSymbol.symbol(sym, width)])
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def is_singleton(self) -> bool:
+        """True iff exactly one masked symbol is represented."""
+        return len(self.elements) == 1
+
+    @property
+    def is_constant(self) -> bool:
+        """True iff the set is a single fully known value."""
+        return self.is_singleton and next(iter(self.elements)).is_constant
+
+    @property
+    def value(self) -> int:
+        """The unique concrete value (raises unless :attr:`is_constant`)."""
+        if not self.is_constant:
+            raise ValueError(f"{self} is not a single constant")
+        return next(iter(self.elements)).value
+
+    def constant_values(self) -> set[int]:
+        """The concrete values, if every element is a constant."""
+        if not all(element.is_constant for element in self.elements):
+            raise ValueError(f"{self} contains symbolic elements")
+        return {element.value for element in self.elements}
+
+    @property
+    def has_symbolic(self) -> bool:
+        """True iff any element contains symbolic bits."""
+        return any(not element.is_constant for element in self.elements)
+
+    def __len__(self) -> int:
+        return len(self.elements)
+
+    def __iter__(self):
+        return iter(self.elements)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ValueSet) and self.elements == other.elements
+
+    def __hash__(self) -> int:
+        return hash(self.elements)
+
+    def describe(self, table=None) -> str:
+        """Human-readable rendering of the set."""
+        inner = ", ".join(sorted(e.describe(table) for e in self.elements))
+        return "{" + inner + "}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return self.describe()
+
+    # ------------------------------------------------------------------
+    # Lattice
+    # ------------------------------------------------------------------
+    def join(self, other: "ValueSet", cap: int = DEFAULT_SET_CAP) -> "ValueSet":
+        """Set union (the join of the powerset lattice)."""
+        union = self.elements | other.elements
+        if len(union) > cap:
+            raise PrecisionLoss(
+                f"value set exceeded cap {cap} during join ({len(union)} elements)"
+            )
+        return ValueSet(union)
+
+    def subsumes(self, other: "ValueSet") -> bool:
+        """True iff ``other ⊆ self`` (used to detect state stabilization)."""
+        return other.elements <= self.elements
+
+
+class ValueSetOps:
+    """Lifting of :class:`MaskedOps` from pairs to sets (paper §5.4)."""
+
+    def __init__(self, masked_ops: MaskedOps, cap: int = DEFAULT_SET_CAP) -> None:
+        self.masked = masked_ops
+        self.cap = cap
+        self.width = masked_ops.width
+
+    def _lift_binary(
+        self,
+        op: Callable[[MaskedSymbol, MaskedSymbol], tuple[MaskedSymbol, FlagBits]],
+        x: ValueSet,
+        y: ValueSet,
+    ) -> tuple[ValueSet, frozenset[FlagBits]]:
+        results: set[MaskedSymbol] = set()
+        flags: set[FlagBits] = set()
+        if len(x) * len(y) > self.cap * self.cap:
+            raise PrecisionLoss(
+                f"operand product too large: {len(x)} x {len(y)} masked symbols"
+            )
+        for element_x in x:
+            for element_y in y:
+                value, flag = op(element_x, element_y)
+                results.add(value)
+                flags.add(flag)
+        if len(results) > self.cap:
+            raise PrecisionLoss(
+                f"value set exceeded cap {self.cap} ({len(results)} elements)"
+            )
+        return ValueSet(results), frozenset(flags)
+
+    def _lift_unary(
+        self,
+        op: Callable[[MaskedSymbol], tuple[MaskedSymbol, FlagBits]],
+        x: ValueSet,
+    ) -> tuple[ValueSet, frozenset[FlagBits]]:
+        results: set[MaskedSymbol] = set()
+        flags: set[FlagBits] = set()
+        for element in x:
+            value, flag = op(element)
+            results.add(value)
+            flags.add(flag)
+        return ValueSet(results), frozenset(flags)
+
+    # ------------------------------------------------------------------
+    # Lifted operations
+    # ------------------------------------------------------------------
+    def and_(self, x: ValueSet, y: ValueSet):
+        """Lifted bitwise AND."""
+        return self._lift_binary(self.masked.and_, x, y)
+
+    def or_(self, x: ValueSet, y: ValueSet):
+        """Lifted bitwise OR."""
+        return self._lift_binary(self.masked.or_, x, y)
+
+    def xor(self, x: ValueSet, y: ValueSet):
+        """Lifted bitwise XOR."""
+        return self._lift_binary(self.masked.xor, x, y)
+
+    def add(self, x: ValueSet, y: ValueSet):
+        """Lifted addition."""
+        return self._lift_binary(self.masked.add, x, y)
+
+    def sub(self, x: ValueSet, y: ValueSet):
+        """Lifted subtraction."""
+        return self._lift_binary(self.masked.sub, x, y)
+
+    def mul(self, x: ValueSet, y: ValueSet):
+        """Lifted multiplication."""
+        return self._lift_binary(self.masked.mul, x, y)
+
+    def cmp(self, x: ValueSet, y: ValueSet) -> frozenset[FlagBits]:
+        """Lifted comparison: the set of possible flag outcomes."""
+        return self.sub(x, y)[1]
+
+    def test(self, x: ValueSet, y: ValueSet) -> frozenset[FlagBits]:
+        """x86 TEST: flags of bitwise AND without storing the result."""
+        return self.and_(x, y)[1]
+
+    def not_(self, x: ValueSet):
+        """Lifted bitwise NOT."""
+        return self._lift_unary(self.masked.not_, x)
+
+    def neg(self, x: ValueSet):
+        """Lifted negation."""
+        return self._lift_unary(self.masked.neg, x)
+
+    def shift(self, op_name: str, x: ValueSet, amounts: ValueSet):
+        """Lifted SHL/SHR/SAR; the shift count must be fully known."""
+        ops = {"SHL": self.masked.shl, "SHR": self.masked.shr, "SAR": self.masked.sar}
+        shift_op = ops[op_name]
+        results: set[MaskedSymbol] = set()
+        flags: set[FlagBits] = set()
+        for count in amounts.constant_values():
+            count %= self.width  # x86 masks the shift count
+            for element in x:
+                value, flag = shift_op(element, count)
+                results.add(value)
+                flags.add(flag)
+        if len(results) > self.cap:
+            raise PrecisionLoss(
+                f"value set exceeded cap {self.cap} ({len(results)} elements)"
+            )
+        return ValueSet(results), frozenset(flags)
+
+    def apply(self, op_name: str, x: ValueSet, y: ValueSet | None):
+        """Apply a named operation (used by the abstract transfer function)."""
+        binary = {
+            "AND": self.and_, "OR": self.or_, "XOR": self.xor,
+            "ADD": self.add, "SUB": self.sub, "MUL": self.mul,
+        }
+        if op_name in binary:
+            return binary[op_name](x, y)
+        if op_name in ("SHL", "SHR", "SAR"):
+            return self.shift(op_name, x, y)
+        if op_name == "NOT":
+            return self.not_(x)
+        if op_name == "NEG":
+            return self.neg(x)
+        raise ValueError(f"unknown operation {op_name}")

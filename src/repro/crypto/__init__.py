@@ -1,0 +1,18 @@
+"""Cryptographic workload substrate: MPI, modexp variants, ElGamal."""
+
+from repro.crypto.countermeasures import (
+    align,
+    defensive_gather,
+    gather,
+    scatter,
+    secure_retrieve,
+)
+from repro.crypto.elgamal import ElGamalKey, decrypt, encrypt, generate_key
+from repro.crypto.modexp import MODEXP_VARIANTS, ModExpStats, modexp
+from repro.crypto.mpi import MPI, OpCounter
+
+__all__ = [
+    "MODEXP_VARIANTS", "MPI", "ModExpStats", "OpCounter", "ElGamalKey",
+    "align", "decrypt", "defensive_gather", "encrypt", "gather",
+    "generate_key", "modexp", "scatter", "secure_retrieve",
+]

@@ -1,0 +1,78 @@
+"""ElGamal encryption (the paper's §8.2 testbed), parameterized by the
+modular exponentiation variant under test.
+
+The paper replaces the modular exponentiation inside libgcrypt 1.6.3's
+ElGamal decryption with each countermeasure variant and measures the result;
+this module mirrors that harness.  Key sizes are configurable — the leakage
+analyses use the paper's 3072-bit table geometry, while tests and benchmark
+defaults use smaller primes for speed (DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.crypto.modexp import MODEXP_VARIANTS, ModExpStats, modexp
+
+__all__ = ["ElGamalKey", "generate_key", "encrypt", "decrypt", "SMALL_PRIMES"]
+
+# Safe-ish primes for offline deterministic tests (no network, no openssl).
+SMALL_PRIMES = {
+    64: 0xFFFFFFFFFFFFFFC5,
+    128: 0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFF61,
+    256: 0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFF43,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class ElGamalKey:
+    """Public parameters (p, g, y) and the secret exponent x."""
+
+    p: int
+    g: int
+    y: int
+    x: int
+
+    @property
+    def bits(self) -> int:
+        return self.p.bit_length()
+
+
+def generate_key(bits: int = 128, seed: int = 1) -> ElGamalKey:
+    """Deterministic key generation over a fixed prime of ``bits`` size."""
+    if bits not in SMALL_PRIMES:
+        raise ValueError(f"no builtin prime of {bits} bits "
+                         f"(available: {sorted(SMALL_PRIMES)})")
+    p = SMALL_PRIMES[bits]
+    rng = random.Random(seed)
+    g = 3
+    x = rng.randrange(2, p - 2)
+    y = pow(g, x, p)
+    return ElGamalKey(p=p, g=g, y=y, x=x)
+
+
+def encrypt(key: ElGamalKey, message: int, seed: int = 2) -> tuple[int, int]:
+    """Standard ElGamal: (c1, c2) = (g^k, m·y^k)."""
+    if not 0 < message < key.p:
+        raise ValueError("message out of range")
+    rng = random.Random(seed)
+    k = rng.randrange(2, key.p - 2)
+    c1 = pow(key.g, k, key.p)
+    c2 = (message * pow(key.y, k, key.p)) % key.p
+    return c1, c2
+
+
+def decrypt(key: ElGamalKey, ciphertext: tuple[int, int],
+            variant: str = "sqam_153") -> tuple[int, ModExpStats]:
+    """Decrypt using the selected modexp variant for the secret exponent.
+
+    ``m = c2 · c1^(p-1-x) mod p`` — a single exponentiation with a
+    secret-derived exponent, the operation the paper's countermeasures
+    protect.  Returns the message and the instrumentation record.
+    """
+    if variant not in MODEXP_VARIANTS:
+        raise ValueError(f"unknown variant {variant!r}")
+    c1, c2 = ciphertext
+    shared, stats = modexp(variant, c1, key.p - 1 - key.x, key.p)
+    return (c2 * shared) % key.p, stats

@@ -1,0 +1,226 @@
+"""Multi-precision integers (limb-based), the paper's arithmetic substrate.
+
+libgcrypt's ``mpi`` layer stores big integers as arrays of 32-bit limbs; the
+countermeasures of §8.4 manage tables of such values.  This module provides
+a faithful limb-level Python implementation (schoolbook multiplication,
+shift-and-subtract reduction) with an operation counter, used to
+
+- seed and check the compiled kernels (the VM operates on the same limb
+  layout);
+- drive the hybrid cost model of the Figure 16 performance study (limb
+  operation counts are exact; see :mod:`repro.casestudy.performance`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["MPI", "OpCounter", "LIMB_BITS", "LIMB_MASK"]
+
+LIMB_BITS = 32
+LIMB_MASK = 0xFFFFFFFF
+
+
+@dataclass(slots=True)
+class OpCounter:
+    """Limb-level operation counts (the cost-model currency)."""
+
+    limb_mul: int = 0
+    limb_add: int = 0
+    limb_cmp: int = 0
+    limb_shift: int = 0
+
+    def reset(self) -> None:
+        self.limb_mul = self.limb_add = self.limb_cmp = self.limb_shift = 0
+
+    @property
+    def total(self) -> int:
+        return self.limb_mul + self.limb_add + self.limb_cmp + self.limb_shift
+
+
+class MPI:
+    """An unsigned multi-precision integer as little-endian 32-bit limbs."""
+
+    __slots__ = ("limbs",)
+
+    def __init__(self, limbs: list[int]):
+        self.limbs = list(limbs)
+        self._normalize()
+
+    def _normalize(self) -> None:
+        while len(self.limbs) > 1 and self.limbs[-1] == 0:
+            self.limbs.pop()
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_int(cls, value: int) -> "MPI":
+        if value < 0:
+            raise ValueError("MPI is unsigned")
+        limbs = []
+        while True:
+            limbs.append(value & LIMB_MASK)
+            value >>= LIMB_BITS
+            if not value:
+                break
+        return cls(limbs)
+
+    def to_int(self) -> int:
+        value = 0
+        for index, limb in enumerate(self.limbs):
+            value |= limb << (LIMB_BITS * index)
+        return value
+
+    def to_bytes(self, length: int | None = None) -> bytes:
+        """Little-endian byte serialization (the layout stored in tables)."""
+        raw = b"".join(limb.to_bytes(4, "little") for limb in self.limbs)
+        if length is None:
+            return raw
+        if len(raw) > length:
+            raise ValueError(f"value needs {len(raw)} bytes, got {length}")
+        return raw + b"\x00" * (length - len(raw))
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "MPI":
+        if len(raw) % 4:
+            raw = raw + b"\x00" * (4 - len(raw) % 4)
+        limbs = [int.from_bytes(raw[i:i + 4], "little") for i in range(0, len(raw), 4)]
+        return cls(limbs or [0])
+
+    @property
+    def nlimbs(self) -> int:
+        return len(self.limbs)
+
+    @property
+    def bit_length(self) -> int:
+        return (self.nlimbs - 1) * LIMB_BITS + self.limbs[-1].bit_length()
+
+    def bit(self, index: int) -> int:
+        limb, offset = divmod(index, LIMB_BITS)
+        if limb >= self.nlimbs:
+            return 0
+        return (self.limbs[limb] >> offset) & 1
+
+    # ------------------------------------------------------------------
+    # Arithmetic (limb-level, counted)
+    # ------------------------------------------------------------------
+    def compare(self, other: "MPI", counter: OpCounter | None = None) -> int:
+        """-1, 0, or 1; limb comparisons are counted from the top down."""
+        if self.nlimbs != other.nlimbs:
+            if counter:
+                counter.limb_cmp += 1
+            return -1 if self.nlimbs < other.nlimbs else 1
+        for mine, theirs in zip(reversed(self.limbs), reversed(other.limbs)):
+            if counter:
+                counter.limb_cmp += 1
+            if mine != theirs:
+                return -1 if mine < theirs else 1
+        return 0
+
+    def add(self, other: "MPI", counter: OpCounter | None = None) -> "MPI":
+        longest = max(self.nlimbs, other.nlimbs)
+        result = []
+        carry = 0
+        for index in range(longest):
+            a = self.limbs[index] if index < self.nlimbs else 0
+            b = other.limbs[index] if index < other.nlimbs else 0
+            total = a + b + carry
+            result.append(total & LIMB_MASK)
+            carry = total >> LIMB_BITS
+            if counter:
+                counter.limb_add += 1
+        if carry:
+            result.append(carry)
+        return MPI(result)
+
+    def sub(self, other: "MPI", counter: OpCounter | None = None) -> "MPI":
+        """Requires self >= other."""
+        result = []
+        borrow = 0
+        for index in range(self.nlimbs):
+            a = self.limbs[index]
+            b = other.limbs[index] if index < other.nlimbs else 0
+            total = a - b - borrow
+            borrow = 1 if total < 0 else 0
+            result.append(total & LIMB_MASK)
+            if counter:
+                counter.limb_add += 1
+        if borrow:
+            raise ValueError("MPI subtraction underflow")
+        return MPI(result)
+
+    def mul(self, other: "MPI", counter: OpCounter | None = None) -> "MPI":
+        """Schoolbook multiplication: nlimbs × nlimbs limb products."""
+        result = [0] * (self.nlimbs + other.nlimbs)
+        for i, a in enumerate(self.limbs):
+            carry = 0
+            for j, b in enumerate(other.limbs):
+                total = result[i + j] + a * b + carry
+                result[i + j] = total & LIMB_MASK
+                carry = total >> LIMB_BITS
+                if counter:
+                    counter.limb_mul += 1
+            result[i + other.nlimbs] += carry
+        return MPI(result)
+
+    def sqr(self, counter: OpCounter | None = None) -> "MPI":
+        return self.mul(self, counter)
+
+    def shift_left_bits(self, count: int, counter: OpCounter | None = None) -> "MPI":
+        if counter:
+            counter.limb_shift += self.nlimbs
+        return MPI.from_int(self.to_int() << count)
+
+    def mod(self, modulus: "MPI", counter: OpCounter | None = None) -> "MPI":
+        """Modular reduction with schoolbook-division cost accounting.
+
+        The remainder is computed exactly; the operation counter is charged
+        the limb-operation count of schoolbook (Knuth D) division — one
+        limb-multiply and limb-add per (quotient limb × modulus limb) plus a
+        comparison per quotient limb — which is what libgcrypt's
+        ``_gcry_mpih_divrem`` performs.  (A bit-level shift-and-subtract
+        implementation is available as :meth:`mod_binary` and used in tests;
+        the closed-form charge keeps the Figure 16 cost model fast without
+        changing relative costs.  See DESIGN.md §2.)
+        """
+        if modulus.to_int() == 0:
+            raise ZeroDivisionError("MPI modulus is zero")
+        if self.compare(modulus, counter) < 0:
+            return MPI(self.limbs)
+        remainder = MPI.from_int(self.to_int() % modulus.to_int())
+        if counter:
+            quotient_limbs = self.nlimbs - modulus.nlimbs + 1
+            counter.limb_mul += quotient_limbs * modulus.nlimbs
+            counter.limb_add += quotient_limbs * modulus.nlimbs
+            counter.limb_cmp += quotient_limbs
+        return remainder
+
+    def mod_binary(self, modulus: "MPI", counter: OpCounter | None = None) -> "MPI":
+        """Shift-and-subtract reduction, fully limb-level (reference)."""
+        if modulus.to_int() == 0:
+            raise ZeroDivisionError("MPI modulus is zero")
+        if self.compare(modulus, counter) < 0:
+            return MPI(self.limbs)
+        shift = self.bit_length - modulus.bit_length
+        shifted = modulus.shift_left_bits(shift, counter)
+        remainder = MPI(self.limbs)
+        for _ in range(shift + 1):
+            if remainder.compare(shifted, counter) >= 0:
+                remainder = remainder.sub(shifted, counter)
+            shifted = MPI.from_int(shifted.to_int() >> 1)
+            if counter:
+                counter.limb_shift += shifted.nlimbs
+        return remainder
+
+    # ------------------------------------------------------------------
+    # Dunders
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, MPI) and self.limbs == other.limbs
+
+    def __hash__(self) -> int:
+        return hash(tuple(self.limbs))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MPI({hex(self.to_int())})"

@@ -1,0 +1,176 @@
+"""Mini-C sources of every analyzed kernel (the paper's Figures 3, 5, 6,
+10, 11, 12 at pointer level).
+
+These are the regions §8.2 analyzes: "we focus our analysis on the regions of
+the executables that were targeted by exploits and to which the corresponding
+countermeasures were applied".  Multi-precision mul/sqr/mod are extern stubs,
+summarized by the analysis exactly as the paper excludes them.
+
+Each kernel is written so that the compiled code reproduces the library's
+memory behavior: conditional multiply (1.5.2), conditional pointer swap
+(1.5.3), pointer-table lookup (1.6.1), access-all-entries masking (1.6.3),
+scatter/gather with block alignment (OpenSSL 1.0.2f), and branch-free
+defensive gather (1.0.2g).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SQM_STEP", "SQAM_STEP", "LOOKUP_161", "SECURE_RETRIEVE_163",
+    "SCATTER_GATHER_102F", "DEFENSIVE_GATHER_102G", "ALIGN_ONLY",
+]
+
+# One-line models of the multi-precision routines.  The paper excludes the
+# real mul/mod bodies from analysis (§8.2); these models preserve exactly
+# what matters for the memory trace: the call (instruction fetches of the
+# callee's block) and one data access through each operand pointer.
+_MPI_MODELS = """
+u32 mpi_sqr(u32 rp) {
+    return load(rp);
+}
+
+u32 mpi_mod(u32 rp, u32 mp) {
+    return load(rp) + load(mp);
+}
+
+u32 mpi_mul(u32 rp, u32 bp) {
+    return load(rp) + load(bp);
+}
+"""
+
+# ----------------------------------------------------------------------
+# Figure 5, libgcrypt 1.5.2: one iteration of square-and-multiply.
+# The multiply happens only when the secret exponent bit is set.
+# ----------------------------------------------------------------------
+SQM_STEP = """
+u32 sqm_step(u32 rp, u32 bp, u32 mp, u32 ebit) {
+    mpi_sqr(rp);
+    mpi_mod(rp, mp);
+    if (ebit != 0) {
+        mpi_mul(rp, bp);
+        mpi_mod(rp, mp);
+    }
+    return rp;
+}
+""" + _MPI_MODELS
+
+# ----------------------------------------------------------------------
+# Figure 6, libgcrypt 1.5.3: always multiply into tmp, then conditionally
+# adopt it.  As in libgcrypt's mpi-pow.c, the conditional copy swaps the
+# limb pointers AND the limb counts; at -O2 the whole body stays in
+# registers (Figure 9a), at -O0 it spills through the stack and is fat
+# enough to occupy its own 32-byte line (Figure 9b).
+# ----------------------------------------------------------------------
+SQAM_STEP = """
+u32 sqam_step(u32 rp, u32 tmp, u32 bp, u32 mp, u32 ebit, u32 rsize, u32 tsize) {
+    mpi_sqr(rp);
+    mpi_mod(rp, mp);
+    mpi_mul(tmp, bp);
+    mpi_mod(tmp, mp);
+    if (ebit != 0) {
+        u32 t = rp;
+        rp = tmp;
+        tmp = t;
+        t = rsize;
+        rsize = tsize;
+        tsize = t;
+    }
+    return rp + rsize;
+}
+""" + _MPI_MODELS
+
+# ----------------------------------------------------------------------
+# Figure 10, libgcrypt 1.6.1: unprotected pointer-table lookup.
+# b2i3 holds 7 pointers to pre-computed powers, b2i3size their lengths;
+# the secret window e0 selects the entry (e0 == 0 uses the base instead).
+# ----------------------------------------------------------------------
+LOOKUP_161 = """
+global b2i3[28];
+global b2i3size[28];
+
+u32 lookup(u32 e0, u32 bp, u32 bsize) {
+    u32 base_u = 0;
+    u32 base_u_size = 0;
+    if (e0 == 0) {
+        base_u = bp;
+        base_u_size = bsize;
+    } else {
+        base_u = load(b2i3 + (e0 - 1) * 4);
+        base_u_size = load(b2i3size + (e0 - 1) * 4);
+    }
+    return base_u + base_u_size;
+}
+"""
+
+# ----------------------------------------------------------------------
+# Figure 11, libgcrypt 1.6.3: read every entry of the table, select the
+# wanted one with a branch-free mask.
+# ----------------------------------------------------------------------
+SECURE_RETRIEVE_163 = """
+u32 secure_retrieve(u32 r, u32 p, u32 k, u32 nents, u32 nlimbs) {
+    for (u32 i = 0; i < nents; i = i + 1) {
+        for (u32 j = 0; j < nlimbs; j = j + 1) {
+            u32 v = load(p + (i * nlimbs + j) * 4);
+            u32 s = (i == k);
+            u32 rj = load(r + j * 4);
+            store(r + j * 4, rj ^ ((0 - s) & (rj ^ v)));
+        }
+    }
+    return r;
+}
+"""
+
+# ----------------------------------------------------------------------
+# Figure 3, OpenSSL 1.0.2f: align / scatter / gather with spacing 8
+# (window size 3 → 8 pre-computed values interleaved byte-wise).
+# ----------------------------------------------------------------------
+SCATTER_GATHER_102F = """
+u32 align_buf(u32 buf) {
+    return buf - (buf & 63) + 64;
+}
+
+u32 scatter(u32 buf, u32 p, u32 k, u32 nbytes) {
+    u32 b = buf - (buf & 63) + 64;
+    for (u32 i = 0; i < nbytes; i = i + 1) {
+        store8(b + k + i * 8, load8(p + i));
+    }
+    return b;
+}
+
+u32 gather(u32 r, u32 buf, u32 k, u32 nbytes) {
+    u32 b = buf - (buf & 63) + 64;
+    for (u32 i = 0; i < nbytes; i = i + 1) {
+        store8(r + i, load8(b + k + i * 8));
+    }
+    return r;
+}
+"""
+
+# ----------------------------------------------------------------------
+# Figure 12, OpenSSL 1.0.2g: defensive gather — every bank of every
+# 8-byte group is read, the wanted byte selected branch-free.
+# ----------------------------------------------------------------------
+DEFENSIVE_GATHER_102G = """
+u32 defensive_gather(u32 r, u32 buf, u32 k, u32 nbytes) {
+    u32 b = buf - (buf & 63) + 64;
+    for (u32 i = 0; i < nbytes; i = i + 1) {
+        u32 acc = 0;
+        for (u32 j = 0; j < 8; j = j + 1) {
+            u32 v = load8(b + j + i * 8);
+            u32 s = (k == j);
+            acc = acc | (v & (0 - s));
+        }
+        store8(r + i, acc);
+    }
+    return r;
+}
+"""
+
+# ----------------------------------------------------------------------
+# The align idiom in isolation (paper Examples 5 and 6).
+# ----------------------------------------------------------------------
+ALIGN_ONLY = """
+u32 align_buf(u32 buf) {
+    return buf - (buf & 63) + 64;
+}
+"""

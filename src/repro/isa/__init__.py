@@ -1,0 +1,35 @@
+"""The x86-subset ISA substrate: instructions, binary codec, assembler.
+
+The paper analyzes x86 executables produced by gcc.  This package provides
+the equivalent substrate built from scratch (see DESIGN.md §2 for the
+substitution rationale): an x86-flavored 32-bit instruction set with a
+variable-length binary encoding, an assembler with branch relaxation, and a
+decoder used by both the concrete VM and the static analyzer.
+"""
+
+from repro.isa.asmparse import parse_asm
+from repro.isa.codec import decode, encode
+from repro.isa.image import Assembler, Image, Section
+from repro.isa.instructions import (
+    CONDITIONS,
+    Condition,
+    Imm,
+    Instruction,
+    Label,
+    Mem,
+    Reg,
+    condition_holds,
+)
+from repro.isa.registers import (
+    EAX, EBP, EBX, ECX, EDI, EDX, ESI, ESP,
+    REGISTER_NAMES,
+    Flag,
+    Reg8,
+)
+
+__all__ = [
+    "Assembler", "CONDITIONS", "Condition", "EAX", "EBP", "EBX", "ECX",
+    "EDI", "EDX", "ESI", "ESP", "Flag", "Image", "Imm", "Instruction",
+    "Label", "Mem", "REGISTER_NAMES", "Reg", "Reg8", "Section",
+    "condition_holds", "decode", "encode", "parse_asm",
+]

@@ -1,0 +1,20 @@
+"""Mini-C compiler substrate: the source form of the analyzed kernels.
+
+See DESIGN.md §2: the paper analyzes gcc-compiled x86; we compile faithful
+transcriptions of the same kernels with controllable optimization levels,
+reproducing the layout effects (register allocation, inline vs out-of-line
+branch arms, code compaction) that the paper's results depend on.
+"""
+
+from repro.lang.ast import Program
+from repro.lang.codegen import CodegenError, generate_function, generate_program
+from repro.lang.driver import compile_program, compile_to_assembler
+from repro.lang.lexer import LexError, tokenize
+from repro.lang.lower import LowerError, lower_program
+from repro.lang.parser import ParseError, parse
+
+__all__ = [
+    "CodegenError", "LexError", "LowerError", "ParseError", "Program",
+    "compile_program", "compile_to_assembler", "generate_function",
+    "generate_program", "lower_program", "parse", "tokenize",
+]

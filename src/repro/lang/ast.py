@@ -1,0 +1,161 @@
+"""Abstract syntax tree of the mini-C kernel language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Program", "Function", "GlobalDecl", "ExternDecl",
+    "Block", "VarDecl", "Assign", "If", "While", "For", "Return", "ExprStmt",
+    "Number", "Var", "Binary", "Unary", "Call", "Load", "Store", "GlobalRef",
+]
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True, slots=True)
+class Number:
+    value: int
+
+
+@dataclass(frozen=True, slots=True)
+class Var:
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class GlobalRef:
+    """A global's name used as a value: its address."""
+
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class Binary:
+    op: str  # + - * & | ^ << >> < <= > >= == != && ||
+    left: object
+    right: object
+
+
+@dataclass(frozen=True, slots=True)
+class Unary:
+    op: str  # - ~ !
+    operand: object
+
+
+@dataclass(frozen=True, slots=True)
+class Call:
+    name: str
+    args: tuple
+
+
+@dataclass(frozen=True, slots=True)
+class Load:
+    """Memory read intrinsic: load(addr) / load8(addr)."""
+
+    addr: object
+    size: int  # 4 or 1
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True, slots=True)
+class Store:
+    """Memory write intrinsic: store(addr, value) / store8(addr, value)."""
+
+    addr: object
+    value: object
+    size: int
+
+
+@dataclass(frozen=True, slots=True)
+class VarDecl:
+    name: str
+    init: object | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class Assign:
+    name: str
+    value: object
+
+
+@dataclass(frozen=True, slots=True)
+class If:
+    cond: object
+    then_body: "Block"
+    else_body: "Block | None" = None
+
+
+@dataclass(frozen=True, slots=True)
+class While:
+    cond: object
+    body: "Block"
+
+
+@dataclass(frozen=True, slots=True)
+class For:
+    init: object | None
+    cond: object | None
+    step: object | None
+    body: "Block"
+
+
+@dataclass(frozen=True, slots=True)
+class Return:
+    value: object | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class ExprStmt:
+    expr: object
+
+
+@dataclass(frozen=True, slots=True)
+class Block:
+    statements: tuple
+
+
+# ----------------------------------------------------------------------
+# Top level
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True, slots=True)
+class Function:
+    name: str
+    params: tuple[str, ...]
+    body: Block
+
+
+@dataclass(frozen=True, slots=True)
+class GlobalDecl:
+    """``global name[size];`` — a zero-initialized byte region, or
+    ``global name[] = {w0, w1, ...};`` — initialized 32-bit words."""
+
+    name: str
+    size: int
+    words: tuple[int, ...] | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class ExternDecl:
+    """``extern name;`` — a summarized external function."""
+
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class Program:
+    functions: tuple[Function, ...]
+    globals_: tuple[GlobalDecl, ...] = ()
+    externs: tuple[ExternDecl, ...] = ()
+
+    def function(self, name: str) -> Function:
+        for function in self.functions:
+            if function.name == name:
+                return function
+        raise KeyError(name)

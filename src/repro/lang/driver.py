@@ -1,0 +1,37 @@
+"""Compiler driver: source text → assembled image."""
+
+from __future__ import annotations
+
+from repro.isa.image import Assembler, DEFAULT_CODE_BASE, DEFAULT_DATA_BASE, Image
+from repro.lang.codegen import generate_program
+from repro.lang.lower import lower_program
+from repro.lang.parser import parse
+
+__all__ = ["compile_program", "compile_to_assembler"]
+
+
+def compile_to_assembler(
+    source: str,
+    opt_level: int = 2,
+    code_base: int = DEFAULT_CODE_BASE,
+    data_base: int = DEFAULT_DATA_BASE,
+    function_align: int | None = None,
+    stub_align: int | None = None,
+    cold_align: int | None = None,
+    data_align: dict[str, int] | None = None,
+    data_pad: dict[str, int] | None = None,
+) -> Assembler:
+    """Compile without assembling, so callers can append more items
+    (extra data tables, hand-written stubs) before layout is fixed."""
+    program = lower_program(parse(source))
+    assembler = Assembler(code_base=code_base, data_base=data_base)
+    return generate_program(
+        program, assembler, opt_level=opt_level,
+        function_align=function_align, stub_align=stub_align,
+        cold_align=cold_align, data_align=data_align, data_pad=data_pad,
+    )
+
+
+def compile_program(source: str, opt_level: int = 2, **kwargs) -> Image:
+    """Compile and assemble a program into a binary image."""
+    return compile_to_assembler(source, opt_level=opt_level, **kwargs).assemble()

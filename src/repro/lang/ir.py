@@ -1,0 +1,171 @@
+"""Three-address intermediate representation.
+
+Instructions operate on virtual registers (ints) and immediate operands
+(:class:`ImmOp`).  Functions are CFGs of basic blocks; lowering marks blocks
+with layout hints ("cold") that the O2 code generator uses to move branch
+arms out of line — the mechanism behind the paper's Figure 15a layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "ImmOp", "IRBlock", "IRFunction", "IRProgram",
+    "Const", "Mov", "Bin", "CmpSet", "LoadOp", "StoreOp", "CallOp", "AddrOf",
+    "Ret", "Jmp", "CondBranch",
+    "COMPARE_CONDITIONS",
+]
+
+# cond codes used by CmpSet/CondBranch (unsigned semantics, matching u32).
+COMPARE_CONDITIONS = {
+    "<": "b", "<=": "be", ">": "a", ">=": "ae", "==": "e", "!=": "ne",
+}
+
+
+@dataclass(frozen=True, slots=True)
+class ImmOp:
+    """An immediate operand."""
+
+    value: int
+
+
+Operand = object  # int (vreg) | ImmOp
+
+
+# ----------------------------------------------------------------------
+# Straight-line instructions
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True, slots=True)
+class Const:
+    dst: int
+    value: int
+
+
+@dataclass(frozen=True, slots=True)
+class Mov:
+    dst: int
+    src: Operand
+
+
+@dataclass(frozen=True, slots=True)
+class Bin:
+    """dst = left OP right, OP in + - * & | ^ << >>."""
+
+    op: str
+    dst: int
+    left: Operand
+    right: Operand
+
+
+@dataclass(frozen=True, slots=True)
+class CmpSet:
+    """dst = (left COND right) ? 1 : 0 (unsigned compare)."""
+
+    cond: str  # one of COMPARE_CONDITIONS values
+    dst: int
+    left: Operand
+    right: Operand
+
+
+@dataclass(frozen=True, slots=True)
+class LoadOp:
+    dst: int
+    addr: Operand
+    size: int
+
+
+@dataclass(frozen=True, slots=True)
+class StoreOp:
+    addr: Operand
+    src: Operand
+    size: int
+
+
+@dataclass(frozen=True, slots=True)
+class CallOp:
+    dst: int | None
+    name: str
+    args: tuple
+
+
+@dataclass(frozen=True, slots=True)
+class AddrOf:
+    dst: int
+    global_name: str
+
+
+# ----------------------------------------------------------------------
+# Terminators
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True, slots=True)
+class Ret:
+    src: Operand | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class Jmp:
+    target: str
+
+
+@dataclass(frozen=True, slots=True)
+class CondBranch:
+    """if (left COND right) goto if_true else goto if_false."""
+
+    cond: str
+    left: Operand
+    right: Operand
+    if_true: str
+    if_false: str
+
+
+# ----------------------------------------------------------------------
+# Containers
+# ----------------------------------------------------------------------
+
+@dataclass(slots=True)
+class IRBlock:
+    label: str
+    instructions: list = field(default_factory=list)
+    terminator: object | None = None
+    cold: bool = False  # O2 layout hint: move out of line
+
+    def successors(self) -> list[str]:
+        if isinstance(self.terminator, Jmp):
+            return [self.terminator.target]
+        if isinstance(self.terminator, CondBranch):
+            return [self.terminator.if_true, self.terminator.if_false]
+        return []
+
+
+@dataclass(slots=True)
+class IRFunction:
+    name: str
+    params: tuple[str, ...]
+    entry: str = "entry"
+    blocks: dict[str, IRBlock] = field(default_factory=dict)
+    vreg_count: int = 0
+    param_vregs: dict[str, int] = field(default_factory=dict)
+
+    def new_vreg(self) -> int:
+        vreg = self.vreg_count
+        self.vreg_count += 1
+        return vreg
+
+    def block_order(self, cold_last: bool) -> list[IRBlock]:
+        """Emission order: insertion order, optionally cold blocks last."""
+        blocks = list(self.blocks.values())
+        if not cold_last:
+            return blocks
+        warm = [block for block in blocks if not block.cold]
+        cold = [block for block in blocks if block.cold]
+        return warm + cold
+
+
+@dataclass(slots=True)
+class IRProgram:
+    functions: dict[str, IRFunction]
+    globals_: tuple = ()   # GlobalDecl ast nodes
+    externs: tuple = ()    # extern names

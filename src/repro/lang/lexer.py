@@ -1,0 +1,93 @@
+"""Lexer for the mini-C kernel language.
+
+The language (see :mod:`repro.lang.parser` for the grammar) is the source
+form of every analyzed countermeasure kernel.  It is deliberately small:
+one word type (``u32``), explicit memory intrinsics, and C-like control
+flow — enough to transcribe the paper's Figures 3, 5, 6, 10, 11 and 12
+faithfully.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Token", "LexError", "tokenize", "KEYWORDS"]
+
+KEYWORDS = {
+    "u32", "void", "if", "else", "while", "for", "return", "extern", "global",
+}
+
+PUNCTUATION = [
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "(", ")", "{", "}", "[", "]", ";", ",", "=",
+    "+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">",
+]
+
+
+class LexError(Exception):
+    """Raised on unrecognized input."""
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """One lexical token."""
+
+    kind: str  # "ident", "number", "keyword", or the punctuation itself
+    text: str
+    line: int
+
+    @property
+    def value(self) -> int:
+        """Numeric value (only for number tokens)."""
+        return int(self.text, 0)
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize a program; comments run from ``//`` to end of line."""
+    tokens: list[Token] = []
+    line = 1
+    position = 0
+    length = len(source)
+    while position < length:
+        char = source[position]
+        if char == "\n":
+            line += 1
+            position += 1
+            continue
+        if char.isspace():
+            position += 1
+            continue
+        if source.startswith("//", position):
+            end = source.find("\n", position)
+            position = length if end < 0 else end
+            continue
+        if char.isdigit():
+            end = position + 1
+            if source.startswith(("0x", "0X"), position):
+                end = position + 2
+                while end < length and source[end] in "0123456789abcdefABCDEF":
+                    end += 1
+            else:
+                while end < length and source[end].isdigit():
+                    end += 1
+            tokens.append(Token("number", source[position:end], line))
+            position = end
+            continue
+        if char.isalpha() or char == "_":
+            end = position
+            while end < length and (source[end].isalnum() or source[end] == "_"):
+                end += 1
+            text = source[position:end]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line))
+            position = end
+            continue
+        for punct in PUNCTUATION:
+            if source.startswith(punct, position):
+                tokens.append(Token(punct, punct, line))
+                position += len(punct)
+                break
+        else:
+            raise LexError(f"line {line}: unexpected character {char!r}")
+    tokens.append(Token("eof", "", line))
+    return tokens

@@ -1,0 +1,295 @@
+"""AST → IR lowering.
+
+Performs constant folding on the fly, lowers comparisons in branch position
+directly to compare-and-branch terminators (so loop guards become ``cmp`` +
+``jcc``), and marks the arms of ``if/else`` statements as *cold* so the O2
+code generator can move them out of line.
+
+Note: ``&&``/``||`` are lowered non-short-circuit (both operands evaluate);
+the kernel language has no side-effecting expressions other than calls, and
+none of the transcribed kernels use short-circuit behavior.
+"""
+
+from __future__ import annotations
+
+from repro.core.bitvec import truncate
+from repro.lang import ast
+from repro.lang.ir import (
+    COMPARE_CONDITIONS,
+    AddrOf, Bin, CallOp, CmpSet, CondBranch, Const, IRBlock, IRFunction,
+    IRProgram, ImmOp, Jmp, LoadOp, Mov, Ret, StoreOp,
+)
+
+__all__ = ["lower_program", "LowerError"]
+
+WIDTH = 32
+
+_FOLDABLE = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "&": lambda a, b: a & b,
+    "|": lambda a, b: a | b,
+    "^": lambda a, b: a ^ b,
+    "<<": lambda a, b: a << (b & 31),
+    ">>": lambda a, b: a >> (b & 31),
+}
+
+_FOLDABLE_COMPARE = {
+    "<": lambda a, b: a < b, "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b, ">=": lambda a, b: a >= b,
+    "==": lambda a, b: a == b, "!=": lambda a, b: a != b,
+}
+
+
+class LowerError(Exception):
+    """Raised on semantic errors (unknown names, bad assignments)."""
+
+
+class _FunctionLowerer:
+    def __init__(self, function: ast.Function, program: ast.Program):
+        self.fn = IRFunction(name=function.name, params=function.params)
+        self.source = function
+        self.program = program
+        self.vars: dict[str, int] = {}
+        self.global_names = {g.name for g in program.globals_}
+        self.known_calls = (
+            {f.name for f in program.functions} | {e.name for e in program.externs}
+        )
+        self.label_count = 0
+        self.cold_depth = 0
+        self.current = self._new_block("entry")
+        for param in function.params:
+            vreg = self.fn.new_vreg()
+            self.vars[param] = vreg
+            self.fn.param_vregs[param] = vreg
+
+    # ------------------------------------------------------------------
+    # Block plumbing
+    # ------------------------------------------------------------------
+    def _fresh_label(self, suffix: str = "") -> str:
+        label = f"L{self.label_count}{suffix}"
+        self.label_count += 1
+        return label
+
+    def _new_block(self, label: str | None = None, cold: bool = False) -> IRBlock:
+        if label is None:
+            label = self._fresh_label()
+        block = IRBlock(label=label, cold=cold or self.cold_depth > 0)
+        self.fn.blocks[label] = block
+        return block
+
+    def _emit(self, instruction) -> None:
+        if self.current.terminator is None:
+            self.current.instructions.append(instruction)
+
+    def _terminate(self, terminator) -> None:
+        if self.current.terminator is None:
+            self.current.terminator = terminator
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+    def expr(self, node):
+        """Lower an expression; returns an operand (vreg or ImmOp)."""
+        if isinstance(node, ast.Number):
+            return ImmOp(truncate(node.value, WIDTH))
+        if isinstance(node, ast.Var):
+            if node.name in self.vars:
+                return self.vars[node.name]
+            if node.name in self.global_names:
+                dst = self.fn.new_vreg()
+                self._emit(AddrOf(dst=dst, global_name=node.name))
+                return dst
+            raise LowerError(f"unknown variable {node.name!r} in {self.fn.name}")
+        if isinstance(node, ast.GlobalRef):
+            dst = self.fn.new_vreg()
+            self._emit(AddrOf(dst=dst, global_name=node.name))
+            return dst
+        if isinstance(node, ast.Unary):
+            return self._unary(node)
+        if isinstance(node, ast.Binary):
+            return self._binary(node)
+        if isinstance(node, ast.Load):
+            addr = self.expr(node.addr)
+            dst = self.fn.new_vreg()
+            self._emit(LoadOp(dst=dst, addr=addr, size=node.size))
+            return dst
+        if isinstance(node, ast.Call):
+            return self._call(node)
+        raise LowerError(f"cannot lower expression {node!r}")
+
+    def _unary(self, node: ast.Unary):
+        operand = self.expr(node.operand)
+        if isinstance(operand, ImmOp):
+            if node.op == "-":
+                return ImmOp(truncate(-operand.value, WIDTH))
+            if node.op == "~":
+                return ImmOp(truncate(~operand.value, WIDTH))
+            return ImmOp(0 if operand.value else 1)
+        dst = self.fn.new_vreg()
+        if node.op == "-":
+            self._emit(Bin(op="-", dst=dst, left=ImmOp(0), right=operand))
+        elif node.op == "~":
+            self._emit(Bin(op="^", dst=dst, left=operand, right=ImmOp(0xFFFFFFFF)))
+        else:  # !x == (x == 0)
+            self._emit(CmpSet(cond="e", dst=dst, left=operand, right=ImmOp(0)))
+        return dst
+
+    def _binary(self, node: ast.Binary):
+        if node.op in ("&&", "||"):
+            # Non-short-circuit: normalize both sides to 0/1 and combine.
+            left = self._truth(self.expr(node.left))
+            right = self._truth(self.expr(node.right))
+            dst = self.fn.new_vreg()
+            self._emit(Bin(op="&" if node.op == "&&" else "|",
+                           dst=dst, left=left, right=right))
+            return dst
+        left = self.expr(node.left)
+        right = self.expr(node.right)
+        if isinstance(left, ImmOp) and isinstance(right, ImmOp):
+            if node.op in _FOLDABLE:
+                return ImmOp(truncate(_FOLDABLE[node.op](left.value, right.value), WIDTH))
+            if node.op in _FOLDABLE_COMPARE:
+                return ImmOp(1 if _FOLDABLE_COMPARE[node.op](left.value, right.value) else 0)
+        dst = self.fn.new_vreg()
+        if node.op in COMPARE_CONDITIONS:
+            self._emit(CmpSet(cond=COMPARE_CONDITIONS[node.op], dst=dst,
+                              left=left, right=right))
+        elif node.op in ("/", "%"):
+            raise LowerError("division is not supported in kernel code")
+        else:
+            # Algebraic identities keep O0 code from carrying dead ops.
+            if isinstance(right, ImmOp) and right.value == 0 and node.op in ("+", "-", "|", "^"):
+                return left
+            if isinstance(right, ImmOp) and right.value == 1 and node.op == "*":
+                return left
+            self._emit(Bin(op=node.op, dst=dst, left=left, right=right))
+        return dst
+
+    def _truth(self, operand):
+        if isinstance(operand, ImmOp):
+            return ImmOp(1 if operand.value else 0)
+        dst = self.fn.new_vreg()
+        self._emit(CmpSet(cond="ne", dst=dst, left=operand, right=ImmOp(0)))
+        return dst
+
+    def _call(self, node: ast.Call):
+        if node.name not in self.known_calls:
+            raise LowerError(f"call to unknown function {node.name!r}")
+        args = tuple(self.expr(arg) for arg in node.args)
+        dst = self.fn.new_vreg()
+        self._emit(CallOp(dst=dst, name=node.name, args=args))
+        return dst
+
+    # ------------------------------------------------------------------
+    # Conditions in branch position
+    # ------------------------------------------------------------------
+    def branch_on(self, node, if_true: str, if_false: str) -> None:
+        if isinstance(node, ast.Binary) and node.op in COMPARE_CONDITIONS:
+            left = self.expr(node.left)
+            right = self.expr(node.right)
+            self._terminate(CondBranch(
+                cond=COMPARE_CONDITIONS[node.op], left=left, right=right,
+                if_true=if_true, if_false=if_false))
+            return
+        if isinstance(node, ast.Unary) and node.op == "!":
+            self.branch_on(node.operand, if_false, if_true)
+            return
+        value = self.expr(node)
+        self._terminate(CondBranch(cond="ne", left=value, right=ImmOp(0),
+                                   if_true=if_true, if_false=if_false))
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def block(self, node: ast.Block) -> None:
+        for statement in node.statements:
+            self.statement(statement)
+
+    def statement(self, node) -> None:
+        if isinstance(node, ast.VarDecl):
+            if node.name in self.vars:
+                raise LowerError(f"redeclaration of {node.name!r}")
+            vreg = self.fn.new_vreg()
+            self.vars[node.name] = vreg
+            if node.init is not None:
+                self._emit(Mov(dst=vreg, src=self.expr(node.init)))
+        elif isinstance(node, ast.Assign):
+            if node.name not in self.vars:
+                raise LowerError(f"assignment to undeclared {node.name!r}")
+            self._emit(Mov(dst=self.vars[node.name], src=self.expr(node.value)))
+        elif isinstance(node, ast.Store):
+            addr = self.expr(node.addr)
+            value = self.expr(node.value)
+            self._emit(StoreOp(addr=addr, src=value, size=node.size))
+        elif isinstance(node, ast.If):
+            self._lower_if(node)
+        elif isinstance(node, ast.While):
+            self._lower_while(node)
+        elif isinstance(node, ast.For):
+            desugared = ast.While(cond=node.cond or ast.Number(1),
+                                  body=ast.Block(node.body.statements +
+                                                 ((node.step,) if node.step else ())))
+            if node.init is not None:
+                self.statement(node.init)
+            self._lower_while(desugared)
+        elif isinstance(node, ast.Return):
+            value = self.expr(node.value) if node.value is not None else None
+            self._terminate(Ret(src=value))
+        elif isinstance(node, ast.ExprStmt):
+            self.expr(node.expr)
+        else:
+            raise LowerError(f"cannot lower statement {node!r}")
+
+    def _lower_if(self, node: ast.If) -> None:
+        has_else = node.else_body is not None
+        then_label = self._fresh_label("_then")
+        join_label = self._fresh_label("_join")
+        else_label = self._fresh_label("_else") if has_else else join_label
+        self.branch_on(node.cond, then_label, else_label)
+
+        # The then-arm of an if/else is the out-of-line candidate (cold);
+        # the arm of a plain if stays inline, jumped over when not taken.
+        if has_else:
+            self.cold_depth += 1
+        self.current = self._new_block(then_label, cold=has_else)
+        self.block(node.then_body)
+        self._terminate(Jmp(join_label))
+        if has_else:
+            self.cold_depth -= 1
+            self.current = self._new_block(else_label)
+            self.block(node.else_body)
+            self._terminate(Jmp(join_label))
+        self.current = self._new_block(join_label)
+
+    def _lower_while(self, node: ast.While) -> None:
+        head = self._new_block()
+        self._terminate(Jmp(head.label))
+        body = self._new_block()
+        exit_label = f"L{self.label_count}_exit"
+        self.label_count += 1
+        self.current = head
+        self.branch_on(node.cond, body.label, exit_label)
+        self.current = body
+        self.block(node.body)
+        self._terminate(Jmp(head.label))
+        self.current = self._new_block(exit_label)
+
+    def finish(self) -> IRFunction:
+        self._terminate(Ret(src=None))
+        return self.fn
+
+
+def lower_program(program: ast.Program) -> IRProgram:
+    """Lower every function of a parsed program."""
+    functions = {}
+    for function in program.functions:
+        lowerer = _FunctionLowerer(function, program)
+        lowerer.block(function.body)
+        functions[function.name] = lowerer.finish()
+    return IRProgram(
+        functions=functions,
+        globals_=program.globals_,
+        externs=tuple(e.name for e in program.externs),
+    )

@@ -1,0 +1,274 @@
+"""Recursive-descent parser for the mini-C kernel language.
+
+Grammar (EBNF, whitespace/comments elided)::
+
+    program   := (function | global | extern)*
+    extern    := "extern" ident ";"
+    global    := "global" ident "[" number "]" ";"
+               | "global" ident "[" "]" "=" "{" number ("," number)* "}" ";"
+    function  := "u32" ident "(" params? ")" block
+    params    := "u32" ident ("," "u32" ident)*
+    block     := "{" statement* "}"
+    statement := "u32" ident ("=" expr)? ";"
+               | ident "=" expr ";"
+               | "if" "(" expr ")" block ("else" block)?
+               | "while" "(" expr ")" block
+               | "for" "(" simple? ";" expr? ";" simple? ")" block
+               | "return" expr? ";"
+               | expr ";"
+    simple    := ident "=" expr | expr
+
+Precedence (low→high): ``||``, ``&&``, ``|``, ``^``, ``&``, equality,
+relational, shifts, additive, multiplicative, unary.  The intrinsics
+``load/store/load8/store8`` parse as calls and become memory operations.
+"""
+
+from __future__ import annotations
+
+from repro.lang import ast
+from repro.lang.lexer import LexError, Token, tokenize
+
+__all__ = ["parse", "ParseError"]
+
+
+class ParseError(Exception):
+    """Raised on syntax errors, with the offending line."""
+
+
+_PRECEDENCE = [
+    ("||",),
+    ("&&",),
+    ("|",),
+    ("^",),
+    ("&",),
+    ("==", "!="),
+    ("<", "<=", ">", ">="),
+    ("<<", ">>"),
+    ("+", "-"),
+    ("*", "/", "%"),
+]
+
+_INTRINSICS = {"load": 4, "load8": 1}
+_STORE_INTRINSICS = {"store": 4, "store8": 1}
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.position = 0
+
+    # ------------------------------------------------------------------
+    # Token plumbing
+    # ------------------------------------------------------------------
+    def peek(self) -> Token:
+        return self.tokens[self.position]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.position]
+        self.position += 1
+        return token
+
+    def expect(self, kind: str, text: str | None = None) -> Token:
+        token = self.peek()
+        if token.kind != kind or (text is not None and token.text != text):
+            wanted = text or kind
+            raise ParseError(
+                f"line {token.line}: expected {wanted!r}, found {token.text!r}")
+        return self.advance()
+
+    def accept(self, kind: str, text: str | None = None) -> Token | None:
+        token = self.peek()
+        if token.kind == kind and (text is None or token.text == text):
+            return self.advance()
+        return None
+
+    # ------------------------------------------------------------------
+    # Top level
+    # ------------------------------------------------------------------
+    def program(self) -> ast.Program:
+        functions = []
+        globals_ = []
+        externs = []
+        while self.peek().kind != "eof":
+            if self.accept("keyword", "extern"):
+                name = self.expect("ident").text
+                self.expect(";")
+                externs.append(ast.ExternDecl(name))
+            elif self.accept("keyword", "global"):
+                globals_.append(self.global_decl())
+            else:
+                functions.append(self.function())
+        return ast.Program(
+            functions=tuple(functions),
+            globals_=tuple(globals_),
+            externs=tuple(externs),
+        )
+
+    def global_decl(self) -> ast.GlobalDecl:
+        name = self.expect("ident").text
+        self.expect("[")
+        if self.accept("]"):
+            self.expect("=")
+            self.expect("{")
+            words = [self.expect("number").value]
+            while self.accept(","):
+                words.append(self.expect("number").value)
+            self.expect("}")
+            self.expect(";")
+            return ast.GlobalDecl(name=name, size=4 * len(words), words=tuple(words))
+        size = self.expect("number").value
+        self.expect("]")
+        self.expect(";")
+        return ast.GlobalDecl(name=name, size=size)
+
+    def function(self) -> ast.Function:
+        self.expect("keyword", "u32")
+        name = self.expect("ident").text
+        self.expect("(")
+        params = []
+        if not self.accept(")"):
+            while True:
+                self.expect("keyword", "u32")
+                params.append(self.expect("ident").text)
+                if not self.accept(","):
+                    break
+            self.expect(")")
+        body = self.block()
+        return ast.Function(name=name, params=tuple(params), body=body)
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def block(self) -> ast.Block:
+        self.expect("{")
+        statements = []
+        while not self.accept("}"):
+            statements.append(self.statement())
+        return ast.Block(tuple(statements))
+
+    def statement(self):
+        token = self.peek()
+        if token.kind == "keyword" and token.text == "u32":
+            self.advance()
+            name = self.expect("ident").text
+            init = None
+            if self.accept("="):
+                init = self.expression()
+            self.expect(";")
+            return ast.VarDecl(name=name, init=init)
+        if token.kind == "keyword" and token.text == "if":
+            self.advance()
+            self.expect("(")
+            cond = self.expression()
+            self.expect(")")
+            then_body = self.block()
+            else_body = None
+            if self.accept("keyword", "else"):
+                else_body = self.block()
+            return ast.If(cond=cond, then_body=then_body, else_body=else_body)
+        if token.kind == "keyword" and token.text == "while":
+            self.advance()
+            self.expect("(")
+            cond = self.expression()
+            self.expect(")")
+            return ast.While(cond=cond, body=self.block())
+        if token.kind == "keyword" and token.text == "for":
+            self.advance()
+            self.expect("(")
+            if self.peek().kind == ";":
+                init = None
+            elif self.peek().kind == "keyword" and self.peek().text == "u32":
+                self.advance()
+                name = self.expect("ident").text
+                self.expect("=")
+                init = ast.VarDecl(name=name, init=self.expression())
+            else:
+                init = self.simple()
+            self.expect(";")
+            cond = None if self.peek().kind == ";" else self.expression()
+            self.expect(";")
+            step = None if self.peek().kind == ")" else self.simple()
+            self.expect(")")
+            return ast.For(init=init, cond=cond, step=step, body=self.block())
+        if token.kind == "keyword" and token.text == "return":
+            self.advance()
+            value = None if self.peek().kind == ";" else self.expression()
+            self.expect(";")
+            return ast.Return(value=value)
+        statement = self.simple()
+        self.expect(";")
+        return statement
+
+    def simple(self):
+        """Assignment or expression statement (no trailing semicolon)."""
+        token = self.peek()
+        if token.kind == "ident" and self.tokens[self.position + 1].kind == "=":
+            name = self.advance().text
+            self.expect("=")
+            return ast.Assign(name=name, value=self.expression())
+        expr = self.expression()
+        if isinstance(expr, ast.Store):
+            return expr
+        return ast.ExprStmt(expr)
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+    def expression(self, level: int = 0):
+        if level >= len(_PRECEDENCE):
+            return self.unary()
+        left = self.expression(level + 1)
+        while True:
+            token = self.peek()
+            if token.kind in _PRECEDENCE[level]:
+                self.advance()
+                right = self.expression(level + 1)
+                left = ast.Binary(op=token.kind, left=left, right=right)
+            else:
+                return left
+
+    def unary(self):
+        token = self.peek()
+        if token.kind in ("-", "~", "!"):
+            self.advance()
+            return ast.Unary(op=token.kind, operand=self.unary())
+        return self.primary()
+
+    def primary(self):
+        token = self.advance()
+        if token.kind == "number":
+            return ast.Number(token.value)
+        if token.kind == "(":
+            expr = self.expression()
+            self.expect(")")
+            return expr
+        if token.kind == "ident":
+            if self.peek().kind == "(":
+                return self.call(token.text)
+            return ast.Var(token.text)
+        raise ParseError(f"line {token.line}: unexpected {token.text!r}")
+
+    def call(self, name: str):
+        self.expect("(")
+        args = []
+        if not self.accept(")"):
+            while True:
+                args.append(self.expression())
+                if not self.accept(","):
+                    break
+            self.expect(")")
+        if name in _INTRINSICS:
+            if len(args) != 1:
+                raise ParseError(f"{name} takes one argument")
+            return ast.Load(addr=args[0], size=_INTRINSICS[name])
+        if name in _STORE_INTRINSICS:
+            if len(args) != 2:
+                raise ParseError(f"{name} takes two arguments")
+            return ast.Store(addr=args[0], value=args[1],
+                             size=_STORE_INTRINSICS[name])
+        return ast.Call(name=name, args=tuple(args))
+
+
+def parse(source: str) -> ast.Program:
+    """Parse a program, raising :class:`ParseError`/:class:`LexError`."""
+    return _Parser(tokenize(source)).program()

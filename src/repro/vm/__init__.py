@@ -1,0 +1,13 @@
+"""Concrete execution substrate: CPU, memory, tracing, cache, cost model."""
+
+from repro.vm.cache import CacheConfig, CacheStats, SetAssociativeCache
+from repro.vm.cpu import CPU, CPUError, StepLimitExceeded
+from repro.vm.memory import FlatMemory
+from repro.vm.perf import CostModel, PerfCounters
+from repro.vm.tracer import FETCH, READ, WRITE, Access, Trace
+
+__all__ = [
+    "Access", "CPU", "CPUError", "CacheConfig", "CacheStats", "CostModel",
+    "FETCH", "FlatMemory", "PerfCounters", "READ", "SetAssociativeCache",
+    "StepLimitExceeded", "Trace", "WRITE",
+]

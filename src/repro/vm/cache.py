@@ -1,0 +1,108 @@
+"""Set-associative cache simulator.
+
+Used by the cost model of the performance study (paper Figure 16) and by the
+examples that demonstrate *why* the observers of §3.2 correspond to real
+adversaries: the trace of hits/misses of this cache is a deterministic
+function of the block-level view of the access trace.
+
+The simulator also models cache banks (CacheBleed, §8.4): each line is split
+into ``banks`` equally sized banks and concurrent accesses to the same bank
+conflict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["CacheConfig", "SetAssociativeCache", "CacheStats"]
+
+
+@dataclass(frozen=True, slots=True)
+class CacheConfig:
+    """Geometry of one cache level."""
+
+    line_bytes: int = 64
+    num_sets: int = 64
+    associativity: int = 8
+    banks: int = 16
+
+    def __post_init__(self) -> None:
+        for value, label in ((self.line_bytes, "line_bytes"), (self.num_sets, "num_sets")):
+            if value & (value - 1):
+                raise ValueError(f"{label} must be a power of two, got {value}")
+
+    @property
+    def offset_bits(self) -> int:
+        return self.line_bytes.bit_length() - 1
+
+    @property
+    def set_bits(self) -> int:
+        return self.num_sets.bit_length() - 1
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.line_bytes * self.num_sets * self.associativity
+
+
+@dataclass(slots=True)
+class CacheStats:
+    """Hit/miss counters."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class SetAssociativeCache:
+    """LRU set-associative cache."""
+
+    def __init__(self, config: CacheConfig | None = None) -> None:
+        self.config = config or CacheConfig()
+        # Each set is an ordered list of tags, most recently used last.
+        self._sets: list[list[int]] = [[] for _ in range(self.config.num_sets)]
+        self.stats = CacheStats()
+
+    def _locate(self, addr: int) -> tuple[int, int]:
+        block = addr >> self.config.offset_bits
+        set_index = block & (self.config.num_sets - 1)
+        tag = block >> self.config.set_bits
+        return set_index, tag
+
+    def access(self, addr: int) -> bool:
+        """Access one address; returns True on hit and updates LRU state."""
+        set_index, tag = self._locate(addr)
+        lines = self._sets[set_index]
+        if tag in lines:
+            lines.remove(tag)
+            lines.append(tag)
+            self.stats.hits += 1
+            return True
+        lines.append(tag)
+        if len(lines) > self.config.associativity:
+            lines.pop(0)
+        self.stats.misses += 1
+        return False
+
+    def bank_of(self, addr: int) -> int:
+        """The cache bank an address falls into (CacheBleed granularity)."""
+        bank_bytes = self.config.line_bytes // self.config.banks
+        return (addr % self.config.line_bytes) // bank_bytes
+
+    def flush(self) -> None:
+        """Empty the cache (keeps statistics)."""
+        self._sets = [[] for _ in range(self.config.num_sets)]
+
+    def resident_blocks(self) -> set[int]:
+        """The set of block numbers currently cached (for inspection)."""
+        blocks = set()
+        for set_index, lines in enumerate(self._sets):
+            for tag in lines:
+                blocks.add((tag << self.config.set_bits) | set_index)
+        return blocks

@@ -1,0 +1,350 @@
+"""Concrete CPU interpreter for the x86-subset ISA.
+
+Executes assembled images instruction by instruction with exact flag
+semantics, recording the fetch and data access streams.  The VM serves three
+roles in the reproduction:
+
+1. **Validation**: for small secrets the test suite enumerates all secret
+   values, collects the concrete adversary views, and checks that the number
+   of distinct views never exceeds the static bound (Theorem 1, executable).
+2. **Performance study** (paper Figure 16): instruction and cycle counts via
+   :mod:`repro.vm.perf`.
+3. **Correctness of the workloads**: the mini-C compiled crypto kernels are
+   compared against their Python reference implementations.
+
+Extern calls can be hooked with Python callbacks (``ExternHook``); this is the
+hybrid-simulation mechanism used to charge multi-precision arithmetic calls
+without simulating every limb operation (documented in DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.bitvec import (
+    add_with_carry,
+    sign_bit,
+    sub_with_borrow,
+    to_signed,
+    truncate,
+)
+from repro.isa.image import Image
+from repro.isa.instructions import Imm, Instruction, Mem, Reg, condition_holds
+from repro.isa.registers import ESP, Reg8
+from repro.vm.memory import DEFAULT_STACK_TOP, FlatMemory
+from repro.vm.tracer import FETCH, READ, WRITE, Trace
+
+__all__ = ["CPU", "CPUError", "ExternHook", "StepLimitExceeded"]
+
+WIDTH = 32
+
+
+class CPUError(Exception):
+    """Raised on invalid executions (bad opcode usage, division by zero...)."""
+
+
+class StepLimitExceeded(CPUError):
+    """Raised when an execution exceeds its fuel budget."""
+
+
+ExternHook = Callable[["CPU"], None]
+
+
+@dataclass
+class Flags:
+    """Concrete flag register."""
+
+    zf: int = 0
+    cf: int = 0
+    sf: int = 0
+    of: int = 0
+
+
+class CPU:
+    """A single-core concrete machine executing one image."""
+
+    def __init__(
+        self,
+        image: Image,
+        memory: FlatMemory | None = None,
+        trace: Trace | None = None,
+        perf=None,
+        stack_top: int = DEFAULT_STACK_TOP,
+    ) -> None:
+        self.image = image
+        self.memory = memory or FlatMemory()
+        self.memory.load_image(image)
+        self.trace = trace
+        self.perf = perf
+        self.regs = [0] * 8
+        self.regs[ESP] = stack_top
+        self.flags = Flags()
+        self.eip = 0
+        self.halted = False
+        self.instructions_executed = 0
+        self.hooks: dict[int, ExternHook] = {}
+
+    # ------------------------------------------------------------------
+    # Register and memory helpers
+    # ------------------------------------------------------------------
+    def get_reg(self, reg: int) -> int:
+        """Read a 32-bit register."""
+        return self.regs[reg]
+
+    def set_reg(self, reg: int, value: int) -> None:
+        """Write a 32-bit register."""
+        self.regs[reg] = truncate(value, WIDTH)
+
+    def get_reg8(self, reg: int) -> int:
+        """Read the low byte of a register."""
+        return self.regs[reg] & 0xFF
+
+    def set_reg8(self, reg: int, value: int) -> None:
+        """Write the low byte of a register, preserving the upper bits."""
+        self.regs[reg] = (self.regs[reg] & 0xFFFFFF00) | (value & 0xFF)
+
+    def effective_address(self, mem: Mem) -> int:
+        """Evaluate ``base + index*scale + disp``."""
+        addr = mem.disp
+        if mem.base is not None:
+            addr += self.regs[mem.base]
+        if mem.index is not None:
+            addr += self.regs[mem.index] * mem.scale
+        return truncate(addr, WIDTH)
+
+    def load(self, mem: Mem) -> int:
+        """Read through a memory operand, recording the access."""
+        addr = self.effective_address(mem)
+        self._record(READ, addr, mem.size)
+        return self.memory.read(addr, mem.size)
+
+    def store(self, mem: Mem, value: int) -> None:
+        """Write through a memory operand, recording the access."""
+        addr = self.effective_address(mem)
+        self._record(WRITE, addr, mem.size)
+        self.memory.write(addr, value, mem.size)
+
+    def push(self, value: int) -> None:
+        """Push a 32-bit value (records the stack write)."""
+        self.set_reg(ESP, self.regs[ESP] - 4)
+        self._record(WRITE, self.regs[ESP], 4)
+        self.memory.write(self.regs[ESP], value, 4)
+
+    def pop(self) -> int:
+        """Pop a 32-bit value (records the stack read)."""
+        self._record(READ, self.regs[ESP], 4)
+        value = self.memory.read(self.regs[ESP], 4)
+        self.set_reg(ESP, self.regs[ESP] + 4)
+        return value
+
+    def _record(self, kind: str, addr: int, size: int) -> None:
+        if self.trace is not None:
+            self.trace.record(kind, addr, size)
+        if self.perf is not None:
+            self.perf.memory_access(kind, addr, size)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, entry: int | str, fuel: int = 5_000_000) -> None:
+        """Run from ``entry`` until HLT or a RET with an empty call stack.
+
+        The entry is called like a function: a sentinel return address is
+        pushed, and executing RET to the sentinel stops the machine.
+        """
+        if isinstance(entry, str):
+            entry = self.image.symbol(entry)
+        sentinel = 0xFFFF_FFF0
+        self.push(sentinel)
+        self.eip = entry
+        self.halted = False
+        while not self.halted:
+            if self.instructions_executed >= fuel:
+                raise StepLimitExceeded(f"exceeded {fuel} instructions")
+            self.step()
+            if self.eip == sentinel:
+                self.halted = True
+
+    def step(self) -> None:
+        """Execute exactly one instruction."""
+        instruction = self.image.decode_at(self.eip)
+        self._record(FETCH, self.eip, instruction.encoded_size)
+        if self.perf is not None:
+            self.perf.instruction(instruction)
+        self.instructions_executed += 1
+        next_eip = self.eip + instruction.encoded_size
+        self.eip = self._execute(instruction, next_eip)
+
+    # ------------------------------------------------------------------
+    # Instruction semantics
+    # ------------------------------------------------------------------
+    def _read_operand(self, op) -> int:
+        if isinstance(op, Reg):
+            return self.get_reg(op.reg)
+        if isinstance(op, Reg8):
+            return self.get_reg8(op.reg)
+        if isinstance(op, Imm):
+            return op.value
+        if isinstance(op, Mem):
+            return self.load(op)
+        raise CPUError(f"cannot read operand {op!r}")
+
+    def _write_operand(self, op, value: int) -> None:
+        if isinstance(op, Reg):
+            self.set_reg(op.reg, value)
+        elif isinstance(op, Reg8):
+            self.set_reg8(op.reg, value)
+        elif isinstance(op, Mem):
+            self.store(op, value)
+        else:
+            raise CPUError(f"cannot write operand {op!r}")
+
+    def _set_logic_flags(self, result: int) -> None:
+        self.flags.zf = 1 if truncate(result, WIDTH) == 0 else 0
+        self.flags.sf = sign_bit(result, WIDTH)
+        self.flags.cf = 0
+        self.flags.of = 0
+
+    def _execute(self, instr: Instruction, next_eip: int) -> int:
+        mnemonic = instr.mnemonic
+        ops = instr.operands
+
+        if mnemonic == "mov":
+            self._write_operand(ops[0], self._read_operand(ops[1]))
+        elif mnemonic == "movzx":
+            source = ops[1]
+            if isinstance(source, Mem):
+                value = self.load(source)  # size-1 load, zero-extended
+            else:
+                value = self.get_reg8(source.reg)
+            self._write_operand(ops[0], value & 0xFF)
+        elif mnemonic == "movb":
+            mem = ops[0]
+            if mem.size != 1:  # defensive: movb always stores one byte
+                mem = Mem(mem.base, mem.index, mem.scale, mem.disp, 1)
+            self.store(mem, self.get_reg8(ops[1].reg))
+        elif mnemonic == "lea":
+            self.set_reg(ops[0].reg, self.effective_address(ops[1]))
+        elif mnemonic in ("add", "sub", "cmp"):
+            x = self._read_operand(ops[0])
+            y = self._read_operand(ops[1])
+            if mnemonic == "add":
+                result, carry, overflow = add_with_carry(x, y, 0, WIDTH)
+            else:
+                result, carry, overflow = sub_with_borrow(x, y, 0, WIDTH)
+            self.flags.zf = 1 if result == 0 else 0
+            self.flags.sf = sign_bit(result, WIDTH)
+            self.flags.cf = carry
+            self.flags.of = overflow
+            if mnemonic != "cmp":
+                self._write_operand(ops[0], result)
+        elif mnemonic in ("and", "or", "xor", "test"):
+            x = self._read_operand(ops[0])
+            y = self._read_operand(ops[1])
+            result = {"and": x & y, "test": x & y, "or": x | y, "xor": x ^ y}[mnemonic]
+            self._set_logic_flags(result)
+            if mnemonic != "test":
+                self._write_operand(ops[0], result)
+        elif mnemonic in ("inc", "dec"):
+            x = self._read_operand(ops[0])
+            delta = 1 if mnemonic == "inc" else -1
+            result = truncate(x + delta, WIDTH)
+            # x86: INC/DEC preserve CF.
+            self.flags.zf = 1 if result == 0 else 0
+            self.flags.sf = sign_bit(result, WIDTH)
+            self.flags.of = 1 if (mnemonic == "inc" and result == 0x80000000) or \
+                                 (mnemonic == "dec" and result == 0x7FFFFFFF) else 0
+            self._write_operand(ops[0], result)
+        elif mnemonic == "neg":
+            x = self._read_operand(ops[0])
+            result, _, overflow = sub_with_borrow(0, x, 0, WIDTH)
+            self.flags.zf = 1 if result == 0 else 0
+            self.flags.sf = sign_bit(result, WIDTH)
+            self.flags.cf = 0 if x == 0 else 1
+            self.flags.of = overflow
+            self._write_operand(ops[0], result)
+        elif mnemonic == "not":
+            self._write_operand(ops[0], truncate(~self._read_operand(ops[0]), WIDTH))
+        elif mnemonic in ("shl", "shr", "sar"):
+            x = self._read_operand(ops[0])
+            count = self._read_operand(ops[1]) & 31
+            if count == 0:
+                result = x
+            elif mnemonic == "shl":
+                result = truncate(x << count, WIDTH)
+                self.flags.cf = (x >> (WIDTH - count)) & 1
+            elif mnemonic == "shr":
+                result = x >> count
+                self.flags.cf = (x >> (count - 1)) & 1
+            else:
+                result = truncate(to_signed(x, WIDTH) >> count, WIDTH)
+                self.flags.cf = (x >> (count - 1)) & 1
+            if count:
+                self.flags.zf = 1 if result == 0 else 0
+                self.flags.sf = sign_bit(result, WIDTH)
+                self.flags.of = 0
+            self._write_operand(ops[0], result)
+        elif mnemonic == "imul":
+            if len(ops) == 2:
+                x = self._read_operand(ops[0])
+                y = self._read_operand(ops[1])
+            else:
+                x = self._read_operand(ops[1])
+                y = self._read_operand(ops[2])
+            full = to_signed(x, WIDTH) * to_signed(y, WIDTH)
+            result = truncate(full, WIDTH)
+            self.flags.cf = self.flags.of = 0 if to_signed(result, WIDTH) == full else 1
+            self.flags.zf = 1 if result == 0 else 0
+            self.flags.sf = sign_bit(result, WIDTH)
+            self._write_operand(ops[0], result)
+        elif mnemonic == "mul":
+            x = self.get_reg(0)  # EAX
+            y = self._read_operand(ops[0])
+            full = x * y
+            self.set_reg(0, truncate(full, WIDTH))
+            self.set_reg(2, truncate(full >> WIDTH, WIDTH))  # EDX
+            self.flags.cf = self.flags.of = 1 if full >> WIDTH else 0
+        elif mnemonic == "div":
+            divisor = self._read_operand(ops[0])
+            if divisor == 0:
+                raise CPUError(f"division by zero at {instr.addr:#x}")
+            dividend = (self.get_reg(2) << WIDTH) | self.get_reg(0)
+            quotient, remainder = divmod(dividend, divisor)
+            if quotient >> WIDTH:
+                raise CPUError(f"division overflow at {instr.addr:#x}")
+            self.set_reg(0, quotient)
+            self.set_reg(2, remainder)
+        elif mnemonic == "push":
+            self.push(self._read_operand(ops[0]))
+        elif mnemonic == "pop":
+            self.set_reg(ops[0].reg, self.pop())
+        elif mnemonic == "jmp":
+            return ops[0]
+        elif mnemonic == "call":
+            target = ops[0]
+            hook = self.hooks.get(target)
+            if hook is not None:
+                hook(self)
+                return next_eip
+            self.push(next_eip)
+            return target
+        elif mnemonic == "ret":
+            return self.pop()
+        elif mnemonic.startswith("set"):
+            condition = mnemonic[3:]
+            value = 1 if condition_holds(condition, self.flags.zf, self.flags.cf,
+                                         self.flags.sf, self.flags.of) else 0
+            self.set_reg8(ops[0].reg, value)
+        elif mnemonic.startswith("j"):
+            condition = mnemonic[1:]
+            if condition_holds(condition, self.flags.zf, self.flags.cf,
+                               self.flags.sf, self.flags.of):
+                return ops[0]
+        elif mnemonic == "nop":
+            pass
+        elif mnemonic == "hlt":
+            self.halted = True
+        else:
+            raise CPUError(f"unimplemented instruction {mnemonic}")
+        return next_eip

@@ -1,0 +1,74 @@
+"""Memory access tracing for the concrete VM.
+
+A trace records every instruction fetch and data access in program order.
+Its :meth:`Trace.view` method computes exactly the adversary views of paper
+§3.2 — ``π_{n:b}`` projections of one access stream, optionally collapsed
+modulo stuttering — which is what the validation harness compares against the
+static bounds (the executable form of Theorem 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Access", "Trace", "FETCH", "READ", "WRITE"]
+
+FETCH = "I"
+READ = "R"
+WRITE = "W"
+
+
+@dataclass(frozen=True, slots=True)
+class Access:
+    """One memory access: kind (fetch/read/write), address, size in bytes."""
+
+    kind: str
+    addr: int
+    size: int
+
+
+@dataclass(slots=True)
+class Trace:
+    """An ordered record of the accesses of one concrete execution."""
+
+    accesses: list[Access] = field(default_factory=list)
+
+    def record(self, kind: str, addr: int, size: int) -> None:
+        """Append one access."""
+        self.accesses.append(Access(kind, addr, size))
+
+    def fetches(self) -> list[int]:
+        """Addresses of all instruction fetches."""
+        return [a.addr for a in self.accesses if a.kind == FETCH]
+
+    def data_accesses(self) -> list[int]:
+        """Addresses of all data reads and writes."""
+        return [a.addr for a in self.accesses if a.kind != FETCH]
+
+    def view(self, cache_kind: str, offset_bits: int, stuttering: bool = False) -> tuple:
+        """The adversary's view of this trace (paper §3.2).
+
+        ``cache_kind`` is "I" (instruction stream), "D" (data stream) or
+        "shared" (both, interleaved).  ``offset_bits`` selects the observer
+        granularity; ``stuttering=True`` collapses maximal runs of equal
+        observations.
+        """
+        if cache_kind == "I":
+            addresses = self.fetches()
+        elif cache_kind == "D":
+            addresses = self.data_accesses()
+        elif cache_kind == "shared":
+            addresses = [a.addr for a in self.accesses]
+        else:
+            raise ValueError(f"unknown cache kind {cache_kind!r}")
+        observations = [addr >> offset_bits for addr in addresses]
+        if not stuttering:
+            return tuple(observations)
+        collapsed: list[int] = []
+        for observation in observations:
+            if not collapsed or collapsed[-1] != observation:
+                collapsed.append(observation)
+        return tuple(collapsed)
+
+    def __len__(self) -> int:
+        return len(self.accesses)

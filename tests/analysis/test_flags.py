@@ -1,0 +1,87 @@
+"""Unit tests for the abstract flag domain (§5.4.3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.flags import FlagState, TOP_FLAGS, expand_flagbits
+from repro.core.masked import FlagBits
+from repro.isa.instructions import CONDITIONS, condition_holds
+
+
+class TestExpansion:
+    def test_fully_known(self):
+        assert expand_flagbits(FlagBits(zf=1, cf=0, sf=0, of=0)) == {(1, 0, 0, 0)}
+
+    def test_unknown_bits_expand(self):
+        tuples = expand_flagbits(FlagBits(zf=1, cf=None, sf=0, of=None))
+        assert len(tuples) == 4
+        assert all(t[0] == 1 and t[2] == 0 for t in tuples)
+
+    def test_all_unknown(self):
+        assert len(expand_flagbits(FlagBits())) == 16
+
+
+class TestFlagState:
+    def test_top_has_all_outcomes(self):
+        for condition in CONDITIONS:
+            assert TOP_FLAGS.outcomes(condition) == {True, False}
+
+    def test_determined_zero_flag(self):
+        state = FlagState.from_flagbits([FlagBits(zf=1, cf=0, sf=0, of=0)])
+        assert state.outcomes("e") == {True}
+        assert state.outcomes("ne") == {False}
+
+    def test_union_of_flagbits(self):
+        state = FlagState.from_flagbits([
+            FlagBits(zf=1, cf=0, sf=0, of=0),
+            FlagBits(zf=0, cf=0, sf=0, of=0),
+        ])
+        assert state.outcomes("e") == {True, False}
+        assert state.outcomes("b") == {False}  # CF = 0 in both
+
+    def test_restrict(self):
+        state = FlagState.from_flagbits([
+            FlagBits(zf=1, cf=0, sf=0, of=0),
+            FlagBits(zf=0, cf=1, sf=0, of=0),
+        ])
+        taken = state.restrict("e", True)
+        assert taken.outcomes("e") == {True}
+        assert taken.outcomes("b") == {False}
+
+    def test_restrict_empty_rejected(self):
+        state = FlagState.from_flagbits([FlagBits(zf=1, cf=0, sf=0, of=0)])
+        with pytest.raises(ValueError):
+            state.restrict("e", False)
+
+    def test_join(self):
+        a = FlagState.from_flagbits([FlagBits(zf=1, cf=0, sf=0, of=0)])
+        b = FlagState.from_flagbits([FlagBits(zf=0, cf=0, sf=0, of=0)])
+        assert a.join(b).outcomes("e") == {True, False}
+
+    def test_equality_and_hash(self):
+        a = FlagState.from_flagbits([FlagBits(zf=1, cf=0, sf=0, of=0)])
+        b = FlagState.from_flagbits([FlagBits(zf=1, cf=0, sf=0, of=0)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            FlagState(frozenset())
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    zf=st.sampled_from([0, 1, None]),
+    cf=st.sampled_from([0, 1, None]),
+    sf=st.sampled_from([0, 1, None]),
+    of=st.sampled_from([0, 1, None]),
+    condition=st.sampled_from(CONDITIONS),
+)
+def test_outcomes_cover_all_concrete_possibilities(zf, cf, sf, of, condition):
+    """Every concrete flag assignment compatible with the abstract bits has
+    its branch outcome included in the abstract outcome set."""
+    state = FlagState.from_flagbits([FlagBits(zf=zf, cf=cf, sf=sf, of=of)])
+    outcomes = state.outcomes(condition)
+    for concrete in state.tuples:
+        assert condition_holds(condition, *concrete) in outcomes

@@ -1,0 +1,163 @@
+"""Unit tests for the abstract machine state and abstract memory."""
+
+import pytest
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.state import AbsMemory, AbsState, AnalysisContext
+from repro.core.masked import MaskedSymbol
+from repro.core.valueset import ValueSet
+
+WIDTH = 32
+
+
+@pytest.fixture()
+def context():
+    return AnalysisContext(AnalysisConfig(observer_names=("address",)))
+
+
+def const(value):
+    return ValueSet.constant(value, WIDTH)
+
+
+class TestConcreteMemory:
+    def test_write_read_roundtrip(self, context):
+        memory = AbsMemory()
+        memory.write(const(0x1000), const(42), 4, context)
+        assert memory.read(const(0x1000), 4, context).value == 42
+
+    def test_unwritten_reads_are_fresh_but_stable(self, context):
+        memory = AbsMemory()
+        first = memory.read(const(0x2000), 4, context)
+        second = memory.read(const(0x2000), 4, context)
+        assert first == second  # cached unknown
+        assert first.has_symbolic
+
+    def test_distinct_locations_distinct_unknowns(self, context):
+        memory = AbsMemory()
+        a = memory.read(const(0x2000), 4, context)
+        b = memory.read(const(0x3000), 4, context)
+        assert a != b
+
+    def test_byte_extraction_from_word(self, context):
+        memory = AbsMemory()
+        memory.write(const(0x1000), const(0x11223344), 4, context)
+        assert memory.read(const(0x1001), 1, context).value == 0x33
+        assert memory.read(const(0x1000), 1, context).value == 0x44
+
+    def test_overlapping_write_invalidates(self, context):
+        memory = AbsMemory()
+        memory.write(const(0x1000), const(0xAABBCCDD), 4, context)
+        memory.write(const(0x1002), const(0x11), 1, context)
+        # The dword slot is gone; a fresh read is unknown (sound).
+        value = memory.read(const(0x1000), 4, context)
+        assert value.has_symbolic
+
+    def test_byte_read_of_unwritten_is_byte_sized(self, context):
+        memory = AbsMemory()
+        value = memory.read(const(0x4000), 1, context)
+        element = next(iter(value))
+        # High 24 bits must be known zero.
+        assert element.mask.bit_at(8) == 0
+        assert element.mask.bit_at(31) == 0
+
+
+class TestSymbolicMemory:
+    def _pointer(self, context, name="p"):
+        sym = context.table.input_symbol(name)
+        return ValueSet([MaskedSymbol.symbol(sym, WIDTH)])
+
+    def test_symbolic_base_roundtrip(self, context):
+        memory = AbsMemory()
+        pointer = self._pointer(context)
+        memory.write(pointer, const(7), 4, context)
+        assert memory.read(pointer, 4, context).value == 7
+
+    def test_offsets_address_distinct_slots(self, context):
+        memory = AbsMemory()
+        base = self._pointer(context)
+        offset4, _ = context.ops.add(base, const(4))
+        memory.write(base, const(1), 4, context)
+        memory.write(offset4, const(2), 4, context)
+        assert memory.read(base, 4, context).value == 1
+        assert memory.read(offset4, 4, context).value == 2
+
+    def test_weak_update_through_secret_address(self, context):
+        memory = AbsMemory()
+        base = self._pointer(context)
+        secret_offsets = ValueSet.constants([0, 4], WIDTH)
+        addresses, _ = context.ops.add(base, secret_offsets)
+        memory.write(base, const(10), 4, context)
+        memory.write(addresses, const(99), 4, context)  # weak: 2 candidates
+        value = memory.read(base, 4, context)
+        values = {e.value for e in value if e.is_constant}
+        assert {10, 99} <= values  # old value must survive a weak update
+
+    def test_secret_address_read_joins(self, context):
+        memory = AbsMemory()
+        base = self._pointer(context)
+        memory.write(base, const(1), 4, context)
+        offset4, _ = context.ops.add(base, const(4))
+        memory.write(offset4, const(2), 4, context)
+        addresses, _ = context.ops.add(base, ValueSet.constants([0, 4], WIDTH))
+        value = memory.read(addresses, 4, context)
+        assert value.constant_values() == {1, 2}
+
+
+class TestJoin:
+    def test_join_unions_values(self, context):
+        a, b = AbsMemory(), AbsMemory()
+        a.write(const(0x1000), const(1), 4, context)
+        b.write(const(0x1000), const(2), 4, context)
+        joined = a.join(b, context)
+        assert joined.read(const(0x1000), 4, context).constant_values() == {1, 2}
+
+    def test_one_sided_entry_reads_include_unknown(self, context):
+        a, b = AbsMemory(), AbsMemory()
+        a.write(const(0x1000), const(1), 4, context)
+        joined = a.join(b, context)
+        value = joined.read(const(0x1000), 4, context)
+        assert value.has_symbolic  # maybe-unwritten on the b side
+        assert 1 in {e.value for e in value if e.is_constant}
+
+    def test_mismatched_sizes_drop_to_unknown(self, context):
+        a, b = AbsMemory(), AbsMemory()
+        a.write(const(0x1000), const(1), 4, context)
+        b.write(const(0x1000), const(2), 1, context)
+        joined = a.join(b, context)
+        assert joined.read(const(0x1000), 4, context).has_symbolic
+
+
+class TestCopyTracking:
+    def test_record_and_query(self, context):
+        state = AbsState.initial(context)
+        state.record_copy(0, 3)
+        state.record_copy(1, 0)
+        assert state.equal_registers(3) == {0, 1, 3}
+
+    def test_invalidation_on_write(self, context):
+        state = AbsState.initial(context)
+        state.record_copy(0, 3)
+        state.invalidate_copy(0)
+        assert state.equal_registers(3) == {3}
+
+    def test_rebinding_replaces(self, context):
+        state = AbsState.initial(context)
+        state.record_copy(0, 3)
+        state.record_copy(0, 5)  # eax now copies ebp, not ebx
+        assert 3 not in state.equal_registers(0)
+        assert 5 in state.equal_registers(0)
+
+    def test_join_keeps_common_copies_only(self, context):
+        a = AbsState.initial(context)
+        b = a.clone()
+        a.record_copy(0, 3)
+        a.record_copy(1, 2)
+        b.record_copy(0, 3)
+        joined = a.join(b, context)
+        assert (0, 3) in joined.copies
+        assert (1, 2) not in joined.copies
+
+    def test_clone_preserves_copies(self, context):
+        state = AbsState.initial(context)
+        state.record_copy(0, 3)
+        assert state.clone().equal_registers(0) == {0, 3}

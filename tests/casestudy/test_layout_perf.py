@@ -1,0 +1,98 @@
+"""Tests for the layout renderers and the Figure 16 performance harness."""
+
+import pytest
+
+from repro.casestudy import targets
+from repro.casestudy.layout import (
+    render_bank_layout,
+    render_code_blocks,
+    render_plain_table_layout,
+    render_scatter_gather_layout,
+)
+from repro.casestudy.performance import (
+    PAPER_16A,
+    PAPER_16B,
+    figure16a,
+    figure16b,
+    format_figure16,
+)
+from repro.crypto.modexp import MODEXP_VARIANTS
+
+
+class TestDataLayoutRenderers:
+    def test_plain_table_layout_mentions_blocks(self):
+        text = render_plain_table_layout(entries=2, entry_bytes=384)
+        assert "p2" in text and "p3" in text
+        assert text.count("0x") > 4  # block addresses rendered
+
+    def test_plain_table_spans_six_blocks(self):
+        text = render_plain_table_layout(entries=1, entry_bytes=384,
+                                         block_bytes=64, base=0x080EB140)
+        line = next(l for l in text.splitlines() if "p2" in l)
+        # 384-byte value starting on a block boundary covers 6 blocks (Fig 1).
+        assert line.count(",") == 5
+
+    def test_scatter_gather_groups(self):
+        text = render_scatter_gather_layout(values=8, groups=4)
+        assert "p0[0]" in text and "p7[3]" in text
+
+    def test_bank_layout_split(self):
+        text = render_bank_layout()
+        assert "bank  0" in text or "bank 0" in text
+        # Figure 13: bank 0 holds p0..p3, bank 1 holds p4..p7.
+        lines = text.splitlines()
+        bank0 = next(l for l in lines if "bank  0" in l or "bank 0:" in l)
+        assert "p0" in bank0 and "p3" in bank0 and "p4" not in bank0
+
+    def test_code_rendering_marks_blocks(self):
+        text = render_code_blocks(targets.sqam_target(opt_level=0, line_bytes=32))
+        assert text.count("---- block") >= 2
+        assert "-O0" in text
+
+
+class TestFigure16Harness:
+    def test_16b_kernel_measurements_positive(self):
+        kernels = figure16b(nbytes=32)
+        for name, measurement in kernels.items():
+            assert measurement.instructions > 0, name
+            assert measurement.cycles > 0, name
+            assert measurement.memory_accesses > 0, name
+
+    def test_16b_scaling_with_entry_size(self):
+        small = figure16b(nbytes=16)
+        large = figure16b(nbytes=64)
+        for name in small:
+            assert large[name].instructions > small[name].instructions
+
+    def test_16b_ordering_matches_paper(self):
+        kernels = figure16b(nbytes=64)
+        assert (kernels["scatter_102f"].instructions
+                < kernels["secure_163"].instructions
+                < kernels["defensive_102g"].instructions)
+        paper_order = sorted(PAPER_16B, key=lambda n: PAPER_16B[n]["instructions"])
+        measured_order = sorted(kernels, key=lambda n: kernels[n].instructions)
+        assert paper_order == measured_order
+
+    def test_16a_covers_all_variants(self):
+        measurements = figure16a(bits=128)
+        assert set(measurements) == set(MODEXP_VARIANTS)
+        for measurement in measurements.values():
+            assert measurement.instructions > 0
+            assert measurement.cycles > 0
+
+    def test_16a_always_multiply_overhead(self):
+        measurements = figure16a(bits=128)
+        overhead = (measurements["sqam_153"].instructions
+                    / measurements["sqm_152"].instructions)
+        paper = (PAPER_16A["sqam_153"]["instructions"]
+                 / PAPER_16A["sqm_152"]["instructions"])
+        assert overhead == pytest.approx(paper, rel=0.10)
+
+    def test_16a_formatting(self):
+        text = format_figure16(figure16a(bits=128))
+        assert "libgcrypt 1.5.2" in text
+        assert "defensive gather" in text
+
+    def test_16a_nonstandard_bits(self):
+        measurements = figure16a(bits=96)  # pseudo-modulus path
+        assert measurements["sqm_152"].instructions > 0

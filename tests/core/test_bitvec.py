@@ -1,0 +1,92 @@
+"""Unit tests for fixed-width bitvector helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import bitvec
+
+WORDS = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+
+class TestBasics:
+    def test_mask_of(self):
+        assert bitvec.mask_of(8) == 0xFF
+        assert bitvec.mask_of(32) == 0xFFFFFFFF
+
+    def test_mask_of_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            bitvec.mask_of(0)
+
+    def test_truncate(self):
+        assert bitvec.truncate(0x1_0000_0001, 32) == 1
+        assert bitvec.truncate(-1, 32) == 0xFFFFFFFF
+
+    def test_signed_roundtrip(self):
+        assert bitvec.to_signed(0xFFFFFFFF, 32) == -1
+        assert bitvec.to_signed(0x7FFFFFFF, 32) == 0x7FFFFFFF
+        assert bitvec.from_signed(-1, 32) == 0xFFFFFFFF
+
+    def test_sign_bit(self):
+        assert bitvec.sign_bit(0x80000000, 32) == 1
+        assert bitvec.sign_bit(0x7FFFFFFF, 32) == 0
+
+    def test_bit_helpers(self):
+        assert bitvec.bit(0b1010, 1) == 1
+        assert bitvec.bit(0b1010, 0) == 0
+        assert bitvec.set_bit(0, 3, 1) == 8
+        assert bitvec.set_bit(0xF, 0, 0) == 0xE
+
+    def test_low_ones(self):
+        assert bitvec.low_ones(0) == 0
+        assert bitvec.low_ones(6) == 0x3F
+        with pytest.raises(ValueError):
+            bitvec.low_ones(-1)
+
+    def test_popcount(self):
+        assert bitvec.popcount(0) == 0
+        assert bitvec.popcount(0xFF) == 8
+
+    def test_rotates(self):
+        assert bitvec.rotate_left(0x80000000, 1, 32) == 1
+        assert bitvec.rotate_right(1, 1, 32) == 0x80000000
+
+
+class TestArithmetic:
+    def test_add_with_carry_basic(self):
+        result, carry, overflow = bitvec.add_with_carry(1, 2, 0, 32)
+        assert (result, carry, overflow) == (3, 0, 0)
+
+    def test_add_carry_out(self):
+        result, carry, _ = bitvec.add_with_carry(0xFFFFFFFF, 1, 0, 32)
+        assert (result, carry) == (0, 1)
+
+    def test_add_signed_overflow(self):
+        _, _, overflow = bitvec.add_with_carry(0x7FFFFFFF, 1, 0, 32)
+        assert overflow == 1
+
+    def test_sub_borrow(self):
+        result, borrow, _ = bitvec.sub_with_borrow(0, 1, 0, 32)
+        assert (result, borrow) == (0xFFFFFFFF, 1)
+
+    def test_sub_no_borrow(self):
+        result, borrow, _ = bitvec.sub_with_borrow(5, 3, 0, 32)
+        assert (result, borrow) == (2, 0)
+
+    @given(WORDS, WORDS)
+    def test_add_matches_python(self, x, y):
+        result, carry, _ = bitvec.add_with_carry(x, y, 0, 32)
+        assert result == (x + y) & 0xFFFFFFFF
+        assert carry == ((x + y) >> 32)
+
+    @given(WORDS, WORDS)
+    def test_sub_matches_python(self, x, y):
+        result, borrow, _ = bitvec.sub_with_borrow(x, y, 0, 32)
+        assert result == (x - y) & 0xFFFFFFFF
+        assert borrow == (1 if x < y else 0)
+
+    @given(WORDS, WORDS, st.integers(min_value=0, max_value=1))
+    def test_add_sub_inverse(self, x, y, carry):
+        added, _, _ = bitvec.add_with_carry(x, y, carry, 32)
+        subbed, _, _ = bitvec.sub_with_borrow(added, y, carry, 32)
+        assert subbed == x

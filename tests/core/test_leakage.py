@@ -1,0 +1,95 @@
+"""Tests for leakage quantification and report formatting."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.leakage import LeakageReport, ObservationBound, format_bits, log2_int
+from repro.core.observers import AccessKind
+
+
+class TestLog2Int:
+    def test_small_values(self):
+        assert log2_int(1) == 0.0
+        assert log2_int(2) == 1.0
+        assert abs(log2_int(50) - math.log2(50)) < 1e-12
+
+    def test_paper_numbers(self):
+        assert abs(log2_int(49) - 5.61) < 0.01  # Fig 14a address observer
+        assert abs(log2_int(5) - 2.32) < 0.01   # Fig 14a block observer
+
+    def test_huge_power_of_two(self):
+        assert log2_int(8 ** 384) == pytest.approx(1152.0)  # Fig 14c
+        assert log2_int(2 ** 384) == pytest.approx(384.0)   # bank observer
+
+    def test_huge_non_power(self):
+        value = 3 ** 1000
+        assert log2_int(value) == pytest.approx(1000 * math.log2(3), rel=1e-9)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            log2_int(0)
+
+    @given(st.integers(min_value=1, max_value=10 ** 500))
+    def test_monotone(self, value):
+        assert log2_int(value) <= log2_int(value + 1)
+        assert log2_int(value) == pytest.approx(log2_int(value), rel=1e-9)
+
+
+class TestFormatBits:
+    def test_integer_bits(self):
+        assert format_bits(1.0) == "1 bit"
+        assert format_bits(0.0) == "0 bit"
+
+    def test_fractional_bits(self):
+        assert format_bits(5.643856) == "5.6 bit"
+        assert format_bits(2.3219) == "2.3 bit"
+
+
+class TestLeakageReport:
+    def _bound(self, kind, observer, count, stutter=None):
+        return ObservationBound(
+            kind=kind, observer=observer, count=count,
+            stuttering_count=stutter if stutter is not None else count,
+        )
+
+    def test_record_and_lookup(self):
+        report = LeakageReport(target="demo")
+        report.record(self._bound(AccessKind.DATA, "block", 2))
+        assert report.bits(AccessKind.DATA, "block") == 1.0
+
+    def test_stuttering_variant(self):
+        report = LeakageReport()
+        report.record(self._bound(AccessKind.INSTRUCTION, "block", 2, stutter=1))
+        assert report.bits(AccessKind.INSTRUCTION, "block") == 1.0
+        assert report.bits(AccessKind.INSTRUCTION, "block", stuttering=True) == 0.0
+
+    def test_non_interference(self):
+        report = LeakageReport()
+        report.record(self._bound(AccessKind.DATA, "address", 1))
+        assert report.is_non_interferent(AccessKind.DATA, "address")
+
+    def test_paper_row(self):
+        report = LeakageReport()
+        report.record(self._bound(AccessKind.DATA, "address", 50))
+        report.record(self._bound(AccessKind.DATA, "block", 5))
+        row = report.paper_row(AccessKind.DATA)
+        assert row["address"] == pytest.approx(math.log2(50))
+        assert row["block"] == pytest.approx(math.log2(5))
+
+    def test_format_paper_table(self):
+        report = LeakageReport(target="square-and-multiply")
+        for kind in (AccessKind.INSTRUCTION, AccessKind.DATA):
+            report.record(self._bound(kind, "address", 2))
+            report.record(self._bound(kind, "block", 2))
+        table = report.format_paper_table()
+        assert "I-Cache" in table and "D-Cache" in table
+        assert "1 bit" in table
+
+    def test_format_full_table_includes_bank(self):
+        report = LeakageReport()
+        report.record(self._bound(AccessKind.DATA, "bank", 2 ** 384))
+        table = report.format_full_table()
+        assert "384 bit" in table

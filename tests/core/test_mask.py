@@ -1,0 +1,119 @@
+"""Unit tests for masks over {0,1,⊤}^n."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.mask import Mask
+
+
+def masks(width=8):
+    @st.composite
+    def build(draw):
+        known = draw(st.integers(min_value=0, max_value=(1 << width) - 1))
+        value = draw(st.integers(min_value=0, max_value=(1 << width) - 1)) & known
+        return Mask(known=known, value=value, width=width)
+
+    return build()
+
+
+class TestConstruction:
+    def test_top(self):
+        mask = Mask.top(8)
+        assert mask.is_top
+        assert not mask.is_constant
+        assert str(mask) == "TTTTTTTT"
+
+    def test_constant(self):
+        mask = Mask.constant(0x3F, 8)
+        assert mask.is_constant
+        assert mask.value == 0x3F
+        assert str(mask) == "00111111"
+
+    def test_from_string(self):
+        mask = Mask.from_string("TT0100")
+        assert mask.width == 6
+        assert mask.bit_at(5) is None
+        assert mask.bit_at(4) is None
+        assert mask.bit_at(2) == 1
+        assert mask.bit_at(0) == 0
+
+    def test_from_string_roundtrip(self):
+        text = "T01T10"
+        assert str(Mask.from_string(text)) == text
+
+    def test_from_string_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            Mask.from_string("T0X1")
+
+    def test_invariant_value_on_symbolic(self):
+        with pytest.raises(ValueError):
+            Mask(known=0b01, value=0b10, width=2)
+
+    def test_invariant_known_within_width(self):
+        with pytest.raises(ValueError):
+            Mask(known=0b100, value=0, width=2)
+
+
+class TestQueries:
+    def test_low_bits_known(self):
+        mask = Mask.from_string("TTT000")
+        assert mask.low_bits_known(3)
+        assert not mask.low_bits_known(4)
+        assert mask.low_bits_value(3) == 0
+
+    def test_low_bits_value_requires_known(self):
+        mask = Mask.top(8)
+        with pytest.raises(ValueError):
+            mask.low_bits_value(1)
+
+    def test_known_prefix_length(self):
+        assert Mask.from_string("TTT011").known_prefix_length() == 3
+        assert Mask.top(6).known_prefix_length() == 0
+        assert Mask.constant(0, 6).known_prefix_length() == 6
+
+    def test_bit_at_bounds(self):
+        mask = Mask.top(4)
+        with pytest.raises(IndexError):
+            mask.bit_at(4)
+
+
+class TestCombinators:
+    def test_concretize_fills_symbolic_bits(self):
+        mask = Mask.from_string("TT01")
+        assert mask.concretize(0b1100) == 0b1101
+        assert mask.concretize(0b0000) == 0b0001
+
+    def test_concretize_known_bits_win(self):
+        mask = Mask.constant(0b1010, 4)
+        assert mask.concretize(0b0101) == 0b1010
+
+    def test_matches(self):
+        mask = Mask.from_string("TT01")
+        assert mask.matches(0b1101)
+        assert mask.matches(0b0001)
+        assert not mask.matches(0b0011)
+
+    def test_with_bits(self):
+        mask = Mask.top(6).with_bits(known=0x3F & 0b000111, value=0b000101)
+        assert str(mask) == "TTT101"
+
+    def test_drop_low(self):
+        mask = Mask.from_string("TT0110")
+        dropped = mask.drop_low(2)
+        assert str(dropped) == "TT01"
+        assert dropped.width == 4
+
+    def test_drop_low_rejects_bad_count(self):
+        with pytest.raises(ValueError):
+            Mask.top(4).drop_low(5)
+
+    @given(masks(), st.integers(min_value=0, max_value=255))
+    def test_concretize_always_matches(self, mask, fill):
+        assert mask.matches(mask.concretize(fill))
+
+    @given(masks(), st.integers(min_value=0, max_value=255), st.integers(min_value=0, max_value=7))
+    def test_drop_low_commutes_with_concretize(self, mask, fill, count):
+        """Projecting the mask then filling == filling then shifting."""
+        dropped = mask.drop_low(count)
+        assert dropped.concretize(fill >> count) == mask.concretize(fill) >> count

@@ -1,0 +1,207 @@
+"""Tests for observers and projections (paper §3.2, §5.3, Example 4).
+
+Includes the executable version of Proposition 1: equal projection keys imply
+equal concrete observations for every valuation of the symbols.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mask import Mask
+from repro.core.masked import MaskedOps, MaskedSymbol
+from repro.core.observers import (
+    project_element_subset,
+    CacheGeometry,
+    ProjectionPolicy,
+    project_element,
+    project_value_set,
+    standard_observers,
+)
+from repro.core.symbols import SymbolTable, Valuation
+from repro.core.valueset import ValueSet
+
+WIDTH = 32
+
+
+@pytest.fixture()
+def table():
+    return SymbolTable(width=WIDTH)
+
+
+class TestGeometry:
+    def test_example_1(self):
+        """Paper Example 1: 4KB pages, 64B lines, 4B banks on 32 bits."""
+        geometry = CacheGeometry()
+        observers = {o.name: o for o in standard_observers(geometry)}
+        assert observers["page"].offset_bits == 12
+        assert observers["block"].offset_bits == 6
+        assert observers["bank"].offset_bits == 2
+        assert observers["address"].offset_bits == 0
+
+    def test_unit_bytes(self):
+        geometry = CacheGeometry(line_bytes=32)
+        observers = {o.name: o for o in standard_observers(geometry)}
+        assert observers["block"].unit_bytes() == 32
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(line_bytes=48)
+
+
+class TestExample4:
+    """Paper Example 4: projection of three masked symbols (3-bit words)."""
+
+    def setup_method(self):
+        self.table = SymbolTable(width=3)
+
+    def test_projection_to_two_msbs_yields_three(self):
+        s = self.table.input_symbol("s")
+        t = self.table.input_symbol("t")
+        u = self.table.input_symbol("u")
+        values = ValueSet([
+            MaskedSymbol(sym=s, mask=Mask.from_string("001")),
+            MaskedSymbol(sym=t, mask=Mask.from_string("TT1")),
+            MaskedSymbol(sym=u, mask=Mask.from_string("111")),
+        ])
+        label = project_value_set(values, offset_bits=1, table=self.table)
+        assert label.count == 3
+
+    def test_projection_to_lsb_is_singleton(self):
+        s = self.table.input_symbol("s")
+        t = self.table.input_symbol("t")
+        u = self.table.input_symbol("u")
+        elements = [
+            MaskedSymbol(sym=s, mask=Mask.from_string("001")),
+            MaskedSymbol(sym=t, mask=Mask.from_string("TT1")),
+            MaskedSymbol(sym=u, mask=Mask.from_string("111")),
+        ]
+        keys = {project_element_subset(e, (0,)) for e in elements}
+        assert len(keys) == 1  # determined by the masks alone: {1}
+
+
+class TestOffsetRefinement:
+    """The gather pattern: buf + k + 8i collapses at block granularity."""
+
+    def _gather_addresses(self, table, iteration, spacing=8, keys=8):
+        ops = MaskedOps(table)
+        buf = MaskedSymbol.symbol(table.input_symbol("buf"), WIDTH)
+        aligned, _ = ops.and_(buf, MaskedSymbol.constant(~0x3F & 0xFFFFFFFF, WIDTH))
+        elements = []
+        for k in range(keys):
+            offset = MaskedSymbol.constant(k + iteration * spacing, WIDTH)
+            address, _ = ops.add(aligned, offset)
+            elements.append(address)
+        return ValueSet(elements)
+
+    def test_block_observer_sees_one_unit(self, table):
+        for iteration in (0, 1, 9, 47, 383):
+            addresses = self._gather_addresses(table, iteration)
+            label = project_value_set(addresses, offset_bits=6, table=table)
+            assert label.count == 1, f"iteration {iteration} leaked at block level"
+
+    def test_address_observer_sees_eight(self, table):
+        addresses = self._gather_addresses(table, iteration=12)
+        label = project_value_set(addresses, offset_bits=0, table=table)
+        assert label.count == 8
+
+    def test_bank_observer_sees_two(self, table):
+        """CacheBleed: 4-byte banks split the 8 candidate bytes in two."""
+        for iteration in (0, 5, 100):
+            addresses = self._gather_addresses(table, iteration)
+            label = project_value_set(addresses, offset_bits=2, table=table)
+            assert label.count == 2
+
+    def test_plain_policy_loses_precision(self, table):
+        """Ablation: without the offset refinement the collapse is lost for
+        iterations whose offsets cross the first block."""
+        addresses = self._gather_addresses(table, iteration=12)
+        label = project_value_set(
+            addresses, offset_bits=6, table=table, policy=ProjectionPolicy.PLAIN
+        )
+        assert label.count > 1
+
+    def test_spread_bound_caps_page_observer(self, table):
+        """Offsets spanning < 2 pages give at most 2 page observations."""
+        addresses = self._gather_addresses(table, iteration=383)
+        label = project_value_set(addresses, offset_bits=12, table=table)
+        assert label.count <= 2
+
+
+class TestProposition1:
+    """Equal keys imply equal concrete projections, for every λ."""
+
+    @settings(max_examples=300, deadline=None)
+    @given(
+        known_a=st.integers(min_value=0, max_value=255),
+        value_a=st.integers(min_value=0, max_value=255),
+        known_b=st.integers(min_value=0, max_value=255),
+        value_b=st.integers(min_value=0, max_value=255),
+        same_symbol=st.booleans(),
+        offset_bits=st.integers(min_value=0, max_value=7),
+        lam_a=st.integers(min_value=0, max_value=255),
+        lam_b=st.integers(min_value=0, max_value=255),
+    )
+    def test_equal_keys_equal_projections(
+        self, known_a, value_a, known_b, value_b, same_symbol, offset_bits, lam_a, lam_b
+    ):
+        table = SymbolTable(width=8)
+        sym_a = table.input_symbol("a")
+        sym_b = sym_a if same_symbol else table.input_symbol("b")
+        element_a = MaskedSymbol(sym=sym_a, mask=Mask(known=known_a, value=value_a & known_a, width=8))
+        element_b = MaskedSymbol(sym=sym_b, mask=Mask(known=known_b, value=value_b & known_b, width=8))
+
+        key_a = project_element(element_a, offset_bits, table)
+        key_b = project_element(element_b, offset_bits, table)
+        if key_a == key_b:
+            valuation = Valuation(table, {sym_a: lam_a, sym_b: lam_b})
+            concrete_a = valuation.concretize(element_a) >> offset_bits
+            concrete_b = valuation.concretize(element_b) >> offset_bits
+            assert concrete_a == concrete_b
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        offsets=st.lists(st.integers(min_value=0, max_value=4000), min_size=2, max_size=8),
+        offset_bits=st.integers(min_value=1, max_value=12),
+        lam=st.integers(min_value=0, max_value=0xFFFFFFFF),
+    )
+    def test_offset_refined_keys_sound(self, offsets, offset_bits, lam):
+        """Derived pointers with equal refined keys project equally, ∀λ."""
+        table = SymbolTable(width=WIDTH)
+        ops = MaskedOps(table)
+        sym = table.input_symbol("base")
+        base = MaskedSymbol.symbol(sym, WIDTH)
+        aligned, _ = ops.and_(base, MaskedSymbol.constant(~0x3F & 0xFFFFFFFF, WIDTH))
+        derived = []
+        for offset in offsets:
+            address, _ = ops.add(aligned, MaskedSymbol.constant(offset, WIDTH))
+            derived.append(address)
+        keys = [project_element(d, offset_bits, table) for d in derived]
+        valuation = Valuation(table, {sym: lam})
+        projections = [valuation.concretize(d) >> offset_bits for d in derived]
+        for i, key_i in enumerate(keys):
+            for j, key_j in enumerate(keys):
+                if key_i == key_j:
+                    assert projections[i] == projections[j]
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        offsets=st.lists(st.integers(min_value=0, max_value=500), min_size=1, max_size=8),
+        offset_bits=st.integers(min_value=1, max_value=9),
+        lam=st.integers(min_value=0, max_value=0xFFFFFFFF),
+    )
+    def test_spread_bound_is_sound(self, offsets, offset_bits, lam):
+        """The count bound dominates the true observation count, ∀λ."""
+        table = SymbolTable(width=WIDTH)
+        ops = MaskedOps(table)
+        sym = table.input_symbol("base")
+        base = MaskedSymbol.symbol(sym, WIDTH)
+        derived = []
+        for offset in offsets:
+            address, _ = ops.add(base, MaskedSymbol.constant(offset, WIDTH))
+            derived.append(address)
+        values = ValueSet(derived)
+        label = project_value_set(values, offset_bits, table)
+        valuation = Valuation(table, {sym: lam})
+        concrete = {valuation.concretize(d) >> offset_bits for d in derived}
+        assert len(concrete) <= label.count

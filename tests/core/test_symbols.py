@@ -1,0 +1,102 @@
+"""Tests for symbol allocation, origins/offsets, and valuations (λ/λ̄)."""
+
+import pytest
+
+from repro.core.mask import Mask
+from repro.core.masked import MaskedOps, MaskedSymbol
+from repro.core.symbols import SymbolKind, SymbolTable, Valuation
+
+WIDTH = 16
+
+
+class TestSymbolTable:
+    def test_fresh_identifiers_are_unique(self):
+        table = SymbolTable(width=WIDTH)
+        idents = {table.fresh() for _ in range(10)}
+        assert len(idents) == 10
+
+    def test_kinds(self):
+        table = SymbolTable(width=WIDTH)
+        low = table.input_symbol("buf")
+        unknown = table.unknown_symbol("mem0")
+        derived = table.fresh(provenance=("ADD", None, None))
+        assert table.kind(low) == SymbolKind.INPUT
+        assert table.kind(unknown) == SymbolKind.UNKNOWN
+        assert table.kind(derived) == SymbolKind.DERIVED
+        assert table.input_symbols() == [low]
+
+    def test_names(self):
+        table = SymbolTable(width=WIDTH)
+        ident = table.input_symbol("buf")
+        assert table.name(ident) == "buf"
+        anonymous = table.fresh()
+        assert table.name(anonymous).startswith("s")
+
+    def test_origin_defaults_to_self(self):
+        table = SymbolTable(width=WIDTH)
+        ms = MaskedSymbol.symbol(table.input_symbol("p"), WIDTH)
+        origin, offset = table.origin_offset(ms)
+        assert origin == ms
+        assert offset == 0
+
+    def test_successor_registry(self):
+        table = SymbolTable(width=WIDTH)
+        base = MaskedSymbol.symbol(table.input_symbol("p"), WIDTH)
+        moved = MaskedSymbol.symbol(table.fresh(), WIDTH)
+        table.register_origin(moved, base, 8)
+        table.register_successor(base, 8, moved)
+        assert table.successor(base, 8) == moved
+        assert table.successor(base, 12) is None
+        assert table.same_origin(moved, moved)
+
+    def test_all_symbols_ordered(self):
+        table = SymbolTable(width=WIDTH)
+        first = table.fresh()
+        second = table.fresh()
+        assert table.all_symbols() == [first, second]
+
+
+class TestValuation:
+    def test_input_resolution(self):
+        table = SymbolTable(width=WIDTH)
+        sym = table.input_symbol("x")
+        lam = Valuation(table, {sym: 0x1234})
+        assert lam.value_of(sym) == 0x1234
+
+    def test_assign_clears_cache(self):
+        table = SymbolTable(width=WIDTH)
+        sym = table.input_symbol("x")
+        lam = Valuation(table, {sym: 1})
+        assert lam.value_of(sym) == 1
+        lam.assign(sym, 2)
+        assert lam.value_of(sym) == 2
+
+    def test_unknown_default(self):
+        table = SymbolTable(width=WIDTH)
+        sym = table.unknown_symbol("mem")
+        lam = Valuation(table, {}, unknown_default=lambda ident: 0xBEEF)
+        assert lam.value_of(sym) == 0xBEEF
+
+    def test_provenance_resolution(self):
+        """λ̄ extends λ through operation provenance (paper §7.1)."""
+        table = SymbolTable(width=WIDTH)
+        ops = MaskedOps(table)
+        sym = table.input_symbol("p")
+        base = MaskedSymbol.symbol(sym, WIDTH)
+        aligned, _ = ops.and_(base, MaskedSymbol.constant(0xFFC0, WIDTH))
+        moved, _ = ops.add(aligned, MaskedSymbol.constant(0x40, WIDTH))
+        lam = Valuation(table, {sym: 0x1234})
+        expected = ((0x1234 & 0xFFC0) + 0x40) & 0xFFFF
+        assert lam.concretize(moved) == expected
+
+    def test_concretize_constant(self):
+        table = SymbolTable(width=WIDTH)
+        lam = Valuation(table)
+        assert lam.concretize(MaskedSymbol.constant(99, WIDTH)) == 99
+
+    def test_concretize_masked(self):
+        table = SymbolTable(width=WIDTH)
+        sym = table.input_symbol("s")
+        masked = MaskedSymbol(sym=sym, mask=Mask.from_string("T" * 12 + "0000"))
+        lam = Valuation(table, {sym: 0xFFFF})
+        assert lam.concretize(masked) == 0xFFF0

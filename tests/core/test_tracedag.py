@@ -1,0 +1,223 @@
+"""Tests for the memory trace domain T♯ (paper §6, Example 9 / Figure 4)."""
+
+from repro.core.observers import ProjectedLabel
+from repro.core.tracedag import TraceDAG
+
+
+def label(*keys, count=None):
+    return ProjectedLabel(keys=frozenset(keys), count=count or len(keys))
+
+
+A, B, C, D = label("A"), label("B"), label("C"), label("D")
+
+
+class TestLinearTraces:
+    def test_single_path_counts_one(self):
+        dag = TraceDAG()
+        cursor = dag.root_cursor()
+        for access in (A, B, C):
+            cursor = dag.access(cursor, access)
+        ends = dag.finalize(cursor)
+        assert dag.count(ends) == 1
+        assert dag.count(ends, stuttering=True) == 1
+
+    def test_multi_unit_access_multiplies(self):
+        dag = TraceDAG()
+        cursor = dag.root_cursor()
+        cursor = dag.access(cursor, label("A", "B"))
+        cursor = dag.access(cursor, label("C", "D", "E"))
+        ends = dag.finalize(cursor)
+        assert dag.count(ends) == 6
+
+    def test_refined_count_used(self):
+        dag = TraceDAG()
+        cursor = dag.root_cursor()
+        cursor = dag.access(cursor, label("A", "B", "C", count=2))
+        ends = dag.finalize(cursor)
+        assert dag.count(ends) == 2
+
+    def test_empty_trace_counts_one(self):
+        dag = TraceDAG()
+        ends = dag.finalize(dag.root_cursor())
+        assert dag.count(ends) == 1
+
+
+class TestStuttering:
+    def test_repetition_recorded_not_duplicated(self):
+        dag = TraceDAG()
+        cursor = dag.root_cursor()
+        for access in (A, A, A, B):
+            cursor = dag.access(cursor, access)
+        ends = dag.finalize(cursor)
+        assert dag.count(ends) == 1
+        assert dag.count(ends, stuttering=True) == 1
+        # The A-run is one vertex with run=3, not three vertices.
+        assert dag.size == 3  # root + A + B
+
+    def test_figure_4_block_vs_bblock(self):
+        """Example 9: both arms stay in block A; 5 vs 3 accesses.
+
+        The block observer distinguishes the run lengths (1 bit); the
+        stuttering b-block observer does not (0 bits)."""
+        dag = TraceDAG()
+        cursor = dag.root_cursor()
+        cursor = dag.access(cursor, A)
+        taken = cursor
+        for _ in range(4):
+            taken = dag.access(taken, A)
+        fallthrough = dag.access(dag.access(cursor, A), A)
+        merged = dag.merge(taken, fallthrough)
+        ends = dag.finalize(merged)
+        assert dag.count(ends) == 2
+        assert dag.count(ends, stuttering=True) == 1
+
+    def test_figure_4_address_observer(self):
+        """Same branch under the address observer: distinct vertices, 2 traces."""
+        dag = TraceDAG()
+        cursor = dag.root_cursor()
+        cursor = dag.access(cursor, label("i1"))
+        taken = cursor
+        for name in ("i2", "i3", "i4", "i5"):
+            taken = dag.access(taken, label(name))
+        fallthrough = dag.access(cursor, label("i2"))
+        merged = dag.merge(taken, fallthrough)
+        merged = dag.access(merged, label("i6"))
+        ends = dag.finalize(merged)
+        assert dag.count(ends) == 2
+        assert dag.count(ends, stuttering=True) == 2
+
+    def test_figure_15a_aba_pattern(self):
+        """Taken path: A,B,A; fall-through: A only.  Both observers see
+        exactly two traces (this is the rep-splitting refinement: the naive
+        shared-repetition-set reading would count four)."""
+        dag = TraceDAG()
+        cursor = dag.root_cursor()
+        cursor = dag.access(cursor, A)  # shared prefix in block A
+        taken = dag.access(cursor, B)
+        taken = dag.access(taken, A)
+        fallthrough = dag.access(dag.access(cursor, A), A)  # stays in A
+        merged = dag.merge(taken, fallthrough)
+        ends = dag.finalize(merged)
+        assert dag.count(ends) == 2
+        assert dag.count(ends, stuttering=True) == 2
+
+    def test_common_tail_after_different_runs(self):
+        """Figure 7b shape: arms differ only in run length inside block A,
+        then both continue into block B: block sees 2, b-block sees 1."""
+        dag = TraceDAG()
+        cursor = dag.root_cursor()
+        cursor = dag.access(cursor, A)
+        long_arm = dag.access(dag.access(cursor, A), A)
+        short_arm = dag.access(cursor, A)
+        merged = dag.merge(long_arm, short_arm)
+        merged = dag.access(merged, B)
+        ends = dag.finalize(merged)
+        assert dag.count(ends) == 2
+        assert dag.count(ends, stuttering=True) == 1
+
+    def test_secret_label_never_stutters(self):
+        """Two consecutive accesses with the same two-element label count
+        2×2 (independent secret choices), not 2."""
+        dag = TraceDAG()
+        cursor = dag.root_cursor()
+        secret = label("X", "Y")
+        cursor = dag.access(cursor, secret)
+        cursor = dag.access(cursor, secret)
+        ends = dag.finalize(cursor)
+        assert dag.count(ends) == 4
+
+
+class TestForkJoin:
+    def test_diamond_sums_paths(self):
+        dag = TraceDAG()
+        cursor = dag.root_cursor()
+        cursor = dag.access(cursor, A)
+        left = dag.access(cursor, B)
+        right = dag.access(cursor, C)
+        merged = dag.merge(left, right)
+        merged = dag.access(merged, D)
+        ends = dag.finalize(merged)
+        assert dag.count(ends) == 2
+
+    def test_identical_arms_collapse(self):
+        dag = TraceDAG()
+        cursor = dag.root_cursor()
+        cursor = dag.access(cursor, A)
+        left = dag.access(cursor, B)
+        right = dag.access(cursor, B)
+        merged = dag.merge(left, right)
+        merged = dag.access(merged, C)
+        ends = dag.finalize(merged)
+        assert dag.count(ends) == 1
+
+    def test_nested_diamonds_multiply(self):
+        dag = TraceDAG()
+        cursor = dag.root_cursor()
+        for _round in range(3):
+            left = dag.access(cursor, A)
+            right = dag.access(cursor, B)
+            cursor = dag.merge(left, right)
+            cursor = dag.access(cursor, C)
+        ends = dag.finalize(cursor)
+        assert dag.count(ends) == 8  # 2^3: one bit per secret branch
+
+    def test_merge_same_label_different_runs(self):
+        dag = TraceDAG()
+        cursor = dag.root_cursor()
+        cursor = dag.access(cursor, A)
+        longer = dag.access(cursor, A)
+        merged = dag.merge(cursor, longer)
+        merged = dag.access(merged, B)
+        ends = dag.finalize(merged)
+        assert dag.count(ends) == 2
+        assert dag.count(ends, stuttering=True) == 1
+
+
+class TestStructuralSharing:
+    def test_identical_commits_share_vertices(self):
+        dag = TraceDAG()
+        cursor = dag.root_cursor()
+        cursor = dag.access(cursor, A)
+        first = dag.access(cursor, B)
+        second = dag.access(cursor, B)
+        assert first == second  # cursors coincide: same virtual entry
+        dag.finalize(dag.merge(first, second))
+        assert dag.size == 3  # root + A + B
+
+    def test_access_counter(self):
+        dag = TraceDAG()
+        cursor = dag.root_cursor()
+        cursor = dag.access(cursor, A)
+        cursor = dag.access(cursor, B)
+        assert dag.accesses_recorded == 2
+
+    def test_to_dot_renders(self):
+        dag = TraceDAG()
+        cursor = dag.root_cursor()
+        cursor = dag.access(cursor, A)
+        cursor = dag.access(cursor, B)
+        dag.finalize(cursor)
+        dot = dag.to_dot()
+        assert "digraph" in dot
+        assert "->" in dot
+
+    def test_vertices_introspection(self):
+        dag = TraceDAG()
+        cursor = dag.root_cursor()
+        cursor = dag.access(cursor, A)
+        cursor = dag.access(cursor, B)
+        dag.finalize(cursor)
+        labels = {v.label for v in dag.vertices()}
+        assert labels == {A, B}
+        assert len(dag.stutter_vertices()) == 2
+
+
+class TestCountingScale:
+    def test_huge_counts_supported(self):
+        """Scatter/gather-style: 384 accesses with 8 observations each."""
+        dag = TraceDAG()
+        cursor = dag.root_cursor()
+        for i in range(384):
+            cursor = dag.access(cursor, label(*[f"{i}:{k}" for k in range(8)]))
+        ends = dag.finalize(cursor)
+        assert dag.count(ends) == 8 ** 384

@@ -1,0 +1,175 @@
+"""Crypto substrate tests: MPI arithmetic, modexp variants, ElGamal,
+countermeasure references, and their agreement."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.countermeasures import (
+    align, defensive_gather, gather, scatter, secure_retrieve,
+)
+from repro.crypto.elgamal import SMALL_PRIMES, decrypt, encrypt, generate_key
+from repro.crypto.modexp import MODEXP_VARIANTS, modexp
+from repro.crypto.mpi import MPI, OpCounter
+
+BIG = st.integers(min_value=0, max_value=1 << 256)
+
+
+class TestMPI:
+    def test_roundtrip(self):
+        value = 0x1234567890ABCDEF1234
+        assert MPI.from_int(value).to_int() == value
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MPI.from_int(-1)
+
+    def test_bytes_roundtrip(self):
+        mpi = MPI.from_int(0xAABBCCDDEE)
+        assert MPI.from_bytes(mpi.to_bytes()).to_int() == mpi.to_int()
+
+    def test_to_bytes_padding(self):
+        raw = MPI.from_int(1).to_bytes(16)
+        assert len(raw) == 16
+        assert raw[0] == 1
+
+    def test_bit_access(self):
+        mpi = MPI.from_int(0b1010 << 32)
+        assert mpi.bit(33) == 1
+        assert mpi.bit(32) == 0
+        assert mpi.bit(100) == 0
+
+    @given(BIG, BIG)
+    @settings(max_examples=50, deadline=None)
+    def test_add_sub(self, a, b):
+        big, small = max(a, b), min(a, b)
+        assert MPI.from_int(a).add(MPI.from_int(b)).to_int() == a + b
+        assert MPI.from_int(big).sub(MPI.from_int(small)).to_int() == big - small
+
+    def test_sub_underflow(self):
+        with pytest.raises(ValueError):
+            MPI.from_int(1).sub(MPI.from_int(2))
+
+    @given(BIG, BIG)
+    @settings(max_examples=50, deadline=None)
+    def test_mul(self, a, b):
+        assert MPI.from_int(a).mul(MPI.from_int(b)).to_int() == a * b
+
+    @given(BIG, st.integers(min_value=1, max_value=1 << 128))
+    @settings(max_examples=50, deadline=None)
+    def test_mod(self, a, m):
+        assert MPI.from_int(a).mod(MPI.from_int(m)).to_int() == a % m
+
+    def test_mod_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            MPI.from_int(5).mod(MPI.from_int(0))
+
+    def test_counter_counts_limb_muls(self):
+        counter = OpCounter()
+        a = MPI.from_int((1 << 128) - 1)  # 4 limbs
+        a.mul(a, counter)
+        assert counter.limb_mul == 16
+
+    @given(BIG, BIG)
+    @settings(max_examples=30, deadline=None)
+    def test_compare(self, a, b):
+        result = MPI.from_int(a).compare(MPI.from_int(b))
+        assert result == (0 if a == b else (-1 if a < b else 1))
+
+
+class TestModexpVariants:
+    @pytest.mark.parametrize("variant", sorted(MODEXP_VARIANTS))
+    def test_agrees_with_pow(self, variant):
+        p = SMALL_PRIMES[64]
+        for base, exponent in [(2, 3), (0x1234, 0xFEDCBA), (3, p - 2)]:
+            result, _stats = modexp(variant, base, exponent, p)
+            assert result == pow(base, exponent, p), variant
+
+    def test_always_multiply_does_more_work(self):
+        p = SMALL_PRIMES[64]
+        _, sqm = modexp("sqm_152", 7, 0xDEADBEEFCAFE, p)
+        _, sqam = modexp("sqam_153", 7, 0xDEADBEEFCAFE, p)
+        assert sqam.multiplications > sqm.multiplications
+        assert sqam.counter.total > sqm.counter.total
+
+    def test_window_variants_fewer_multiplications(self):
+        p = SMALL_PRIMES[128]
+        exponent = (1 << 127) - 1  # worst case for square-and-multiply
+        _, sqm = modexp("sqm_152", 5, exponent, p)
+        _, win = modexp("window_161", 5, exponent, p)
+        assert win.multiplications < sqm.multiplications
+
+    def test_lookup_bytes_ordering(self):
+        """The retrieval work orders like Figure 16b: scatter/gather <
+        access-all-bytes ≤ defensive gather."""
+        p = SMALL_PRIMES[128]
+        _, sg = modexp("scatter_102f", 5, 0xABCDEF, p)
+        _, sec = modexp("secure_163", 5, 0xABCDEF, p)
+        _, dg = modexp("defensive_102g", 5, 0xABCDEF, p)
+        assert sg.lookup_bytes < sec.lookup_bytes
+        assert sg.lookup_bytes < dg.lookup_bytes
+
+    def test_unknown_variant(self):
+        with pytest.raises(KeyError):
+            modexp("bogus", 1, 1, 3)
+
+
+class TestElGamal:
+    @pytest.mark.parametrize("variant", sorted(MODEXP_VARIANTS))
+    def test_roundtrip(self, variant):
+        key = generate_key(bits=64, seed=7)
+        message = 0x123456789
+        ciphertext = encrypt(key, message, seed=9)
+        decrypted, stats = decrypt(key, ciphertext, variant=variant)
+        assert decrypted == message
+        assert stats.squarings > 0
+
+    def test_message_range_checked(self):
+        key = generate_key(bits=64)
+        with pytest.raises(ValueError):
+            encrypt(key, 0)
+
+    def test_unknown_bits(self):
+        with pytest.raises(ValueError):
+            generate_key(bits=100)
+
+    def test_unknown_variant(self):
+        key = generate_key(bits=64)
+        with pytest.raises(ValueError):
+            decrypt(key, encrypt(key, 5), variant="nope")
+
+
+class TestCountermeasureReferences:
+    def test_align(self):
+        assert align(0x9000123) % 64 == 0
+        assert align(0x9000123) > 0x9000123
+        assert align(0x9000000) == 0x9000040
+
+    def test_scatter_gather_roundtrip(self):
+        entries = [bytes([(k * 37 + i) & 0xFF for i in range(48)]) for k in range(8)]
+        buffer = bytearray(48 * 8)
+        for key, entry in enumerate(entries):
+            scatter(buffer, entry, key, spacing=8)
+        for key, entry in enumerate(entries):
+            assert gather(buffer, key, 48, spacing=8) == entry
+
+    def test_scatter_interleaves_blockwise(self):
+        """Figure 2: byte i of every entry lives in the same 8-byte group."""
+        buffer = bytearray(8 * 4)
+        for key in range(8):
+            scatter(buffer, bytes([key + 1] * 4), key, spacing=8)
+        for group in range(4):
+            assert set(buffer[group * 8:(group + 1) * 8]) == set(range(1, 9))
+
+    def test_secure_retrieve_selects(self):
+        entries = [bytes([k] * 8) for k in range(7)]
+        for key in range(7):
+            assert secure_retrieve(entries, key) == entries[key]
+
+    def test_defensive_gather_matches_gather(self):
+        entries = [bytes([(k * 11 + i) & 0xFF for i in range(16)]) for k in range(8)]
+        buffer = bytearray(16 * 8)
+        for key, entry in enumerate(entries):
+            scatter(buffer, entry, key, spacing=8)
+        for key in range(8):
+            assert defensive_gather(buffer, key, 16, 8) == gather(buffer, key, 16, 8)

@@ -1,0 +1,292 @@
+"""Compiler tests: parsing, lowering, codegen at O0/O1/O2, differential
+execution against Python semantics, and layout properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang.driver import compile_program
+from repro.lang.lexer import LexError, tokenize
+from repro.lang.lower import LowerError, lower_program
+from repro.lang.parser import ParseError, parse
+from repro.vm.cpu import CPU
+from repro.vm.memory import FlatMemory
+from repro.vm.tracer import Trace
+
+OPT_LEVELS = (0, 1, 2)
+
+
+def run(source, entry="main", args=(), opt_level=2, memory=None):
+    """Compile, load, call ``entry(args...)``, return EAX."""
+    image = compile_program(source, opt_level=opt_level)
+    cpu = CPU(image, memory=memory or FlatMemory(), trace=Trace())
+    for arg in reversed(args):
+        cpu.push(arg)
+    cpu.run(entry)
+    return cpu.get_reg(0) , cpu
+
+
+def result_of(source, entry="main", args=(), opt_level=2):
+    return run(source, entry, args, opt_level)[0]
+
+
+class TestLexer:
+    def test_tokens(self):
+        tokens = tokenize("u32 f() { return 0x10 + 2; } // comment")
+        kinds = [t.kind for t in tokens]
+        assert kinds[0] == "keyword"
+        assert "number" in kinds
+        assert kinds[-1] == "eof"
+
+    def test_lex_error(self):
+        with pytest.raises(LexError):
+            tokenize("u32 f() { return @; }")
+
+
+class TestParser:
+    def test_function_shape(self):
+        program = parse("u32 add(u32 a, u32 b) { return a + b; }")
+        function = program.function("add")
+        assert function.params == ("a", "b")
+
+    def test_globals(self):
+        program = parse("global buf[64]; global tab[] = {1, 2, 3};")
+        assert program.globals_[0].size == 64
+        assert program.globals_[1].words == (1, 2, 3)
+
+    def test_extern(self):
+        program = parse("extern mpi_mul; u32 f() { return 0; }")
+        assert program.externs[0].name == "mpi_mul"
+
+    def test_parse_error(self):
+        with pytest.raises(ParseError):
+            parse("u32 f( { }")
+
+    def test_unknown_call_rejected_in_lowering(self):
+        with pytest.raises(LowerError):
+            lower_program(parse("u32 f() { return g(); }"))
+
+    def test_division_rejected(self):
+        with pytest.raises(LowerError):
+            lower_program(parse("u32 f(u32 a) { return a / 2; }"))
+
+
+class TestExecution:
+    @pytest.mark.parametrize("opt", OPT_LEVELS)
+    def test_arithmetic(self, opt):
+        source = """
+        u32 main(u32 a, u32 b) {
+            u32 t = a * 3 + (b << 2);
+            t = t - (a & b);
+            return t ^ 5;
+        }
+        """
+        a, b = 17, 9
+        expected = ((a * 3 + (b << 2)) - (a & b)) ^ 5
+        assert result_of(source, args=(a, b), opt_level=opt) == expected
+
+    @pytest.mark.parametrize("opt", OPT_LEVELS)
+    def test_if_else(self, opt):
+        source = """
+        u32 main(u32 x) {
+            u32 r = 0;
+            if (x == 0) { r = 100; } else { r = 200; }
+            return r;
+        }
+        """
+        assert result_of(source, args=(0,), opt_level=opt) == 100
+        assert result_of(source, args=(5,), opt_level=opt) == 200
+
+    @pytest.mark.parametrize("opt", OPT_LEVELS)
+    def test_while_loop(self, opt):
+        source = """
+        u32 main(u32 n) {
+            u32 total = 0;
+            u32 i = 0;
+            while (i < n) { total = total + i; i = i + 1; }
+            return total;
+        }
+        """
+        assert result_of(source, args=(10,), opt_level=opt) == 45
+
+    @pytest.mark.parametrize("opt", OPT_LEVELS)
+    def test_for_loop(self, opt):
+        source = """
+        u32 main(u32 n) {
+            u32 total = 0;
+            for (u32 i = 1; i <= n; i = i + 1) { total = total + i; }
+            return total;
+        }
+        """
+        assert result_of(source, args=(100,), opt_level=opt) == 5050
+
+    @pytest.mark.parametrize("opt", OPT_LEVELS)
+    def test_nested_control_flow(self, opt):
+        source = """
+        u32 main(u32 n) {
+            u32 evens = 0;
+            for (u32 i = 0; i < n; i = i + 1) {
+                if ((i & 1) == 0) { evens = evens + 1; } else { evens = evens; }
+            }
+            return evens;
+        }
+        """
+        assert result_of(source, args=(9,), opt_level=opt) == 5
+
+    @pytest.mark.parametrize("opt", OPT_LEVELS)
+    def test_calls(self, opt):
+        source = """
+        u32 square(u32 x) { return x * x; }
+        u32 main(u32 a, u32 b) { return square(a) + square(b); }
+        """
+        assert result_of(source, args=(3, 4), opt_level=opt) == 25
+
+    @pytest.mark.parametrize("opt", OPT_LEVELS)
+    def test_memory_intrinsics(self, opt):
+        source = """
+        u32 main(u32 buf) {
+            store(buf, 0x11223344);
+            store8(buf + 4, load8(buf + 1));
+            return load(buf) + load8(buf + 4);
+        }
+        """
+        assert result_of(source, args=(0x9000000,), opt_level=opt) == 0x11223344 + 0x33
+
+    @pytest.mark.parametrize("opt", OPT_LEVELS)
+    def test_globals(self, opt):
+        source = """
+        global table[] = {10, 20, 30, 40};
+        u32 main(u32 i) { return load(table + i * 4); }
+        """
+        assert result_of(source, args=(2,), opt_level=opt) == 30
+
+    @pytest.mark.parametrize("opt", OPT_LEVELS)
+    def test_comparisons_are_unsigned(self, opt):
+        source = "u32 main(u32 a, u32 b) { return a < b; }"
+        assert result_of(source, args=(0xFFFFFFFF, 1), opt_level=opt) == 0
+        assert result_of(source, args=(1, 0xFFFFFFFF), opt_level=opt) == 1
+
+    @pytest.mark.parametrize("opt", OPT_LEVELS)
+    def test_logical_ops(self, opt):
+        source = "u32 main(u32 a, u32 b) { return (a && b) + ((a || b) * 10); }"
+        assert result_of(source, args=(2, 0), opt_level=opt) == 10
+        assert result_of(source, args=(2, 3), opt_level=opt) == 11
+        assert result_of(source, args=(0, 0), opt_level=opt) == 0
+
+    @pytest.mark.parametrize("opt", OPT_LEVELS)
+    def test_unary_ops(self, opt):
+        source = "u32 main(u32 a) { return (-a) + (~a) + (!a); }"
+        a = 5
+        expected = (((-a) & 0xFFFFFFFF) + ((~a) & 0xFFFFFFFF) + 0) & 0xFFFFFFFF
+        assert result_of(source, args=(a,), opt_level=opt) == expected
+        # For a = 0: -0 + ~0 + !0 = 0 + 0xFFFFFFFF + 1 = 0 (mod 2^32).
+        assert result_of(source, args=(0,), opt_level=opt) == 0
+
+    @pytest.mark.parametrize("opt", OPT_LEVELS)
+    def test_extern_stub_callable(self, opt):
+        source = """
+        extern mpi_mul;
+        u32 main() { mpi_mul(); return 7; }
+        """
+        assert result_of(source, opt_level=opt) == 7
+
+    def test_results_agree_across_opt_levels(self):
+        source = """
+        u32 gcd(u32 a, u32 b) {
+            while (b != 0) {
+                u32 t = b;
+                u32 r = a;
+                while (r >= b) { r = r - b; }
+                b = r;
+                a = t;
+            }
+            return a;
+        }
+        u32 main(u32 a, u32 b) { return gcd(a, b); }
+        """
+        results = {opt: result_of(source, args=(252, 105), opt_level=opt)
+                   for opt in OPT_LEVELS}
+        assert set(results.values()) == {21}
+
+
+class TestLayoutEffects:
+    def test_o0_is_bigger_than_o2(self):
+        source = """
+        u32 main(u32 a, u32 b) {
+            u32 t = a;
+            a = b;
+            b = t;
+            return a + b;
+        }
+        """
+        sizes = {}
+        for opt in (0, 2):
+            image = compile_program(source, opt_level=opt)
+            start, end = image.functions["main"]
+            sizes[opt] = end - start
+        assert sizes[0] > sizes[2]
+
+    def test_o2_moves_then_arm_out_of_line(self):
+        source = """
+        u32 main(u32 x, u32 a, u32 b) {
+            u32 r = 0;
+            if (x == 0) { r = a + 1; } else { r = b + 2; }
+            return r + 3;
+        }
+        """
+        def branch_distance(opt, **kwargs):
+            image = compile_program(source, opt_level=opt, **kwargs)
+            listing = image.disassemble_function("main")
+            branch = next(i for i in listing if i.mnemonic.startswith("j")
+                          and i.mnemonic != "jmp")
+            return branch.operands[0] - branch.addr
+
+        # At O1 the then-arm directly follows the branch; at O2 it is
+        # outlined into an aligned cold section, so the jump is much longer.
+        assert branch_distance(2, cold_align=64) > branch_distance(1) + 16
+
+    def test_o0_spills_locals_to_stack(self):
+        source = """
+        u32 main(u32 x) {
+            u32 t = x + 1;
+            return t;
+        }
+        """
+        image = compile_program(source, opt_level=0)
+        listing = image.disassemble_function("main")
+        stack_writes = [i for i in listing if i.mnemonic == "mov"
+                        and hasattr(i.operands[0], "base")
+                        and i.operands[0].base == 5]
+        assert stack_writes  # locals written to [ebp-...]
+
+    def test_correct_behaviour_preserved_by_outlining(self):
+        source = """
+        u32 main(u32 x) {
+            u32 r = 0;
+            if (x == 0) { r = 111; } else { r = 222; }
+            if (x == 1) { r = r + 1; } else { r = r + 2; }
+            return r;
+        }
+        """
+        for opt in OPT_LEVELS:
+            assert result_of(source, args=(0,), opt_level=opt) == 113
+            assert result_of(source, args=(1,), opt_level=opt) == 223
+            assert result_of(source, args=(9,), opt_level=opt) == 224
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    a=st.integers(min_value=0, max_value=0xFFFFFFFF),
+    b=st.integers(min_value=0, max_value=0xFFFFFFFF),
+    shift=st.integers(min_value=0, max_value=31),
+    opt=st.sampled_from(OPT_LEVELS),
+)
+def test_expression_semantics_property(a, b, shift, opt):
+    """Compiled arithmetic agrees with Python u32 semantics."""
+    source = f"""
+    u32 main(u32 a, u32 b) {{
+        return ((a + b) ^ (a & b)) + ((a >> {shift}) | (b * 3)) - (a << 1);
+    }}
+    """
+    expected = (((a + b) ^ (a & b)) + ((a >> shift) | (b * 3)) - ((a << 1))) & 0xFFFFFFFF
+    assert result_of(source, args=(a, b), opt_level=opt) == expected

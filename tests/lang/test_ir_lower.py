@@ -1,0 +1,170 @@
+"""Unit tests for lowering and the IR (constant folding, layout hints)."""
+
+import pytest
+
+from repro.lang.ir import Bin, CmpSet, CondBranch, ImmOp, Jmp, LoadOp, Ret
+from repro.lang.lower import LowerError, lower_program
+from repro.lang.parser import parse
+
+
+def lower(source):
+    return lower_program(parse(source))
+
+
+def instructions_of(fn):
+    stream = []
+    for block in fn.blocks.values():
+        stream.extend(block.instructions)
+    return stream
+
+
+class TestConstantFolding:
+    def test_arithmetic_folds(self):
+        program = lower("u32 f() { return 2 + 3 * 4; }")
+        fn = program.functions["f"]
+        ret = fn.blocks["entry"].terminator
+        assert isinstance(ret, Ret)
+        assert ret.src == ImmOp(14)
+
+    def test_comparison_folds(self):
+        program = lower("u32 f() { return 3 < 4; }")
+        assert program.functions["f"].blocks["entry"].terminator.src == ImmOp(1)
+
+    def test_unary_folds(self):
+        program = lower("u32 f() { return -1; }")
+        assert program.functions["f"].blocks["entry"].terminator.src == ImmOp(0xFFFFFFFF)
+
+    def test_identity_elimination(self):
+        program = lower("u32 f(u32 x) { return (x + 0) * 1; }")
+        assert not instructions_of(program.functions["f"])  # all folded away
+
+    def test_wrapping(self):
+        program = lower("u32 f() { return 0xFFFFFFFF + 1; }")
+        assert program.functions["f"].blocks["entry"].terminator.src == ImmOp(0)
+
+
+class TestControlFlowLowering:
+    def test_comparison_in_branch_position_fuses(self):
+        program = lower("""
+        u32 f(u32 x) {
+            u32 r = 0;
+            if (x < 10) { r = 1; }
+            return r;
+        }
+        """)
+        entry = program.functions["f"].blocks["entry"]
+        assert isinstance(entry.terminator, CondBranch)
+        assert entry.terminator.cond == "b"  # unsigned <
+        # No separate CmpSet was materialized for the branch condition.
+        assert not any(isinstance(i, CmpSet) for i in entry.instructions)
+
+    def test_negated_condition_swaps_arms(self):
+        program = lower("""
+        u32 f(u32 x) {
+            u32 r = 0;
+            if (!(x == 1)) { r = 1; }
+            return r;
+        }
+        """)
+        entry = program.functions["f"].blocks["entry"]
+        terminator = entry.terminator
+        assert terminator.cond == "e"
+        # Negation flips the arms: equal goes to the join, not the body.
+        then_block = program.functions["f"].blocks[terminator.if_false]
+
+    def test_if_else_marks_then_arm_cold(self):
+        program = lower("""
+        u32 f(u32 x) {
+            u32 r = 0;
+            if (x == 0) { r = 1; } else { r = 2; }
+            return r;
+        }
+        """)
+        fn = program.functions["f"]
+        cold = [b for b in fn.blocks.values() if b.cold]
+        assert len(cold) == 1
+
+    def test_plain_if_stays_warm(self):
+        program = lower("""
+        u32 f(u32 x) {
+            u32 r = 0;
+            if (x == 0) { r = 1; }
+            return r;
+        }
+        """)
+        assert not [b for b in program.functions["f"].blocks.values() if b.cold]
+
+    def test_nested_if_inside_cold_arm_is_cold(self):
+        program = lower("""
+        u32 f(u32 x) {
+            u32 r = 0;
+            if (x == 0) {
+                if (x < 5) { r = 1; }
+            } else { r = 2; }
+            return r;
+        }
+        """)
+        fn = program.functions["f"]
+        cold = [b for b in fn.blocks.values() if b.cold]
+        assert len(cold) >= 2  # outer then-arm and its nested blocks
+
+    def test_while_shape(self):
+        program = lower("""
+        u32 f(u32 n) {
+            u32 i = 0;
+            while (i < n) { i = i + 1; }
+            return i;
+        }
+        """)
+        fn = program.functions["f"]
+        # entry jumps to the loop head; the body jumps back to it.
+        jmp_targets = [b.terminator.target for b in fn.blocks.values()
+                       if isinstance(b.terminator, Jmp)]
+        heads = [t for t in jmp_targets if jmp_targets.count(t) >= 2]
+        assert heads
+
+    def test_block_order_cold_last(self):
+        program = lower("""
+        u32 f(u32 x) {
+            u32 r = 0;
+            if (x == 0) { r = 1; } else { r = 2; }
+            return r;
+        }
+        """)
+        fn = program.functions["f"]
+        warm_first = fn.block_order(cold_last=True)
+        assert not warm_first[0].cold
+        assert warm_first[-1].cold
+        source_order = fn.block_order(cold_last=False)
+        assert [b.label for b in source_order] == list(fn.blocks)
+
+
+class TestErrors:
+    def test_undeclared_variable(self):
+        with pytest.raises(LowerError):
+            lower("u32 f() { return nothere; }")
+
+    def test_redeclaration(self):
+        with pytest.raises(LowerError):
+            lower("u32 f() { u32 a = 1; u32 a = 2; return a; }")
+
+    def test_assign_undeclared(self):
+        with pytest.raises(LowerError):
+            lower("u32 f() { a = 2; return 0; }")
+
+
+class TestIntrinsics:
+    def test_load_sizes(self):
+        program = lower("""
+        u32 f(u32 p) { return load(p) + load8(p + 4); }
+        """)
+        loads = [i for i in instructions_of(program.functions["f"])
+                 if isinstance(i, LoadOp)]
+        assert sorted(load.size for load in loads) == [1, 4]
+
+    def test_global_address(self):
+        program = lower("""
+        global tab[] = {1, 2};
+        u32 f() { return load(tab + 4); }
+        """)
+        assert program.globals_[0].words == (1, 2)

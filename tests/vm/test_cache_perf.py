@@ -1,0 +1,148 @@
+"""Tests for the cache simulator and the cost model (Figure 16 substrate)."""
+
+import pytest
+
+from repro.isa.instructions import Instruction, Reg
+from repro.vm.cache import CacheConfig, SetAssociativeCache
+from repro.vm.perf import CostModel, PerfCounters
+from repro.vm.tracer import Trace
+
+
+class TestCacheConfig:
+    def test_derived_bits(self):
+        config = CacheConfig(line_bytes=64, num_sets=64, associativity=8)
+        assert config.offset_bits == 6
+        assert config.set_bits == 6
+        assert config.capacity_bytes == 64 * 64 * 8
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            CacheConfig(line_bytes=48)
+
+
+class TestSetAssociativeCache:
+    def test_miss_then_hit(self):
+        cache = SetAssociativeCache()
+        assert cache.access(0x1000) is False
+        assert cache.access(0x1000) is True
+        assert cache.access(0x1004) is True  # same line
+        assert cache.stats.hits == 2
+        assert cache.stats.misses == 1
+
+    def test_different_lines_miss(self):
+        cache = SetAssociativeCache()
+        cache.access(0x1000)
+        assert cache.access(0x1040) is False
+
+    def test_lru_eviction(self):
+        config = CacheConfig(line_bytes=64, num_sets=1, associativity=2)
+        cache = SetAssociativeCache(config)
+        cache.access(0x0000)   # A
+        cache.access(0x0040)   # B
+        cache.access(0x0080)   # C evicts A (LRU)
+        assert cache.access(0x0000) is False  # A was evicted
+        assert cache.access(0x0080) is True   # C still resident
+
+    def test_lru_updated_on_hit(self):
+        config = CacheConfig(line_bytes=64, num_sets=1, associativity=2)
+        cache = SetAssociativeCache(config)
+        cache.access(0x0000)   # A
+        cache.access(0x0040)   # B
+        cache.access(0x0000)   # touch A: B becomes LRU
+        cache.access(0x0080)   # C evicts B
+        assert cache.access(0x0000) is True
+        assert cache.access(0x0040) is False
+
+    def test_set_indexing(self):
+        config = CacheConfig(line_bytes=64, num_sets=4, associativity=1)
+        cache = SetAssociativeCache(config)
+        cache.access(0x0000)  # set 0
+        cache.access(0x0040)  # set 1 — must not evict set 0
+        assert cache.access(0x0000) is True
+
+    def test_bank_of(self):
+        cache = SetAssociativeCache(CacheConfig(line_bytes=64, banks=16))
+        assert cache.bank_of(0x1000) == 0
+        assert cache.bank_of(0x1004) == 1
+        assert cache.bank_of(0x103F) == 15
+
+    def test_flush(self):
+        cache = SetAssociativeCache()
+        cache.access(0x1000)
+        cache.flush()
+        assert cache.access(0x1000) is False
+
+    def test_resident_blocks(self):
+        cache = SetAssociativeCache()
+        cache.access(0x1000)
+        cache.access(0x2000)
+        assert {0x1000 >> 6, 0x2000 >> 6} <= cache.resident_blocks()
+
+    def test_miss_rate(self):
+        cache = SetAssociativeCache()
+        assert cache.stats.miss_rate == 0.0
+        cache.access(0x1000)
+        cache.access(0x1000)
+        assert cache.stats.miss_rate == 0.5
+
+
+class TestCostModel:
+    def test_instruction_costs(self):
+        model = CostModel()
+        model.instruction(Instruction("mov", (Reg(0), Reg(1))))
+        model.instruction(Instruction("imul", (Reg(0), Reg(1))))
+        model.instruction(Instruction("jne", (0x1000,)))
+        assert model.counters.instructions == 3
+        assert model.counters.cycles == (model.base_cycles + model.mul_cycles
+                                         + model.branch_cycles)
+
+    def test_memory_hierarchy_costs(self):
+        model = CostModel()
+        model.memory_access("R", 0x1000, 4)  # miss
+        cycles_after_miss = model.counters.cycles
+        model.memory_access("R", 0x1000, 4)  # hit
+        assert cycles_after_miss == model.miss_cycles
+        assert model.counters.cycles == model.miss_cycles + model.hit_cycles
+        assert model.counters.memory_accesses == 2
+
+    def test_fetches_use_icache(self):
+        model = CostModel()
+        model.memory_access("I", 0x1000, 4)
+        assert model.icache.stats.misses == 1
+        assert model.dcache.stats.misses == 0
+        assert model.counters.memory_accesses == 0  # fetches not counted as data
+
+    def test_charge_hybrid(self):
+        model = CostModel()
+        model.charge(instructions=1000, cycles=800)
+        assert model.counters.instructions == 1000
+        assert model.counters.cycles == 800
+
+    def test_counters_merge(self):
+        a = PerfCounters(instructions=10, cycles=20, memory_accesses=3,
+                         cache_hits=2, cache_misses=1)
+        b = PerfCounters(instructions=1, cycles=2, memory_accesses=1,
+                         cache_hits=1, cache_misses=0)
+        a.merge(b)
+        assert (a.instructions, a.cycles) == (11, 22)
+        assert (a.memory_accesses, a.cache_hits, a.cache_misses) == (4, 3, 1)
+
+
+class TestTraceViews:
+    def test_shared_view_interleaves(self):
+        trace = Trace()
+        trace.record("I", 0x1000, 2)
+        trace.record("R", 0x2000, 4)
+        trace.record("I", 0x1002, 2)
+        assert trace.view("shared", 0) == (0x1000, 0x2000, 0x1002)
+        assert trace.view("I", 0) == (0x1000, 0x1002)
+        assert trace.view("D", 0) == (0x2000,)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Trace().view("L3", 0)
+
+    def test_len(self):
+        trace = Trace()
+        trace.record("I", 0, 1)
+        assert len(trace) == 1
