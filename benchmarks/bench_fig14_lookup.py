@@ -7,6 +7,10 @@ Paper:
   14c  scatter/gather 1.0.2f: I 0, D address 1152 bits, block/b-block 0
   bank observer on 14c: 384 bits (CacheBleed)
   14d  defensive gather 1.0.2g: 0 bits everywhere
+
+The figures run through the sweep layer, so within one benchmark session the
+CacheBleed bank analysis reuses the Figure 14c gather analysis from the
+scenario cache instead of re-running it.
 """
 
 import pytest

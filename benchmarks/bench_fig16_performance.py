@@ -8,6 +8,9 @@ smaller keys for runtime), but the paper's qualitative findings must hold:
         band of each other, ordered scatter/gather < access-all < defensive.
   16b — one retrieval: scatter/gather is by far the cheapest, the defensive
         gather the most expensive (paper 2991 / 8618 / 13040 instructions).
+
+Kernel measurements run through the sweep layer as kernel scenarios, so one
+VM measurement per (variant, entry size) serves every consumer in a session.
 """
 
 from repro.casestudy.performance import (

@@ -1,0 +1,67 @@
+"""The sweep subsystem under load: a multi-scenario grid, pool-parallel.
+
+Runs the full catalogue grid (opt level × line size for the §8.3 kernels,
+every §8.4 countermeasure, plus the VM kernel measurements — well over the
+eight-scenario floor) through :class:`~repro.sweep.runner.SweepRunner` with
+worker processes, then re-runs it to show the fingerprint cache answering
+instantly.  Results are cross-checked against the paper's verdicts for the
+points that correspond to figures.
+"""
+
+import multiprocessing
+
+from repro.casestudy.scenarios import all_scenarios
+from repro.core.observers import AccessKind
+from repro.sweep import SweepRunner
+
+I, D = AccessKind.INSTRUCTION, AccessKind.DATA
+
+# At least two workers so the pool path is exercised even on small runners.
+JOBS = max(2, min(4, multiprocessing.cpu_count()))
+
+
+def _bits(result, kind, observer, stuttering=False):
+    return result.report.bits(kind, observer, stuttering=stuttering)
+
+
+def test_grid_sweep_parallel(once):
+    catalogue = all_scenarios(entry_bytes=32, nlimbs=8)
+    scenarios = list(catalogue.values())
+    assert len(scenarios) >= 8
+    runner = SweepRunner(processes=JOBS)
+
+    results = once(runner.run, scenarios)
+    by_name = {result.scenario: result for result in results}
+    print(f"\n{len(results)} scenarios over {JOBS} workers")
+
+    # Paper cross-checks on the figure points of the grid.
+    assert _bits(by_name["figure7a"], D, "address") == 1.0
+    assert _bits(by_name["figure7b"], D, "address") == 0.0
+    assert _bits(by_name["figure7b"], I, "block", stuttering=True) == 0.0
+    assert _bits(by_name["figure8"], I, "block", stuttering=True) == 1.0
+    assert _bits(by_name["figure14b"], D, "address") == 0.0
+    assert _bits(by_name["figure14c"], D, "block") == 0.0
+    assert _bits(by_name["figure14c"], D, "address") == 3.0 * 32
+    assert _bits(by_name["figure14d"], D, "address") == 0.0
+    assert _bits(by_name["figure15-O2"], I, "block", stuttering=True) == 1.0
+    assert _bits(by_name["figure15-O1"], I, "block", stuttering=True) == 0.0
+
+    # Kernel scenarios carry VM metrics and preserve the paper's ordering.
+    kernels = {name: result for name, result in by_name.items()
+               if result.kind == "kernel"}
+    assert len(kernels) == 3
+    instructions = {name: result.metrics["instructions"]
+                    for name, result in kernels.items()}
+    assert (instructions["kernel-scatter_102f-32B"]
+            < instructions["kernel-secure_163-32B"]
+            < instructions["kernel-defensive_102g-32B"])
+
+
+def test_grid_sweep_cache_round(once):
+    """A second pass over the same grid is answered from the cache."""
+    catalogue = all_scenarios(entry_bytes=32, nlimbs=8)
+    runner = SweepRunner(processes=1)
+    runner.run(list(catalogue.values()))  # warm
+
+    results = once(runner.run, list(catalogue.values()))
+    assert all(result.cached for result in results)

@@ -1,20 +1,58 @@
 """Shared benchmark helpers.
 
 Every benchmark regenerates one of the paper's tables or figures and asserts
-its shape against the paper's reported numbers, so ``pytest benchmarks/
---benchmark-only`` doubles as the reproduction harness.  Analyses are
+its shape against the paper's reported numbers, so ``pytest
+benchmarks/bench_*.py`` doubles as the reproduction harness.  Analyses are
 deterministic, so a single measured round is representative.
+
+Each benchmarked call's wall-clock time is also appended to
+``BENCH_sweep.json`` at the repository root, keyed by test id, so the
+performance trajectory of the figure reproductions is tracked across PRs
+(compare the file between commits to see hot-path regressions).
 """
+
+import json
+import os
+import time
 
 import pytest
 
+BENCH_LOG = os.path.join(os.path.dirname(__file__), os.pardir, "BENCH_sweep.json")
+
+_timings: dict[str, float] = {}
+
 
 @pytest.fixture()
-def once(benchmark):
+def once(benchmark, request):
     """Run the benchmarked callable exactly once (deterministic analyses)."""
 
     def run(func, *args, **kwargs):
-        return benchmark.pedantic(func, args=args, kwargs=kwargs,
-                                  rounds=1, iterations=1, warmup_rounds=0)
+        started = time.perf_counter()
+        result = benchmark.pedantic(func, args=args, kwargs=kwargs,
+                                    rounds=1, iterations=1, warmup_rounds=0)
+        _timings[request.node.nodeid] = round(time.perf_counter() - started, 4)
+        return result
 
     return run
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write the per-figure wall-clock log (merging earlier runs)."""
+    if not _timings:
+        return
+    path = os.path.abspath(BENCH_LOG)
+    merged: dict[str, float] = {}
+    if os.path.exists(path):
+        try:
+            with open(path, encoding="utf-8") as handle:
+                merged = json.load(handle).get("timings", {})
+        except (OSError, ValueError):
+            merged = {}
+    merged.update(_timings)
+    payload = {
+        "version": 1,
+        "timings": {key: merged[key] for key in sorted(merged)},
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=True)
+        handle.write("\n")

@@ -12,6 +12,8 @@ Public API overview
   Figure 16 performance study);
 - :mod:`repro.crypto` — the case-study workloads (MPI, modexp variants,
   ElGamal, countermeasure kernels);
+- :mod:`repro.sweep` — declarative scenarios, the parallel sweep runner,
+  and the cached result store (also the ``python -m repro`` CLI backend);
 - :mod:`repro.casestudy` — runnable reproductions of every table and figure
   of the paper's evaluation.
 
@@ -39,12 +41,14 @@ from repro.core import (
 )
 from repro.isa import parse_asm
 from repro.lang import compile_program
+from repro.sweep import Scenario, SweepResult, SweepRunner
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AccessKind", "AnalysisConfig", "AnalysisError", "AnalysisResult",
     "ArgInit", "CacheGeometry", "InputSpec", "LeakageReport", "Mask",
-    "MaskedSymbol", "MemInit", "RegInit", "SymbolTable", "TraceDAG",
-    "ValueSet", "analyze", "compile_program", "parse_asm",
+    "MaskedSymbol", "MemInit", "RegInit", "Scenario", "SweepResult",
+    "SweepRunner", "SymbolTable", "TraceDAG", "ValueSet", "analyze",
+    "compile_program", "parse_asm",
 ]

@@ -1,0 +1,163 @@
+"""``python -m repro`` — list and run scenarios, figures, and sweeps.
+
+Subcommands
+-----------
+- ``list``                      — the scenario catalogue and figure names
+- ``figure NAME... | --all``    — regenerate paper figures (paper-style tables)
+- ``sweep [NAME...]``           — run scenarios through the SweepRunner,
+  optionally pool-parallel (``--jobs``) and persisted (``--store``)
+
+Examples::
+
+    python -m repro list
+    python -m repro figure figure7a figure7b
+    python -m repro figure --all --entry-bytes 32
+    python -m repro sweep --all --jobs 4 --store sweep_results.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.casestudy import experiments
+from repro.casestudy.scenarios import all_scenarios
+from repro.sweep import Scenario, SweepResult, SweepRunner
+
+FIGURE_RUNNERS = {
+    "figure7a": experiments.figure7a,
+    "figure7b": experiments.figure7b,
+    "figure8": experiments.figure8,
+    "figure14a": experiments.figure14a,
+    "figure14b": experiments.figure14b,
+    "figure14c": experiments.figure14c,
+    "figure14d": experiments.figure14d,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduce and sweep the paper's cache-leakage analyses.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list figures and sweep scenarios")
+
+    figure = commands.add_parser("figure", help="regenerate paper figures")
+    figure.add_argument("names", nargs="*", help="figure names (see list)")
+    figure.add_argument("--all", action="store_true", help="run every figure")
+    figure.add_argument("--entry-bytes", type=int, default=None,
+                        help="table entry size for 14c/14d (default: paper's 384)")
+    figure.add_argument("--nlimbs", type=int, default=None,
+                        help="limb count for 14b (default: 24)")
+
+    sweep = commands.add_parser("sweep", help="run scenarios via SweepRunner")
+    sweep.add_argument("names", nargs="*", help="scenario names (see list)")
+    sweep.add_argument("--all", action="store_true", help="run the whole catalogue")
+    sweep.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (default 1: inline)")
+    sweep.add_argument("--store", default=None,
+                       help="JSON result store path (read/write cache)")
+    sweep.add_argument("--entry-bytes", type=int, default=32,
+                       help="entry size of the catalogue's §8.4 scenarios")
+    sweep.add_argument("--no-cache", action="store_true",
+                       help="recompute even if cached")
+    return parser
+
+
+def _command_list() -> int:
+    print("figures (python -m repro figure NAME):")
+    for name in FIGURE_RUNNERS:
+        print(f"  {name}")
+    print("\nscenarios (python -m repro sweep NAME, fast geometry):")
+    catalogue = all_scenarios()
+    width = max(len(name) for name in catalogue)
+    for name, scenario in sorted(catalogue.items()):
+        print(f"  {name:<{width}}  [{scenario.kind}] {scenario.description}")
+    return 0
+
+
+def _command_figure(args) -> int:
+    names = list(FIGURE_RUNNERS) if args.all else args.names
+    if not names:
+        print("no figures named; try --all or `python -m repro list`",
+              file=sys.stderr)
+        return 2
+    unknown = [name for name in names if name not in FIGURE_RUNNERS]
+    if unknown:
+        print(f"unknown figures: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    failures = 0
+    for name in names:
+        runner = FIGURE_RUNNERS[name]
+        kwargs = {}
+        if args.entry_bytes is not None and name in ("figure14c", "figure14d"):
+            kwargs["nbytes"] = args.entry_bytes
+        if args.nlimbs is not None and name == "figure14b":
+            kwargs["nlimbs"] = args.nlimbs
+        started = time.perf_counter()
+        result = runner(**kwargs)
+        elapsed = time.perf_counter() - started
+        print(result.format())
+        status = "matches the paper" if result.all_match else "DEVIATES"
+        print(f"  -> {status} ({elapsed:.2f}s)\n")
+        failures += 0 if result.all_match else 1
+    return 1 if failures else 0
+
+
+def _render_sweep_result(result: SweepResult) -> str:
+    source = "cache" if result.cached else f"{result.elapsed:.2f}s"
+    lines = [f"== {result.scenario} [{result.kind}] ({source})"]
+    if result.kind == "leakage":
+        lines.append(result.report.format_full_table())
+    else:
+        metrics = ", ".join(f"{key}={value:,}"
+                            for key, value in sorted(result.metrics.items()))
+        lines.append(f"  {metrics}")
+    return "\n".join(lines)
+
+
+def _command_sweep(args) -> int:
+    catalogue = all_scenarios(entry_bytes=args.entry_bytes)
+    if args.all:
+        selected: list[Scenario] = list(catalogue.values())
+    else:
+        if not args.names:
+            print("no scenarios named; try --all or `python -m repro list`",
+                  file=sys.stderr)
+            return 2
+        unknown = [name for name in args.names if name not in catalogue]
+        if unknown:
+            print(f"unknown scenarios: {', '.join(unknown)}", file=sys.stderr)
+            return 2
+        selected = [catalogue[name] for name in args.names]
+
+    runner = SweepRunner(processes=args.jobs, store=args.store,
+                         use_cache=not args.no_cache)
+    started = time.perf_counter()
+    results = runner.run(selected)
+    elapsed = time.perf_counter() - started
+    for result in results:
+        print(_render_sweep_result(result))
+        print()
+    hits = sum(1 for result in results if result.cached)
+    print(f"{len(results)} scenarios in {elapsed:.2f}s "
+          f"({hits} cached, jobs={args.jobs})")
+    if args.store:
+        print(f"results stored in {args.store}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _command_list()
+    if args.command == "figure":
+        return _command_figure(args)
+    return _command_sweep(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

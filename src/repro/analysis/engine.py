@@ -12,6 +12,14 @@ compiler-generated, reducible kernels the paper analyzes:
   abstract states are joined and the trace-DAG cursors are merged (which is
   where identical projected traces collapse, per §6.4).
 
+Scheduling is implemented as a ``heapq`` worklist keyed by ``(frames..., pc)``
+plus a merge-key index: successors are merged into the pending configuration
+with the same ``(frames, pc)`` *at insertion time*, so the invariant "at most
+one pending configuration per merge key" holds without ever re-sorting or
+re-scanning the whole worklist.  Two configurations with equal order keys
+necessarily share a merge key, so merged-away entries never reach the heap
+and no lazy-deletion pass is needed.
+
 Loops must be concretely bounded (as in the analyzed kernels: loop counters
 are known constants, compared through flag inference or pointer offsets) —
 secret-dependent loop bounds make the configuration set diverge and are
@@ -21,17 +29,20 @@ wrong result.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
+from functools import partial
+from itertools import count as _count
 
 from repro.analysis.config import AnalysisConfig, AnalysisError
 from repro.analysis.state import AbsState, AnalysisContext
 from repro.analysis.transfer import SENTINEL_RETURN, Transfer
-from repro.core.observers import AccessKind, Observer, project_value_set
+from repro.core.observers import AccessKind, Observer, ProjectedLabel, project_value_set
 from repro.core.tracedag import EMPTY_ENDS, Cursor, EndSet, TraceDAG
 from repro.core.valueset import ValueSet
 from repro.isa.image import Image
 
-__all__ = ["Engine", "DagKey", "EngineResult"]
+__all__ = ["Engine", "DagKey", "EngineResult", "SchedulerStats"]
 
 DagKey = tuple[AccessKind, str]  # (cache kind, observer name)
 
@@ -43,7 +54,7 @@ class _Config:
     frames: tuple[int, ...]
     pc: int
     state: AbsState
-    cursors: dict[DagKey, Cursor]
+    cursors: list[Cursor]  # positional, one slot per (kind, observer) DAG
 
     @property
     def order_key(self) -> tuple:
@@ -52,6 +63,40 @@ class _Config:
     @property
     def merge_key(self) -> tuple:
         return (self.frames, self.pc)
+
+
+@dataclass(slots=True)
+class SchedulerStats:
+    """Worklist and cache statistics of one engine run.
+
+    ``full_sorts`` counts full-worklist sorts; the heapq scheduler never
+    performs one, so the field exists to let regression tests assert it
+    stays zero if a fallback path is ever (re)introduced.
+    """
+
+    peak_heap_size: int = 0
+    full_sorts: int = 0
+    decode_hits: int = 0
+    decode_misses: int = 0
+    projection_hits: int = 0
+    projection_misses: int = 0
+    lift_memo_hits: int = 0
+    lift_memo_misses: int = 0
+
+    @property
+    def decode_cache_hit_rate(self) -> float:
+        total = self.decode_hits + self.decode_misses
+        return self.decode_hits / total if total else 0.0
+
+    @property
+    def projection_cache_hit_rate(self) -> float:
+        total = self.projection_hits + self.projection_misses
+        return self.projection_hits / total if total else 0.0
+
+    @property
+    def lift_memo_hit_rate(self) -> float:
+        total = self.lift_memo_hits + self.lift_memo_misses
+        return self.lift_memo_hits / total if total else 0.0
 
 
 @dataclass(slots=True)
@@ -64,6 +109,7 @@ class EngineResult:
     max_configs: int = 0
     merges: int = 0
     forks: int = 0
+    scheduler: SchedulerStats = field(default_factory=SchedulerStats)
 
 
 class Engine:
@@ -88,46 +134,118 @@ class Engine:
             for kind in self.kinds
             for observer in self.observers
         }
+        # Cursor storage is positional: each (kind, observer) DAG gets a slot
+        # index so the per-access hot loop indexes lists instead of hashing
+        # (AccessKind, name) tuples.
+        self._dag_keys: list[DagKey] = list(self.dags)
+        self._dag_slots: list[TraceDAG] = [self.dags[key] for key in self._dag_keys]
+        slot_of = {key: slot for slot, key in enumerate(self._dag_keys)}
+        # Stats and the decode/projection caches are per-run; run() resets
+        # them so a reused Engine cannot accumulate one run's counters into
+        # an earlier run's EngineResult.
+        self.stats = SchedulerStats()
+        # Decoded instructions per pc.  Image.decode_at has its own
+        # per-address cache; this front dict only skips the method-call
+        # overhead on the hot loop and gives the run its hit/miss counters.
+        self._decode_cache: dict[int, object] = {}
+        # Projected labels per (address set, offset bits): the projection of
+        # an address depends only on the observer's blinding, so one access
+        # re-observed by several (kind, observer) DAGs — and the same address
+        # re-accessed by later loop iterations — projects exactly once.
+        self._projection_cache: dict[tuple[ValueSet, int], ProjectedLabel] = {}
+        # Emit plan: for each access kind ("I"/"D"), every observer paired
+        # with the (dag, slot) pairs its projection feeds.  Built once so
+        # _emit does no per-access set algebra.
+        self._emit_plan: dict[str, list[tuple[Observer, list[tuple[TraceDAG, int]]]]] = {}
+        for access_kind, cache_kind in (("I", AccessKind.INSTRUCTION),
+                                        ("D", AccessKind.DATA)):
+            matched = {AccessKind.SHARED, cache_kind}
+            self._emit_plan[access_kind] = [
+                (observer,
+                 [(self.dags[(kind, observer.name)], slot_of[(kind, observer.name)])
+                  for kind in self.kinds if kind in matched])
+                for observer in self.observers
+            ]
 
     # ------------------------------------------------------------------
     # Access routing
     # ------------------------------------------------------------------
-    def _emit(self, cursors: dict[DagKey, Cursor], access_kind: str,
-              address: ValueSet, size: int) -> None:
-        matched_kinds = {AccessKind.SHARED}
-        matched_kinds.add(
-            AccessKind.INSTRUCTION if access_kind == "I" else AccessKind.DATA
+    def _project(self, address: ValueSet, observer: Observer) -> ProjectedLabel:
+        """The observer's projection of an address set, cached per run."""
+        cache_key = (address, observer.offset_bits)
+        label = self._projection_cache.get(cache_key)
+        if label is not None:
+            self.stats.projection_hits += 1
+            return label
+        self.stats.projection_misses += 1
+        label = project_value_set(
+            address, observer.offset_bits, self.context.table,
+            self.context.config.projection_policy,
         )
-        for observer in self.observers:
-            label = None
-            for kind in self.kinds:
-                if kind not in matched_kinds:
-                    continue
-                if label is None:
-                    label = project_value_set(
-                        address, observer.offset_bits, self.context.table,
-                        self.context.config.projection_policy,
-                    )
-                key = (kind, observer.name)
-                cursors[key] = self.dags[key].access(cursors[key], label)
+        self._projection_cache[cache_key] = label
+        return label
+
+    def _emit(self, cursors: list[Cursor], access_kind: str,
+              address: ValueSet, size: int) -> None:
+        """Record one access in every (kind, observer) DAG it is visible to.
+
+        Each (observer, kind) pair receives the label projected for *that*
+        observer's ``offset_bits`` — the projection cache (not cross-kind
+        label reuse inside the loop) is what deduplicates the computation,
+        so a kind can never observe a label projected for a different
+        blinding.
+        """
+        for observer, slots in self._emit_plan[access_kind]:
+            label = self._project(address, observer)
+            for dag, slot in slots:
+                cursors[slot] = dag.access(cursors[slot], label)
+
+    # ------------------------------------------------------------------
+    # Instruction decode
+    # ------------------------------------------------------------------
+    def _decode(self, pc: int):
+        """Decode the instruction at ``pc`` through the per-run cache."""
+        instruction = self._decode_cache.get(pc)
+        if instruction is not None:
+            self.stats.decode_hits += 1
+            return instruction
+        self.stats.decode_misses += 1
+        instruction = self.image.decode_at(pc)
+        self._decode_cache[pc] = instruction
+        return instruction
 
     # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
     def run(self, entry: int, initial_state: AbsState) -> EngineResult:
         """Explore every path from ``entry`` to the sentinel return."""
-        result = EngineResult(dags=self.dags, final_vertices={})
-        cursors = {key: dag.root_cursor() for key, dag in self.dags.items()}
-        configs: list[_Config] = [
-            _Config(frames=(), pc=entry, state=initial_state, cursors=cursors)
-        ]
+        # Fresh per-run state: earlier EngineResults keep their own stats
+        # objects, and the per-run caches' counters stay consistent with the
+        # step count of *this* run.
+        self.stats = SchedulerStats()
+        self._decode_cache = {}
+        self._projection_cache = {}
+        result = EngineResult(dags=self.dags, final_vertices={},
+                              scheduler=self.stats)
+        cursors = [dag.root_cursor() for dag in self._dag_slots]
+        root = _Config(frames=(), pc=entry, state=initial_state, cursors=cursors)
+
+        # Worklist: a heap of (order_key, seq, config) plus an index of the
+        # pending configurations by merge key.  The seq tiebreaker keeps the
+        # heap from ever comparing _Config objects.
+        seq = _count()
+        heap: list[tuple[tuple, int, _Config]] = []
+        pending: dict[tuple, _Config] = {root.merge_key: root}
+        heapq.heappush(heap, (root.order_key, next(seq), root))
+
         finished: list[_Config] = []
         fuel = self.context.config.fuel
 
-        while configs:
-            result.max_configs = max(result.max_configs, len(configs))
-            configs.sort(key=lambda c: c.order_key)
-            config = configs.pop(0)
+        while heap:
+            self.stats.peak_heap_size = max(self.stats.peak_heap_size, len(heap))
+            result.max_configs = max(result.max_configs, len(pending))
+            _, _, config = heapq.heappop(heap)
+            del pending[config.merge_key]
             if config.pc == SENTINEL_RETURN:
                 finished.append(config)
                 continue
@@ -138,9 +256,8 @@ class Engine:
                 )
             result.steps += 1
 
-            instruction = self.image.decode_at(config.pc)
-            emit = lambda kind, address, size: self._emit(
-                config.cursors, kind, address, size)  # noqa: E731
+            instruction = self._decode(config.pc)
+            emit = partial(self._emit, config.cursors)
             successors = self.transfer.step(config.state, instruction, emit)
 
             if len(successors) > 1:
@@ -154,35 +271,45 @@ class Engine:
                         frames = frames[:-1]
                 new_cursors = (
                     config.cursors if position == len(successors) - 1
-                    else dict(config.cursors)
+                    else list(config.cursors)
                 )
-                configs.append(_Config(
+                candidate = _Config(
                     frames=frames, pc=successor.pc,
                     state=successor.state, cursors=new_cursors,
-                ))
+                )
+                existing = pending.get(candidate.merge_key)
+                if existing is None:
+                    pending[candidate.merge_key] = candidate
+                    heapq.heappush(heap, (candidate.order_key, next(seq), candidate))
+                else:
+                    self._merge_into(existing, candidate, result)
 
-            configs = self._merge(configs, result)
-
+        self._sync_lift_stats()
         # Finalize all cursors per DAG.
-        for key, dag in self.dags.items():
+        for slot, key in enumerate(self._dag_keys):
+            dag = self._dag_slots[slot]
             ends = EMPTY_ENDS
             for config in finished:
-                ends = ends.union(dag.finalize(config.cursors[key]))
+                ends = ends.union(dag.finalize(config.cursors[slot]))
             result.final_vertices[key] = ends
         return result
 
-    def _merge(self, configs: list[_Config], result: EngineResult) -> list[_Config]:
-        """Merge configurations that share call frames and pc."""
-        by_key: dict[tuple, _Config] = {}
-        for config in configs:
-            existing = by_key.get(config.merge_key)
-            if existing is None:
-                by_key[config.merge_key] = config
-                continue
-            result.merges += 1
-            existing.state = existing.state.join(config.state, self.context)
-            for dag_key, dag in self.dags.items():
-                existing.cursors[dag_key] = dag.merge(
-                    existing.cursors[dag_key], config.cursors[dag_key]
-                )
-        return list(by_key.values())
+    def _merge_into(self, existing: _Config, incoming: _Config,
+                    result: EngineResult) -> None:
+        """Merge ``incoming`` into the pending config with the same key.
+
+        The merged config keeps its heap position: equal merge keys imply
+        equal order keys, so its priority is unchanged.
+        """
+        result.merges += 1
+        existing.state = existing.state.join(incoming.state, self.context)
+        for slot, dag in enumerate(self._dag_slots):
+            existing.cursors[slot] = dag.merge(
+                existing.cursors[slot], incoming.cursors[slot]
+            )
+
+    def _sync_lift_stats(self) -> None:
+        """Copy the value-set lifting memo counters into the run stats."""
+        ops = self.context.ops
+        self.stats.lift_memo_hits = ops.memo_hits
+        self.stats.lift_memo_misses = ops.memo_misses

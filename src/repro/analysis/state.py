@@ -23,7 +23,7 @@ unknown.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.analysis.config import AnalysisConfig
 from repro.analysis.flags import TOP_FLAGS, FlagState

@@ -23,11 +23,10 @@ from repro.analysis.config import AnalysisError
 from repro.analysis.flags import FlagState, TOP_FLAGS
 from repro.analysis.state import AbsState, AnalysisContext, FlagSource
 from repro.core.bitvec import sign_bit, sub_with_borrow, truncate
-from repro.core.masked import MaskedSymbol
 from repro.core.valueset import PrecisionLoss, ValueSet
 from repro.isa.image import Image
 from repro.isa.instructions import Imm, Instruction, Mem, Reg, condition_holds
-from repro.isa.registers import EAX, ECX, EDX, ESP, Reg8
+from repro.isa.registers import EAX, EDX, ESP, Reg8
 
 __all__ = ["Transfer", "Successor", "SENTINEL_RETURN"]
 

@@ -5,25 +5,38 @@ bits per (cache, observer) cell alongside the paper's reported value, and a
 ``format()`` rendering in the paper's table style.  Entry sizes are
 parameterizable so the same code serves fast tests (small tables) and the
 full paper geometry (384-byte entries) in the benchmarks.
+
+All figures run through the sweep layer: each one is a declarative
+:class:`~repro.sweep.scenario.Scenario` from
+:mod:`repro.casestudy.scenarios`, executed by the process-wide
+:func:`~repro.sweep.runner.default_runner`.  Scenarios shared between
+figures (e.g. the Figure 14c gather analysis and the CacheBleed bank
+analysis) are therefore computed once per process, and ``figure_*`` results
+serialize losslessly for the CLI and the result store.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.analysis.analyzer import AnalysisResult
-from repro.casestudy import targets
+from repro.casestudy import scenarios, targets
 from repro.core.leakage import format_bits
 from repro.core.observers import AccessKind
+from repro.sweep import Scenario, SweepResult, default_runner
 
 __all__ = [
-    "FigureCell", "FigureResult",
+    "FigureCell", "FigureResult", "run_scenario",
     "figure7a", "figure7b", "figure8",
     "figure14a", "figure14b", "figure14c", "figure14d",
     "cachebleed_bank_analysis", "figure15_effect",
 ]
 
 I, D = AccessKind.INSTRUCTION, AccessKind.DATA
+
+
+def run_scenario(scenario: Scenario) -> SweepResult:
+    """Run one scenario through the shared sweep runner (cached)."""
+    return default_runner().run_one(scenario)
 
 
 @dataclass(frozen=True, slots=True)
@@ -49,7 +62,7 @@ class FigureResult:
     figure: str
     title: str
     cells: list[FigureCell] = field(default_factory=list)
-    analysis: AnalysisResult | None = None
+    analysis: SweepResult | None = None
     notes: list[str] = field(default_factory=list)
 
     @property
@@ -82,10 +95,10 @@ class FigureResult:
         return "\n".join(lines)
 
 
-def _table(figure: str, title: str, analysis: AnalysisResult,
+def _table(figure: str, title: str, sweep: SweepResult,
            paper: dict[tuple[str, str], float]) -> FigureResult:
-    result = FigureResult(figure=figure, title=title, analysis=analysis)
-    report = analysis.report
+    result = FigureResult(figure=figure, title=title, analysis=sweep)
+    report = sweep.report
     for cache, kind in (("I-Cache", I), ("D-Cache", D)):
         row = report.paper_row(kind)
         for observer in ("address", "block", "b-block"):
@@ -103,18 +116,18 @@ def _table(figure: str, title: str, analysis: AnalysisResult,
 
 def figure7a() -> FigureResult:
     """Square-and-multiply from libgcrypt 1.5.2: 1 bit everywhere."""
-    analysis = targets.sqm_target(opt_level=2, line_bytes=64).analyze()
+    sweep = run_scenario(scenarios.sqm_scenario(opt_level=2, line_bytes=64))
     paper = {(cache, observer): 1.0
              for cache in ("I-Cache", "D-Cache")
              for observer in ("address", "block", "b-block")}
     return _table("Figure 7a", "square-and-multiply, libgcrypt 1.5.2 "
-                  "(-O2, 64B lines)", analysis, paper)
+                  "(-O2, 64B lines)", sweep, paper)
 
 
 def figure7b() -> FigureResult:
     """Square-and-always-multiply from 1.5.3: only the I-cache leaks, and
     not to stuttering observers."""
-    analysis = targets.sqam_target(opt_level=2, line_bytes=64).analyze()
+    sweep = run_scenario(scenarios.sqam_scenario(opt_level=2, line_bytes=64))
     paper = {
         ("I-Cache", "address"): 1.0, ("I-Cache", "block"): 1.0,
         ("I-Cache", "b-block"): 0.0,
@@ -122,17 +135,17 @@ def figure7b() -> FigureResult:
         ("D-Cache", "b-block"): 0.0,
     }
     return _table("Figure 7b", "square-and-always-multiply, libgcrypt 1.5.3 "
-                  "(-O2, 64B lines)", analysis, paper)
+                  "(-O2, 64B lines)", sweep, paper)
 
 
 def figure8() -> FigureResult:
     """Same countermeasure at -O0 with 32-byte lines: 1 bit everywhere."""
-    analysis = targets.sqam_target(opt_level=0, line_bytes=32).analyze()
+    sweep = run_scenario(scenarios.sqam_scenario(opt_level=0, line_bytes=32))
     paper = {(cache, observer): 1.0
              for cache in ("I-Cache", "D-Cache")
              for observer in ("address", "block", "b-block")}
     return _table("Figure 8", "square-and-always-multiply, libgcrypt 1.5.3 "
-                  "(-O0, 32B lines)", analysis, paper)
+                  "(-O0, 32B lines)", sweep, paper)
 
 
 # ----------------------------------------------------------------------
@@ -141,7 +154,7 @@ def figure8() -> FigureResult:
 
 def figure14a() -> FigureResult:
     """Unprotected lookup (libgcrypt 1.6.1): 5.6/2.3/2.3 data-cache bits."""
-    analysis = targets.lookup_target(opt_level=2).analyze()
+    sweep = run_scenario(scenarios.lookup_scenario(opt_level=2))
     paper = {
         ("I-Cache", "address"): 1.0, ("I-Cache", "block"): 1.0,
         ("I-Cache", "b-block"): 1.0,
@@ -150,7 +163,7 @@ def figure14a() -> FigureResult:
         ("D-Cache", "b-block"): 2.3219,
     }
     result = _table("Figure 14a", "secret-dependent lookup, libgcrypt 1.6.1",
-                    analysis, paper)
+                    sweep, paper)
     result.notes.append(
         "note: 5.6 bits = two correlated 7-entry lookups counted "
         "independently (the paper's documented imprecision)")
@@ -159,17 +172,17 @@ def figure14a() -> FigureResult:
 
 def figure14b(nlimbs: int = 24) -> FigureResult:
     """libgcrypt 1.6.3 defensive copy: zero leakage everywhere."""
-    analysis = targets.secure_retrieve_target(nlimbs=nlimbs).analyze()
+    sweep = run_scenario(scenarios.secure_retrieve_scenario(nlimbs=nlimbs))
     paper = {(cache, observer): 0.0
              for cache in ("I-Cache", "D-Cache")
              for observer in ("address", "block", "b-block")}
     return _table("Figure 14b", "secure table access, libgcrypt 1.6.3",
-                  analysis, paper)
+                  sweep, paper)
 
 
 def figure14c(nbytes: int = targets.PAPER_ENTRY_BYTES) -> FigureResult:
     """Scatter/gather: block-trace safe, address-trace leaks 3 bits/access."""
-    analysis = targets.gather_target(nbytes=nbytes).analyze()
+    sweep = run_scenario(scenarios.gather_scenario(nbytes=nbytes))
     paper = {
         ("I-Cache", "address"): 0.0, ("I-Cache", "block"): 0.0,
         ("I-Cache", "b-block"): 0.0,
@@ -178,7 +191,7 @@ def figure14c(nbytes: int = targets.PAPER_ENTRY_BYTES) -> FigureResult:
         ("D-Cache", "b-block"): 0.0,
     }
     result = _table("Figure 14c", "scatter/gather, OpenSSL 1.0.2f "
-                    f"({nbytes}-byte entries)", analysis, paper)
+                    f"({nbytes}-byte entries)", sweep, paper)
     if nbytes == targets.PAPER_ENTRY_BYTES:
         result.notes.append("paper: 1152 bit = 3 bits x 384 accesses")
     return result
@@ -186,21 +199,23 @@ def figure14c(nbytes: int = targets.PAPER_ENTRY_BYTES) -> FigureResult:
 
 def figure14d(nbytes: int = targets.PAPER_ENTRY_BYTES) -> FigureResult:
     """Defensive gather (OpenSSL 1.0.2g): zero leakage everywhere."""
-    analysis = targets.defensive_gather_target(nbytes=nbytes).analyze()
+    sweep = run_scenario(scenarios.defensive_gather_scenario(nbytes=nbytes))
     paper = {(cache, observer): 0.0
              for cache in ("I-Cache", "D-Cache")
              for observer in ("address", "block", "b-block")}
     return _table("Figure 14d", "defensive gather, OpenSSL 1.0.2g "
-                  f"({nbytes}-byte entries)", analysis, paper)
+                  f"({nbytes}-byte entries)", sweep, paper)
 
 
 def cachebleed_bank_analysis(nbytes: int = targets.PAPER_ENTRY_BYTES):
     """§8.4: the bank-trace observer sees 1 bit per access of gather.
 
     Returns ``(measured_bits, paper_bits)`` — 384 bits at paper geometry.
+    Shares the Figure 14c scenario, so when both run in one process the
+    analysis happens once.
     """
-    analysis = targets.gather_target(nbytes=nbytes).analyze()
-    measured = analysis.report.bits(D, "bank")
+    sweep = run_scenario(scenarios.gather_scenario(nbytes=nbytes))
+    measured = sweep.report.bits(D, "bank")
     return measured, 1.0 * nbytes
 
 
@@ -210,7 +225,7 @@ def figure15_effect() -> dict[int, float]:
     Returns {opt_level: b-block bits}.
     """
     return {
-        opt: targets.lookup_target(opt_level=opt).analyze()
-                    .report.bits(I, "block", stuttering=True)
+        opt: run_scenario(scenarios.lookup_scenario(opt_level=opt))
+        .report.bits(I, "block", stuttering=True)
         for opt in (1, 2)
     }

@@ -12,9 +12,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.casestudy.targets import Target
-from repro.vm.cpu import CPU
-from repro.vm.memory import FlatMemory
-from repro.vm.tracer import Trace
 
 __all__ = [
     "render_plain_table_layout", "render_scatter_gather_layout",

@@ -78,6 +78,9 @@ class VariantMeasurement:
 # Figure 16b: exact VM simulation of the retrieval kernels
 # ----------------------------------------------------------------------
 
+KERNEL_VARIANTS = ("scatter_102f", "secure_163", "defensive_102g")
+
+
 def _run_kernel(source: str, entry: str, args: list[int],
                 setup=None) -> KernelMeasurement:
     image = compile_program(source, opt_level=2, function_align=64)
@@ -98,27 +101,59 @@ def _run_kernel(source: str, entry: str, args: list[int],
     )
 
 
-def figure16b(nbytes: int = 384) -> dict[str, KernelMeasurement]:
-    """Measure one retrieval of a ``nbytes``-byte table entry per variant."""
+def measure_kernel(variant: str, nbytes: int) -> dict[str, int]:
+    """Measure one table retrieval on the VM; the kernel-scenario runner.
+
+    Returns a plain metrics dict so the measurement serializes through the
+    sweep layer's result store.
+    """
     heap = 0x0900_0000
-    r_buf, table, scratch = heap, heap + 0x1000, heap + 0x8000
+    r_buf, table = heap, heap + 0x1000
 
     def fill(memory: FlatMemory) -> None:
         for offset in range(nbytes * 8 + 64):
             memory.write_byte(table + offset, (offset * 7 + 1) & 0xFF)
 
-    results = {
-        "scatter_102f": _run_kernel(
-            sources.SCATTER_GATHER_102F, "gather",
-            [r_buf, table, 3, nbytes], setup=fill),
-        "secure_163": _run_kernel(
-            sources.SECURE_RETRIEVE_163, "secure_retrieve",
-            [r_buf, table, 3, 7, nbytes // 4], setup=fill),
-        "defensive_102g": _run_kernel(
-            sources.DEFENSIVE_GATHER_102G, "defensive_gather",
-            [r_buf, table, 3, nbytes], setup=fill),
+    runs = {
+        "scatter_102f": (sources.SCATTER_GATHER_102F, "gather",
+                         [r_buf, table, 3, nbytes]),
+        "secure_163": (sources.SECURE_RETRIEVE_163, "secure_retrieve",
+                       [r_buf, table, 3, 7, nbytes // 4]),
+        "defensive_102g": (sources.DEFENSIVE_GATHER_102G, "defensive_gather",
+                           [r_buf, table, 3, nbytes]),
     }
-    return results
+    if variant not in runs:
+        raise ValueError(f"unknown kernel variant {variant!r}")
+    source, entry, args = runs[variant]
+    measured = _run_kernel(source, entry, args, setup=fill)
+    return {
+        "instructions": measured.instructions,
+        "cycles": measured.cycles,
+        "memory_accesses": measured.memory_accesses,
+    }
+
+
+def figure16b(nbytes: int = 384) -> dict[str, KernelMeasurement]:
+    """Measure one retrieval of a ``nbytes``-byte table entry per variant.
+
+    Runs through the sweep layer: each variant is a kernel scenario, so
+    repeated measurements at one geometry (e.g. Figure 16a pricing lookups
+    after the 16b table was produced) come from the cache.
+    """
+    from repro.casestudy.scenarios import kernel_scenario
+    from repro.sweep import default_runner
+
+    sweeps = default_runner().run(
+        [kernel_scenario(variant, nbytes) for variant in KERNEL_VARIANTS])
+    return {
+        variant: KernelMeasurement(
+            name=variant,
+            instructions=sweep.metrics["instructions"],
+            cycles=sweep.metrics["cycles"],
+            memory_accesses=sweep.metrics["memory_accesses"],
+        )
+        for variant, sweep in zip(KERNEL_VARIANTS, sweeps)
+    }
 
 
 # ----------------------------------------------------------------------

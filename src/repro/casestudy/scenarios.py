@@ -1,0 +1,168 @@
+"""The named scenario registry for the paper's case studies.
+
+Every figure of §8 — and a broader grid of opt-level × line-size × entry-size
+variations around them — is available here as a declarative
+:class:`~repro.sweep.scenario.Scenario`, so the experiment runners, the
+benchmarks, and the ``python -m repro`` CLI all draw from one catalogue and
+share the sweep runner's caches.
+
+Scenario names are stable identifiers (``figure7a``, ``sqam-O0-32B``,
+``kernel-secure_163-384B``); parameterized builders (``lookup_scenario`` …)
+exist for the callers that need non-catalogue geometries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace as _replace
+
+from repro.casestudy import targets
+from repro.casestudy.performance import KERNEL_VARIANTS
+from repro.sweep import Scenario
+
+__all__ = [
+    "figure_scenarios",
+    "grid_scenarios",
+    "all_scenarios",
+    "sqm_scenario",
+    "sqam_scenario",
+    "lookup_scenario",
+    "secure_retrieve_scenario",
+    "gather_scenario",
+    "scatter_scenario",
+    "defensive_gather_scenario",
+    "kernel_scenario",
+]
+
+_TARGETS = "repro.casestudy.targets:"
+_KERNELS = "repro.casestudy.performance:measure_kernel"
+
+
+# ----------------------------------------------------------------------
+# Parameterized builders (leakage scenarios)
+# ----------------------------------------------------------------------
+
+def sqm_scenario(opt_level: int = 2, line_bytes: int = 64, **overrides) -> Scenario:
+    """Square-and-multiply, libgcrypt 1.5.2 (Figures 5/7a)."""
+    return Scenario.make(
+        f"sqm-O{opt_level}-{line_bytes}B", _TARGETS + "sqm_target",
+        description="square-and-multiply (libgcrypt 1.5.2)",
+        opt_level=opt_level, line_bytes=line_bytes, **overrides)
+
+
+def sqam_scenario(opt_level: int = 2, line_bytes: int = 64, **overrides) -> Scenario:
+    """Square-and-always-multiply, libgcrypt 1.5.3 (Figures 6/7b/8)."""
+    return Scenario.make(
+        f"sqam-O{opt_level}-{line_bytes}B", _TARGETS + "sqam_target",
+        description="square-and-always-multiply (libgcrypt 1.5.3)",
+        opt_level=opt_level, line_bytes=line_bytes, **overrides)
+
+
+def lookup_scenario(opt_level: int = 2, line_bytes: int = 64, **overrides) -> Scenario:
+    """Unprotected table lookup, libgcrypt 1.6.1 (Figures 10/14a/15)."""
+    return Scenario.make(
+        f"lookup-O{opt_level}-{line_bytes}B", _TARGETS + "lookup_target",
+        description="unprotected lookup (libgcrypt 1.6.1)",
+        opt_level=opt_level, line_bytes=line_bytes, **overrides)
+
+
+def secure_retrieve_scenario(nlimbs: int = targets.PAPER_LIMBS,
+                             **overrides) -> Scenario:
+    """Access-all-entries copy, libgcrypt 1.6.3 (Figures 11/14b)."""
+    return Scenario.make(
+        f"secure-{nlimbs}limbs", _TARGETS + "secure_retrieve_target",
+        description="secure table access (libgcrypt 1.6.3)",
+        nlimbs=nlimbs, **overrides)
+
+
+def gather_scenario(nbytes: int = targets.PAPER_ENTRY_BYTES,
+                    **overrides) -> Scenario:
+    """Scatter/gather retrieval, OpenSSL 1.0.2f (Figures 3/14c, CacheBleed)."""
+    return Scenario.make(
+        f"gather-{nbytes}B", _TARGETS + "gather_target",
+        description="scatter/gather (OpenSSL 1.0.2f)",
+        nbytes=nbytes, **overrides)
+
+
+def scatter_scenario(nbytes: int = targets.PAPER_ENTRY_BYTES,
+                     **overrides) -> Scenario:
+    """The scatter (store) half of the 1.0.2f countermeasure."""
+    return Scenario.make(
+        f"scatter-{nbytes}B", _TARGETS + "scatter_target",
+        description="scatter (OpenSSL 1.0.2f)",
+        nbytes=nbytes, **overrides)
+
+
+def defensive_gather_scenario(nbytes: int = targets.PAPER_ENTRY_BYTES,
+                              **overrides) -> Scenario:
+    """Defensive gather, OpenSSL 1.0.2g (Figures 12/14d)."""
+    return Scenario.make(
+        f"defensive-{nbytes}B", _TARGETS + "defensive_gather_target",
+        description="defensive gather (OpenSSL 1.0.2g)",
+        nbytes=nbytes, **overrides)
+
+
+def kernel_scenario(variant: str, nbytes: int) -> Scenario:
+    """VM cost measurement of one retrieval kernel (Figure 16b rows)."""
+    return Scenario.make(
+        f"kernel-{variant}-{nbytes}B", _KERNELS, kind="kernel",
+        description=f"one {nbytes}-byte retrieval, {variant}",
+        variant=variant, nbytes=nbytes)
+
+
+# ----------------------------------------------------------------------
+# The catalogue
+# ----------------------------------------------------------------------
+
+def figure_scenarios(entry_bytes: int = targets.PAPER_ENTRY_BYTES,
+                     nlimbs: int = targets.PAPER_LIMBS) -> dict[str, Scenario]:
+    """The scenarios behind the paper's leakage figures, by figure name.
+
+    Each scenario is renamed to its figure alias; the fingerprint ignores
+    the name, so a figure alias and the matching grid point share one cache
+    entry.
+    """
+    catalogue = {
+        "figure7a": sqm_scenario(opt_level=2, line_bytes=64),
+        "figure7b": sqam_scenario(opt_level=2, line_bytes=64),
+        "figure8": sqam_scenario(opt_level=0, line_bytes=32),
+        "figure14a": lookup_scenario(opt_level=2),
+        "figure14b": secure_retrieve_scenario(nlimbs=nlimbs),
+        "figure14c": gather_scenario(nbytes=entry_bytes),
+        "figure14d": defensive_gather_scenario(nbytes=entry_bytes),
+        "figure15-O1": lookup_scenario(opt_level=1),
+        "figure15-O2": lookup_scenario(opt_level=2),
+    }
+    return {name: _replace(scenario, name=name)
+            for name, scenario in catalogue.items()}
+
+
+def grid_scenarios(entry_bytes: int = 32) -> dict[str, Scenario]:
+    """A broader sweep grid around the paper's points.
+
+    Covers the compilation-dependence axis (opt level × line size) for both
+    §8.3 kernels and the countermeasure axis of §8.4 at a configurable entry
+    size, so multi-scenario sweeps exercise genuinely diverse analyses.
+    """
+    grid: dict[str, Scenario] = {}
+    for opt_level in (0, 1, 2):
+        for line_bytes in (32, 64):
+            for builder in (sqm_scenario, sqam_scenario, lookup_scenario):
+                scenario = builder(opt_level=opt_level, line_bytes=line_bytes)
+                grid[scenario.name] = scenario
+    for builder in (gather_scenario, scatter_scenario,
+                    defensive_gather_scenario):
+        scenario = builder(nbytes=entry_bytes)
+        grid[scenario.name] = scenario
+    secure = secure_retrieve_scenario(nlimbs=8)
+    grid[secure.name] = secure
+    return grid
+
+
+def all_scenarios(entry_bytes: int = 32, nlimbs: int = 8) -> dict[str, Scenario]:
+    """Figures (at fast geometry) plus the grid, for the CLI and sweeps."""
+    catalogue = figure_scenarios(entry_bytes=entry_bytes, nlimbs=nlimbs)
+    catalogue.update(grid_scenarios(entry_bytes=entry_bytes))
+    for variant in KERNEL_VARIANTS:
+        scenario = kernel_scenario(variant, entry_bytes)
+        catalogue[scenario.name] = scenario
+    return catalogue

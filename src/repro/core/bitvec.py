@@ -36,7 +36,9 @@ def mask_of(width: int) -> int:
 
 def truncate(value: int, width: int) -> int:
     """Truncate ``value`` to an unsigned ``width``-bit quantity."""
-    return value & mask_of(width)
+    # Hot path of both execution substrates: keep it a single expression
+    # (no mask_of call, whose width check costs on every VM step).
+    return value & ((1 << width) - 1)
 
 
 def to_signed(value: int, width: int) -> int:

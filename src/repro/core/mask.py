@@ -103,10 +103,10 @@ class Mask:
 
     def known_prefix_length(self) -> int:
         """Number of consecutive known bits starting from the LSB."""
-        count = 0
-        while count < self.width and self.is_known(count):
-            count += 1
-        return count
+        unknown = ~self.known & mask_of(self.width)
+        if unknown == 0:
+            return self.width
+        return (unknown & -unknown).bit_length() - 1
 
     # ------------------------------------------------------------------
     # Combinators

@@ -201,20 +201,20 @@ class MaskedOps:
                 FlagBits(zf=1 if result == 0 else 0, cf=0, sf=sign_bit(result, self.width), of=0),
             )
 
-        absorbing = 0 if op_name == "AND" else 1
+        # Bitwise-parallel evaluation (the per-bit rule of §5.4.1): a result
+        # bit is known where both operand bits are known, or where either
+        # operand pins it to the absorbing element (0 for AND, 1 for OR) —
+        # the Mask invariant (value ⊆ known) makes the value formulas exact.
         neutral = 1 if op_name == "AND" else 0
-        known = 0
-        value = 0
-        for i in range(self.width):
-            xb, yb = x.mask.bit_at(i), y.mask.bit_at(i)
-            if xb is not None and yb is not None:
-                known |= 1 << i
-                res = (xb & yb) if op_name == "AND" else (xb | yb)
-                value |= res << i
-            elif xb == absorbing or yb == absorbing:
-                known |= 1 << i
-                value |= absorbing << i
-        mask = Mask(known=known, value=value, width=self.width)
+        xk, xv = x.mask.known, x.mask.value
+        yk, yv = y.mask.known, y.mask.value
+        if op_name == "AND":
+            known = (xk & yk) | (xk & ~xv) | (yk & ~yv)
+            value = xv & yv
+        else:
+            known = (xk & yk) | (xk & xv) | (yk & yv)
+            value = xv | yv
+        mask = Mask(known=known & mask_of(self.width), value=value, width=self.width)
 
         result = self._boolean_symbol(op_name, x, y, mask, neutral)
         flags = FlagBits(zf=self._zf_from_mask(result.mask), cf=0,
@@ -245,14 +245,13 @@ class MaskedOps:
     def _neutral_on_result_symbolic(
         self, sym_side: MaskedSymbol, other: MaskedSymbol, result: Mask, neutral: int
     ) -> bool:
-        for i in range(self.width):
-            if result.is_known(i):
-                continue
-            if sym_side.mask.bit_at(i) is not None:
-                return False
-            if other.mask.bit_at(i) != neutral:
-                return False
-        return True
+        # Every position symbolic in the result must be a symbolic bit of
+        # ``sym_side`` paired with a known-neutral bit of ``other``.
+        symbolic = ~result.known & mask_of(self.width)
+        other_neutral = other.mask.known & (
+            other.mask.value if neutral else ~other.mask.value
+        )
+        return not (symbolic & (sym_side.mask.known | ~other_neutral))
 
     def xor(self, x: MaskedSymbol, y: MaskedSymbol) -> tuple[MaskedSymbol, FlagBits]:
         """Abstract bitwise XOR (§5.4.1)."""
@@ -263,16 +262,13 @@ class MaskedOps:
                 FlagBits(zf=1 if result == 0 else 0, cf=0, sf=sign_bit(result, self.width), of=0),
             )
         same_symbol = x.sym is not None and x.sym == y.sym
-        known = 0
-        value = 0
-        for i in range(self.width):
-            xb, yb = x.mask.bit_at(i), y.mask.bit_at(i)
-            if xb is not None and yb is not None:
-                known |= 1 << i
-                value |= (xb ^ yb) << i
-            elif same_symbol and xb is None and yb is None:
-                # λ(s)_i ⊕ λ(s)_i = 0
-                known |= 1 << i
+        xk, xv = x.mask.known, x.mask.value
+        yk, yv = y.mask.known, y.mask.value
+        known = xk & yk
+        if same_symbol:
+            # λ(s)_i ⊕ λ(s)_i = 0 on positions symbolic in both operands.
+            known |= ~xk & ~yk & mask_of(self.width)
+        value = (xv ^ yv) & known
         mask = Mask(known=known, value=value, width=self.width)
 
         if mask.is_constant:
@@ -325,20 +321,18 @@ class MaskedOps:
         ``carry_at_stop`` is the carry into the first symbolic position (or
         None if the whole word was known).
         """
-        known = 0
-        value = 0
-        carry = 0
-        stop_carry: int | None = None
-        for i in range(self.width):
-            xb, yb = xm.bit_at(i), ym.bit_at(i)
-            if xb is None or yb is None:
-                stop_carry = carry
-                break
-            total = xb + yb + carry
-            value |= (total & 1) << i
-            known |= 1 << i
-            carry = total >> 1
-        mask = Mask(known=known, value=value, width=self.width)
+        both_known = xm.known & ym.known
+        unknown = ~both_known & mask_of(self.width)
+        if unknown == 0:
+            # Fully known: plain addition, final carry discarded as the
+            # per-bit loop this replaces did.
+            value = (xm.value + ym.value) & mask_of(self.width)
+            return Mask.constant(value, self.width), None, False
+        prefix = (unknown & -unknown).bit_length() - 1  # first symbolic bit
+        low = low_ones(prefix)
+        total = (xm.value & low) + (ym.value & low)
+        stop_carry = total >> prefix
+        mask = Mask(known=low, value=total & low, width=self.width)
         return mask, stop_carry, stop_carry == 0
 
     def _add_symbol_constant(

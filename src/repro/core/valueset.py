@@ -125,19 +125,44 @@ class ValueSet:
 
 
 class ValueSetOps:
-    """Lifting of :class:`MaskedOps` from pairs to sets (paper §5.4)."""
+    """Lifting of :class:`MaskedOps` from pairs to sets (paper §5.4).
+
+    Binary liftings are memoized per ``(operation, x, y)``.  A symbol denotes
+    the same concrete value under any fixed valuation λ wherever it appears,
+    so re-running an operation on the same operand sets must produce the same
+    abstract result — the memo returns the first run's result (including any
+    fresh symbols it allocated) instead of recomputing the pairwise product.
+    This is the set-level counterpart of the §5.4.2 succ-table reuse and is
+    what keeps repeated loop bodies from recomputing identical products.
+    """
 
     def __init__(self, masked_ops: MaskedOps, cap: int = DEFAULT_SET_CAP) -> None:
         self.masked = masked_ops
         self.cap = cap
         self.width = masked_ops.width
+        self._memo: dict[tuple, tuple[ValueSet, frozenset[FlagBits]]] = {}
+        self.memo_hits = 0
+        self.memo_misses = 0
+
+    @property
+    def memo_hit_rate(self) -> float:
+        """Fraction of lifted operations answered from the memo."""
+        total = self.memo_hits + self.memo_misses
+        return self.memo_hits / total if total else 0.0
 
     def _lift_binary(
         self,
+        op_name: str,
         op: Callable[[MaskedSymbol, MaskedSymbol], tuple[MaskedSymbol, FlagBits]],
         x: ValueSet,
         y: ValueSet,
     ) -> tuple[ValueSet, frozenset[FlagBits]]:
+        memo_key = (op_name, x.elements, y.elements)
+        cached = self._memo.get(memo_key)
+        if cached is not None:
+            self.memo_hits += 1
+            return cached
+        self.memo_misses += 1
         results: set[MaskedSymbol] = set()
         flags: set[FlagBits] = set()
         if len(x) * len(y) > self.cap * self.cap:
@@ -153,7 +178,9 @@ class ValueSetOps:
             raise PrecisionLoss(
                 f"value set exceeded cap {self.cap} ({len(results)} elements)"
             )
-        return ValueSet(results), frozenset(flags)
+        lifted = (ValueSet(results), frozenset(flags))
+        self._memo[memo_key] = lifted
+        return lifted
 
     def _lift_unary(
         self,
@@ -173,27 +200,27 @@ class ValueSetOps:
     # ------------------------------------------------------------------
     def and_(self, x: ValueSet, y: ValueSet):
         """Lifted bitwise AND."""
-        return self._lift_binary(self.masked.and_, x, y)
+        return self._lift_binary("AND", self.masked.and_, x, y)
 
     def or_(self, x: ValueSet, y: ValueSet):
         """Lifted bitwise OR."""
-        return self._lift_binary(self.masked.or_, x, y)
+        return self._lift_binary("OR", self.masked.or_, x, y)
 
     def xor(self, x: ValueSet, y: ValueSet):
         """Lifted bitwise XOR."""
-        return self._lift_binary(self.masked.xor, x, y)
+        return self._lift_binary("XOR", self.masked.xor, x, y)
 
     def add(self, x: ValueSet, y: ValueSet):
         """Lifted addition."""
-        return self._lift_binary(self.masked.add, x, y)
+        return self._lift_binary("ADD", self.masked.add, x, y)
 
     def sub(self, x: ValueSet, y: ValueSet):
         """Lifted subtraction."""
-        return self._lift_binary(self.masked.sub, x, y)
+        return self._lift_binary("SUB", self.masked.sub, x, y)
 
     def mul(self, x: ValueSet, y: ValueSet):
         """Lifted multiplication."""
-        return self._lift_binary(self.masked.mul, x, y)
+        return self._lift_binary("MUL", self.masked.mul, x, y)
 
     def cmp(self, x: ValueSet, y: ValueSet) -> frozenset[FlagBits]:
         """Lifted comparison: the set of possible flag outcomes."""
@@ -215,6 +242,12 @@ class ValueSetOps:
         """Lifted SHL/SHR/SAR; the shift count must be fully known."""
         ops = {"SHL": self.masked.shl, "SHR": self.masked.shr, "SAR": self.masked.sar}
         shift_op = ops[op_name]
+        memo_key = (op_name, x.elements, amounts.elements)
+        cached = self._memo.get(memo_key)
+        if cached is not None:
+            self.memo_hits += 1
+            return cached
+        self.memo_misses += 1
         results: set[MaskedSymbol] = set()
         flags: set[FlagBits] = set()
         for count in amounts.constant_values():
@@ -227,7 +260,9 @@ class ValueSetOps:
             raise PrecisionLoss(
                 f"value set exceeded cap {self.cap} ({len(results)} elements)"
             )
-        return ValueSet(results), frozenset(flags)
+        lifted = (ValueSet(results), frozenset(flags))
+        self._memo[memo_key] = lifted
+        return lifted
 
     def apply(self, op_name: str, x: ValueSet, y: ValueSet | None):
         """Apply a named operation (used by the abstract transfer function)."""

@@ -13,7 +13,7 @@ shift-and-subtract reduction) with an operation counter, used to
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["MPI", "OpCounter", "LIMB_BITS", "LIMB_MASK"]
 

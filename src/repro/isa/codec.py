@@ -27,7 +27,7 @@ format.
 from __future__ import annotations
 
 from repro.core.bitvec import to_signed, truncate
-from repro.isa.instructions import CONDITIONS, Imm, Instruction, Label, Mem, Reg
+from repro.isa.instructions import CONDITIONS, Imm, Instruction, Mem, Reg
 from repro.isa.registers import Reg8
 
 __all__ = ["encode", "decode", "OPCODE_TABLE", "OPCODE_OF", "EncodeError", "DecodeError"]

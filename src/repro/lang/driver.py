@@ -32,6 +32,31 @@ def compile_to_assembler(
     )
 
 
+_COMPILE_CACHE: dict[tuple, Image] = {}
+_COMPILE_CACHE_MAX = 256
+
+
+def _cache_key(source: str, opt_level: int, kwargs: dict) -> tuple:
+    frozen = tuple(
+        (name, tuple(sorted(value.items())) if isinstance(value, dict) else value)
+        for name, value in sorted(kwargs.items())
+    )
+    return (source, opt_level, frozen)
+
+
 def compile_program(source: str, opt_level: int = 2, **kwargs) -> Image:
-    """Compile and assemble a program into a binary image."""
-    return compile_to_assembler(source, opt_level=opt_level, **kwargs).assemble()
+    """Compile and assemble a program into a binary image.
+
+    Results are cached per (source, options): an :class:`Image` is immutable
+    after assembly (the VM copies sections into its own memory; the analyzer
+    only reads), so figure runners and sweeps that rebuild the same target
+    share one compiled image — and its decoded-instruction cache.
+    """
+    key = _cache_key(source, opt_level, kwargs)
+    image = _COMPILE_CACHE.get(key)
+    if image is None:
+        if len(_COMPILE_CACHE) >= _COMPILE_CACHE_MAX:
+            _COMPILE_CACHE.clear()
+        image = compile_to_assembler(source, opt_level=opt_level, **kwargs).assemble()
+        _COMPILE_CACHE[key] = image
+    return image

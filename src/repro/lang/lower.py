@@ -16,7 +16,7 @@ from repro.core.bitvec import truncate
 from repro.lang import ast
 from repro.lang.ir import (
     COMPARE_CONDITIONS,
-    AddrOf, Bin, CallOp, CmpSet, CondBranch, Const, IRBlock, IRFunction,
+    AddrOf, Bin, CallOp, CmpSet, CondBranch, IRBlock, IRFunction,
     IRProgram, ImmOp, Jmp, LoadOp, Mov, Ret, StoreOp,
 )
 

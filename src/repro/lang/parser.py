@@ -28,7 +28,7 @@ from __future__ import annotations
 from repro.lang import ast
 from repro.lang.lexer import LexError, Token, tokenize
 
-__all__ = ["parse", "ParseError"]
+__all__ = ["parse", "ParseError", "LexError"]
 
 
 class ParseError(Exception):

@@ -1,0 +1,29 @@
+"""Sweep orchestration: declarative scenarios, parallel execution, caching.
+
+The paper's results are dozens of independent analyses over a scenario grid
+(target × optimization level × cache geometry × observer set).  This package
+turns that grid into data and machinery:
+
+- :class:`Scenario` — one grid point as a picklable, fingerprinted value;
+- :class:`SweepRunner` — fans scenarios over a process pool with in-process
+  and on-disk caches keyed by the fingerprint;
+- :class:`SweepResult` / :class:`ResultStore` — deterministic, structured
+  results that figure tables, benchmarks, and the ``python -m repro`` CLI
+  consume.
+"""
+
+from repro.sweep.results import BoundRow, ResultStore, SweepResult
+from repro.sweep.runner import SweepRunner, default_runner, execute_scenario
+from repro.sweep.scenario import Scenario, ScenarioError, resolve_dotted
+
+__all__ = [
+    "BoundRow",
+    "ResultStore",
+    "Scenario",
+    "ScenarioError",
+    "SweepResult",
+    "SweepRunner",
+    "default_runner",
+    "execute_scenario",
+    "resolve_dotted",
+]

@@ -1,0 +1,159 @@
+"""Structured sweep results and the on-disk JSON store.
+
+A :class:`SweepResult` is the deterministic product of running one
+:class:`~repro.sweep.scenario.Scenario`: observation counts per
+(cache kind, observer) for leakage scenarios, instruction/cycle metrics for
+kernel scenarios, plus engine statistics.  Figure tables and benchmarks
+consume these instead of raw analyzer objects, so results serialize, cache,
+and cross process boundaries losslessly (observation counts are arbitrary-
+precision ints — e.g. ``8**384`` for the scatter/gather address trace — which
+Python's JSON handles exactly).
+
+Wall-clock time is carried on the result object (``elapsed``) but is *not*
+part of the payload: the store's content is a pure function of the scenarios
+that produced it, which the regression tests assert byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+
+from repro.core.leakage import LeakageReport, ObservationBound
+from repro.core.observers import AccessKind
+
+__all__ = ["BoundRow", "SweepResult", "ResultStore"]
+
+STORE_VERSION = 1
+
+
+@dataclass(frozen=True, slots=True)
+class BoundRow:
+    """One observer's counting result, serialization-friendly."""
+
+    kind: str          # AccessKind name: "INSTRUCTION" | "DATA" | "SHARED"
+    observer: str
+    count: int
+    stuttering_count: int
+
+    def to_bound(self) -> ObservationBound:
+        return ObservationBound(
+            kind=AccessKind[self.kind], observer=self.observer,
+            count=self.count, stuttering_count=self.stuttering_count,
+        )
+
+
+@dataclass(slots=True)
+class SweepResult:
+    """The outcome of one scenario run."""
+
+    scenario: str
+    fingerprint: str
+    kind: str                                   # "leakage" | "kernel"
+    target: str = ""                            # human-readable target label
+    rows: tuple[BoundRow, ...] = ()             # leakage scenarios
+    metrics: dict = field(default_factory=dict)  # kernel metrics / engine stats
+    warnings: tuple[str, ...] = ()
+    elapsed: float = 0.0                        # not part of the payload
+    cached: bool = False                        # answered from a cache?
+
+    # ------------------------------------------------------------------
+    # Leakage view
+    # ------------------------------------------------------------------
+    @property
+    def report(self) -> LeakageReport:
+        """Reconstruct the :class:`LeakageReport` the figure tables consume."""
+        report = LeakageReport(target=self.target)
+        for row in self.rows:
+            report.record(row.to_bound())
+        report.notes = list(self.warnings)
+        return report
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_payload(self) -> dict:
+        """Deterministic JSON form (excludes wall-clock and cache state)."""
+        return {
+            "scenario": self.scenario,
+            "fingerprint": self.fingerprint,
+            "kind": self.kind,
+            "target": self.target,
+            "rows": [
+                [row.kind, row.observer, row.count, row.stuttering_count]
+                for row in self.rows
+            ],
+            "metrics": dict(self.metrics),
+            "warnings": list(self.warnings),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict, cached: bool = False) -> "SweepResult":
+        return cls(
+            scenario=payload["scenario"],
+            fingerprint=payload["fingerprint"],
+            kind=payload["kind"],
+            target=payload.get("target", ""),
+            rows=tuple(BoundRow(*row) for row in payload.get("rows", ())),
+            metrics=dict(payload.get("metrics", {})),
+            warnings=tuple(payload.get("warnings", ())),
+            cached=cached,
+        )
+
+
+class ResultStore:
+    """On-disk JSON store of sweep results, keyed by scenario fingerprint.
+
+    The file layout is ``{"version": 1, "results": {fingerprint: payload}}``
+    with sorted keys, so identical sweeps write byte-identical stores no
+    matter the execution order or worker count.
+    """
+
+    def __init__(self, path: str | os.PathLike):
+        self.path = os.fspath(path)
+        self._results: dict[str, dict] = {}
+        self._load()
+
+    def _load(self) -> None:
+        if not os.path.exists(self.path):
+            return
+        try:
+            with open(self.path, encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            return  # unreadable/corrupt store: start fresh, overwrite on save
+        if not isinstance(data, dict) or data.get("version") != STORE_VERSION:
+            return  # incompatible store: start fresh, keep the file until save
+        self._results = dict(data.get("results", {}))
+
+    def get(self, fingerprint: str) -> SweepResult | None:
+        payload = self._results.get(fingerprint)
+        if payload is None:
+            return None
+        return SweepResult.from_payload(payload, cached=True)
+
+    def put(self, result: SweepResult) -> None:
+        self._results[result.fingerprint] = result.to_payload()
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def save(self) -> None:
+        """Atomically rewrite the store file."""
+        payload = {
+            "version": STORE_VERSION,
+            "results": {key: self._results[key] for key in sorted(self._results)},
+        }
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        descriptor, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=1, sort_keys=True)
+                handle.write("\n")
+            os.replace(temp_path, self.path)
+        except BaseException:
+            os.unlink(temp_path)
+            raise

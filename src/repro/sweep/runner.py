@@ -1,0 +1,243 @@
+"""The sweep runner: scenarios in, cached/parallel results out.
+
+``SweepRunner`` fans a list of :class:`~repro.sweep.scenario.Scenario` out
+across a ``multiprocessing`` pool (or runs them inline for ``processes=1``),
+with two cache layers keyed by the scenario fingerprint:
+
+- an **in-process** dict, so figure runners and benchmarks that revisit a
+  scenario within one interpreter (e.g. the CacheBleed bank analysis reusing
+  the Figure 14c gather analysis) pay for it once;
+- an optional **on-disk** :class:`~repro.sweep.results.ResultStore`, so
+  repeated sweeps across processes skip finished scenarios entirely.
+
+Execution is deterministic: a scenario's result payload is a pure function
+of the scenario (the analysis allocates symbols in a fixed order and the
+engine's worklist is totally ordered), so pool scheduling cannot change any
+measured bit — only the wall-clock column.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import replace as dataclass_replace
+from typing import Iterable
+
+from repro.core.observers import AccessKind, ProjectionPolicy
+from repro.sweep.results import BoundRow, ResultStore, SweepResult
+from repro.sweep.scenario import KERNEL, LEAKAGE, Scenario, ScenarioError
+
+__all__ = ["SweepRunner", "default_runner", "execute_scenario"]
+
+
+def _overridden_config(config, scenario: Scenario):
+    """Apply a scenario's AnalysisConfig overrides to a target's config."""
+    overrides = scenario.config_overrides()
+    if not overrides:
+        return config
+    translated = {}
+    for name, value in overrides.items():
+        if name == "observers":
+            translated["observer_names"] = tuple(value)
+        elif name == "kinds":
+            translated["kinds"] = tuple(AccessKind[kind] for kind in value)
+        elif name == "projection_policy":
+            translated["projection_policy"] = ProjectionPolicy[value]
+        else:
+            translated[name] = value
+    return dataclass_replace(config, **translated)
+
+
+def _engine_metrics(engine_result) -> dict:
+    """Deterministic engine counters recorded alongside the bounds."""
+    scheduler = engine_result.scheduler
+    return {
+        "steps": engine_result.steps,
+        "max_configs": engine_result.max_configs,
+        "merges": engine_result.merges,
+        "forks": engine_result.forks,
+        "peak_heap_size": scheduler.peak_heap_size,
+        "full_sorts": scheduler.full_sorts,
+        "decode_hits": scheduler.decode_hits,
+        "decode_misses": scheduler.decode_misses,
+        "projection_hits": scheduler.projection_hits,
+        "projection_misses": scheduler.projection_misses,
+        "lift_memo_hits": scheduler.lift_memo_hits,
+        "lift_memo_misses": scheduler.lift_memo_misses,
+    }
+
+
+def execute_scenario(scenario: Scenario) -> SweepResult:
+    """Run one scenario to completion in this process (no caching)."""
+    from repro.analysis.analyzer import analyze  # deferred: keep import cheap
+
+    started = time.perf_counter()
+    if scenario.kind == LEAKAGE:
+        target = scenario.build_target()
+        config = _overridden_config(target.config, scenario)
+        analysis = analyze(target.image, target.spec, config)
+        rows = tuple(
+            BoundRow(kind=kind.name, observer=observer,
+                     count=bound.count, stuttering_count=bound.stuttering_count)
+            for (kind, observer), bound in sorted(
+                analysis.report.bounds.items(),
+                key=lambda item: (item[0][0].name, item[0][1]))
+        )
+        result = SweepResult(
+            scenario=scenario.name,
+            fingerprint=scenario.fingerprint(),
+            kind=LEAKAGE,
+            target=analysis.report.target,
+            rows=rows,
+            metrics=_engine_metrics(analysis.engine_result),
+            warnings=tuple(analysis.report.notes),
+        )
+    elif scenario.kind == KERNEL:
+        runner = scenario.build_target()  # kernel scenarios name a callable
+        metrics = runner if isinstance(runner, dict) else dict(runner)
+        result = SweepResult(
+            scenario=scenario.name,
+            fingerprint=scenario.fingerprint(),
+            kind=KERNEL,
+            target=scenario.description or scenario.name,
+            metrics=metrics,
+        )
+    else:  # pragma: no cover - Scenario.__post_init__ rejects this
+        raise ScenarioError(f"unknown scenario kind {scenario.kind!r}")
+    result.elapsed = time.perf_counter() - started
+    return result
+
+
+def _pool_worker(scenario: Scenario) -> dict:
+    """Pool entry point: run and return the payload plus timing."""
+    result = execute_scenario(scenario)
+    payload = result.to_payload()
+    payload["_elapsed"] = result.elapsed
+    return payload
+
+
+class SweepRunner:
+    """Runs scenario batches with caching and optional process parallelism."""
+
+    def __init__(
+        self,
+        processes: int = 1,
+        store: ResultStore | str | os.PathLike | None = None,
+        use_cache: bool = True,
+    ) -> None:
+        self.processes = max(1, processes)
+        if store is not None and not isinstance(store, ResultStore):
+            store = ResultStore(store)
+        self.store = store
+        self.use_cache = use_cache
+        self._memory: dict[str, SweepResult] = {}
+
+    # ------------------------------------------------------------------
+    # Cache plumbing
+    # ------------------------------------------------------------------
+    def _lookup(self, scenario: Scenario) -> SweepResult | None:
+        if not self.use_cache:
+            return None
+        fingerprint = scenario.fingerprint()
+        cached = self._memory.get(fingerprint)
+        if cached is None and self.store is not None:
+            cached = self.store.get(fingerprint)
+            if cached is not None:
+                self._memory[fingerprint] = cached
+        if cached is None:
+            return None
+        # Fingerprints ignore cosmetic fields, so a hit may carry another
+        # alias of the same analysis — relabel it for this caller.
+        return dataclass_replace(cached, cached=True, scenario=scenario.name)
+
+    def _remember(self, result: SweepResult) -> None:
+        self._memory[result.fingerprint] = result
+        if self.store is not None:
+            self.store.put(result)
+
+    def clear_cache(self) -> None:
+        """Drop the in-process cache (the on-disk store is untouched)."""
+        self._memory.clear()
+
+    def adopt(self, results: Iterable[SweepResult]) -> None:
+        """Seed the cache with results computed elsewhere.
+
+        Lets a pool-parallel pre-warm pass feed the process-wide
+        :func:`default_runner`, so subsequent figure runners hit the cache.
+        """
+        for result in results:
+            self._remember(result)
+        if self.store is not None:
+            self.store.save()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run_one(self, scenario: Scenario) -> SweepResult:
+        """Run (or recall) a single scenario."""
+        return self.run([scenario])[0]
+
+    def run(self, scenarios: Iterable[Scenario]) -> list[SweepResult]:
+        """Run a batch, returning results in input order.
+
+        Cached scenarios are answered immediately; the misses are executed
+        inline or fanned out over a process pool, whichever the runner was
+        configured for.
+        """
+        batch = list(scenarios)
+        results: list[SweepResult | None] = [None] * len(batch)
+        misses: list[tuple[int, Scenario]] = []
+        aliases: list[tuple[int, Scenario, int]] = []  # duplicates of a miss
+        first_miss: dict[str, int] = {}  # fingerprint → index of first miss
+        for index, scenario in enumerate(batch):
+            cached = self._lookup(scenario)
+            if cached is not None:
+                results[index] = cached
+                continue
+            fingerprint = scenario.fingerprint()
+            if fingerprint in first_miss:
+                # Same analysis under another name in this very batch: run it
+                # once, share the result.
+                aliases.append((index, scenario, first_miss[fingerprint]))
+            else:
+                first_miss[fingerprint] = index
+                misses.append((index, scenario))
+
+        if misses:
+            if self.processes > 1 and len(misses) > 1:
+                fresh = self._run_pool([scenario for _, scenario in misses])
+            else:
+                fresh = [execute_scenario(scenario) for _, scenario in misses]
+            for (index, _), result in zip(misses, fresh):
+                self._remember(result)
+                results[index] = result
+            for index, scenario, source_index in aliases:
+                results[index] = dataclass_replace(
+                    results[source_index], cached=True, scenario=scenario.name)
+            if self.store is not None:
+                self.store.save()
+        return results  # type: ignore[return-value]
+
+    def _run_pool(self, scenarios: list[Scenario]) -> list[SweepResult]:
+        workers = min(self.processes, len(scenarios))
+        with multiprocessing.Pool(processes=workers) as pool:
+            payloads = pool.map(_pool_worker, scenarios)
+        fresh = []
+        for payload in payloads:
+            elapsed = payload.pop("_elapsed", 0.0)
+            result = SweepResult.from_payload(payload)
+            result.elapsed = elapsed
+            fresh.append(result)
+        return fresh
+
+
+_DEFAULT_RUNNER: SweepRunner | None = None
+
+
+def default_runner() -> SweepRunner:
+    """The process-wide inline runner (shared in-memory cache)."""
+    global _DEFAULT_RUNNER
+    if _DEFAULT_RUNNER is None:
+        _DEFAULT_RUNNER = SweepRunner(processes=1)
+    return _DEFAULT_RUNNER

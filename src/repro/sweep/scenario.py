@@ -1,0 +1,170 @@
+"""Declarative sweep scenarios.
+
+A :class:`Scenario` describes one analysis (or VM measurement) of the paper's
+grid — target × optimization level × cache geometry × observer set × analysis
+knobs — as plain data.  Scenarios are:
+
+- **declarative**: the target is named by a dotted reference
+  (``"repro.casestudy.targets:sqam_target"``) plus keyword parameters, so a
+  scenario is a value, not a closure, and the sweep layer stays below the
+  case studies in the layer stack (isa → vm → core → analysis → sweep →
+  casestudy);
+- **picklable**: every field is a primitive, so scenarios cross process
+  boundaries unchanged for pool-parallel sweeps;
+- **fingerprinted**: :meth:`Scenario.fingerprint` hashes the canonical JSON
+  form, giving result caches and on-disk stores a stable key that changes
+  exactly when the scenario's meaning changes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import json
+from dataclasses import dataclass, fields
+
+__all__ = ["Scenario", "resolve_dotted", "ScenarioError"]
+
+# Scenario kinds.
+LEAKAGE = "leakage"  # static analysis → observation bounds per observer
+KERNEL = "kernel"    # concrete VM run → instruction/cycle counts
+
+
+class ScenarioError(Exception):
+    """Raised for malformed scenarios or unresolvable references."""
+
+
+def resolve_dotted(ref: str):
+    """Resolve a ``"package.module:attribute"`` reference."""
+    module_name, _, attribute = ref.partition(":")
+    if not module_name or not attribute:
+        raise ScenarioError(f"malformed dotted reference {ref!r}")
+    try:
+        module = importlib.import_module(module_name)
+    except ImportError as problem:
+        raise ScenarioError(f"cannot import {module_name!r}: {problem}") from problem
+    try:
+        return getattr(module, attribute)
+    except AttributeError as problem:
+        raise ScenarioError(f"{module_name!r} has no {attribute!r}") from problem
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One point of an analysis sweep, as plain data.
+
+    ``target`` names a factory returning a
+    :class:`~repro.casestudy.targets.Target` (for ``kind="leakage"``) or any
+    callable returning a JSON-serializable metrics dict (for
+    ``kind="kernel"``); ``params`` are its keyword arguments, stored as
+    sorted pairs so equal scenarios are structurally equal.
+
+    The ``observers`` … ``fuel`` fields override the target's
+    :class:`~repro.analysis.config.AnalysisConfig`; ``None`` keeps the
+    target's own setting.
+    """
+
+    name: str
+    target: str
+    params: tuple[tuple[str, object], ...] = ()
+    kind: str = LEAKAGE
+    description: str = ""
+    # AnalysisConfig overrides (leakage scenarios only).
+    observers: tuple[str, ...] | None = None
+    kinds: tuple[str, ...] | None = None
+    projection_policy: str | None = None
+    track_offsets: bool | None = None
+    refine_branches: bool | None = None
+    value_set_cap: int | None = None
+    fuel: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in (LEAKAGE, KERNEL):
+            raise ScenarioError(f"unknown scenario kind {self.kind!r}")
+        object.__setattr__(
+            self, "params", tuple(sorted(tuple(pair) for pair in self.params))
+        )
+
+    @classmethod
+    def make(cls, name: str, target: str, *, kind: str = LEAKAGE,
+             description: str = "", **params) -> "Scenario":
+        """Build a scenario with ``params`` given as keyword arguments.
+
+        Config-override fields (``observers``, ``fuel``, …) are recognized by
+        name and routed to their dedicated fields; everything else becomes a
+        target parameter.
+        """
+        override_names = {
+            "observers", "kinds", "projection_policy", "track_offsets",
+            "refine_branches", "value_set_cap", "fuel",
+        }
+        overrides = {key: params.pop(key) for key in list(params)
+                     if key in override_names}
+        return cls(name=name, target=target, kind=kind, description=description,
+                   params=tuple(params.items()), **overrides)
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    def params_dict(self) -> dict:
+        """The target parameters as a dict."""
+        return dict(self.params)
+
+    def config_overrides(self) -> dict:
+        """The non-``None`` analysis-config overrides."""
+        overrides = {}
+        for name in ("observers", "kinds", "projection_policy",
+                     "track_offsets", "refine_branches", "value_set_cap", "fuel"):
+            value = getattr(self, name)
+            if value is not None:
+                overrides[name] = value
+        return overrides
+
+    def to_payload(self) -> dict:
+        """Canonical JSON-serializable form (drives the fingerprint)."""
+        payload = {}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            if isinstance(value, tuple):
+                value = _listify(value)
+            payload[spec.name] = value
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "Scenario":
+        """Inverse of :meth:`to_payload`."""
+        data = dict(payload)
+        data["params"] = tuple(
+            (key, value) for key, value in (data.get("params") or ())
+        )
+        for name in ("observers", "kinds"):
+            if data.get(name) is not None:
+                data[name] = tuple(data[name])
+        return cls(**data)
+
+    def fingerprint(self) -> str:
+        """Stable hash of the scenario's *meaning*.
+
+        ``name`` and ``description`` are cosmetic and excluded: the figure
+        alias ``figure7a`` and the grid point ``sqm-O2-64B`` describe the
+        same analysis and share one cache entry.
+        """
+        payload = self.to_payload()
+        del payload["name"], payload["description"]
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+    # ------------------------------------------------------------------
+    # Materialization (runs in the worker process)
+    # ------------------------------------------------------------------
+    def build_target(self):
+        """Resolve and invoke the target factory with this scenario's params."""
+        factory = resolve_dotted(self.target)
+        return factory(**self.params_dict())
+
+
+def _listify(value):
+    """Tuples → lists, recursively, for canonical JSON."""
+    if isinstance(value, tuple):
+        return [_listify(item) for item in value]
+    return value

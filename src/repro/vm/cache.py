@@ -12,7 +12,7 @@ conflict.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["CacheConfig", "SetAssociativeCache", "CacheStats"]
 
@@ -68,6 +68,11 @@ class SetAssociativeCache:
         # Each set is an ordered list of tags, most recently used last.
         self._sets: list[list[int]] = [[] for _ in range(self.config.num_sets)]
         self.stats = CacheStats()
+        # Geometry, flattened out of the config properties for the hot path.
+        self._offset_bits = self.config.offset_bits
+        self._set_bits = self.config.set_bits
+        self._set_mask = self.config.num_sets - 1
+        self._assoc = self.config.associativity
 
     def _locate(self, addr: int) -> tuple[int, int]:
         block = addr >> self.config.offset_bits
@@ -77,15 +82,17 @@ class SetAssociativeCache:
 
     def access(self, addr: int) -> bool:
         """Access one address; returns True on hit and updates LRU state."""
-        set_index, tag = self._locate(addr)
-        lines = self._sets[set_index]
+        # _locate inlined: this runs once per simulated memory access.
+        block = addr >> self._offset_bits
+        tag = block >> self._set_bits
+        lines = self._sets[block & self._set_mask]
         if tag in lines:
             lines.remove(tag)
             lines.append(tag)
             self.stats.hits += 1
             return True
         lines.append(tag)
-        if len(lines) > self.config.associativity:
+        if len(lines) > self._assoc:
             lines.pop(0)
         self.stats.misses += 1
         return False

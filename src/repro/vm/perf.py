@@ -53,19 +53,27 @@ class CostModel:
     dcache: SetAssociativeCache = field(
         default_factory=lambda: SetAssociativeCache(CacheConfig(num_sets=64)))
     counters: PerfCounters = field(default_factory=PerfCounters)
+    _mnemonic_cycles: dict[str, int] = field(default_factory=dict, repr=False)
 
     def instruction(self, instr: Instruction) -> None:
         """Charge the base cost of one instruction (fetch charged separately)."""
         self.counters.instructions += 1
         mnemonic = instr.mnemonic
+        cycles = self._mnemonic_cycles.get(mnemonic)
+        if cycles is None:
+            cycles = self._classify(mnemonic)
+            self._mnemonic_cycles[mnemonic] = cycles
+        self.counters.cycles += cycles
+
+    def _classify(self, mnemonic: str) -> int:
+        """Base latency of one mnemonic (memoized per cost model)."""
         if mnemonic in ("mul", "imul"):
-            self.counters.cycles += self.mul_cycles
-        elif mnemonic == "div":
-            self.counters.cycles += self.div_cycles
-        elif mnemonic.startswith("j") or mnemonic in ("call", "ret"):
-            self.counters.cycles += self.branch_cycles
-        else:
-            self.counters.cycles += self.base_cycles
+            return self.mul_cycles
+        if mnemonic == "div":
+            return self.div_cycles
+        if mnemonic.startswith("j") or mnemonic in ("call", "ret"):
+            return self.branch_cycles
+        return self.base_cycles
 
     def memory_access(self, kind: str, addr: int, size: int) -> None:
         """Charge one memory access through the appropriate cache."""

@@ -9,11 +9,11 @@ cross-validate every static bound against exhaustive concrete execution
 import pytest
 
 from repro.analysis.analyzer import analyze
-from repro.analysis.config import AnalysisConfig, InputSpec, MemInit, RegInit
+from repro.analysis.config import AnalysisConfig, InputSpec, MemInit
 from repro.analysis.validation import ConcreteValidator
 from repro.core.observers import AccessKind
 from repro.isa.asmparse import parse_asm
-from repro.isa.registers import EAX, EBX, ECX, EDX, ESI
+from repro.isa.registers import EAX, EBX, ESI
 
 I, D = AccessKind.INSTRUCTION, AccessKind.DATA
 

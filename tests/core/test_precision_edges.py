@@ -1,0 +1,84 @@
+"""PrecisionLoss edge cases: joins at exactly the cap, shifts past it, and
+the engine's fuel-exhaustion diagnostics."""
+
+import pytest
+
+from repro.analysis.analyzer import analyze
+from repro.analysis.config import AnalysisConfig, AnalysisError, InputSpec
+from repro.core.masked import MaskedOps
+from repro.core.symbols import SymbolTable
+from repro.core.valueset import PrecisionLoss, ValueSet, ValueSetOps
+from repro.isa import parse_asm
+from repro.isa.registers import EAX
+
+WIDTH = 32
+
+
+def make_ops(cap: int) -> ValueSetOps:
+    table = SymbolTable(width=WIDTH)
+    return ValueSetOps(MaskedOps(table), cap=cap)
+
+
+class TestJoinAtCap:
+    def test_join_exactly_at_cap_succeeds(self):
+        cap = 8
+        left = ValueSet.constants(range(4), WIDTH)
+        right = ValueSet.constants(range(4, 8), WIDTH)
+        joined = left.join(right, cap=cap)
+        assert len(joined) == cap  # exactly the cap: allowed, not exceeded
+
+    def test_join_one_past_cap_raises(self):
+        cap = 8
+        left = ValueSet.constants(range(5), WIDTH)
+        right = ValueSet.constants(range(5, 9), WIDTH)
+        with pytest.raises(PrecisionLoss, match=r"cap 8.*9 elements"):
+            left.join(right, cap=cap)
+
+    def test_join_overlap_does_not_overcount(self):
+        cap = 4
+        left = ValueSet.constants({1, 2, 3}, WIDTH)
+        right = ValueSet.constants({2, 3, 4}, WIDTH)
+        assert len(left.join(right, cap=cap)) == 4
+
+
+class TestShiftPastCap:
+    def test_shift_result_exceeding_cap_raises(self):
+        cap = 4
+        ops = make_ops(cap)
+        values = ValueSet.constants(range(cap), WIDTH)      # at the cap
+        counts = ValueSet.constants({1, 16}, WIDTH)          # disjoint images
+        with pytest.raises(PrecisionLoss, match=rf"cap {cap}"):
+            ops.shift("SHL", values, counts)
+
+    def test_shift_at_cap_succeeds(self):
+        cap = 4
+        ops = make_ops(cap)
+        values = ValueSet.constants(range(cap), WIDTH)
+        result, _flags = ops.shift("SHL", values, ValueSet.constant(1, WIDTH))
+        assert len(result) == cap
+
+    def test_shift_by_symbol_rejected(self):
+        ops = make_ops(8)
+        table = ops.masked.table
+        symbolic = ValueSet.symbol(table.input_symbol("count"), WIDTH)
+        with pytest.raises(ValueError):
+            ops.shift("SHR", ValueSet.constant(8, WIDTH), symbolic)
+
+
+class TestFuelExhaustion:
+    LOOP = """
+    .text
+    spin:
+        jmp spin
+    """
+
+    def test_diverging_loop_reports_fuel_and_steps(self):
+        image = parse_asm(self.LOOP).assemble()
+        spec = InputSpec(entry="spin",
+                         registers=(InputSpec.reg_constant(EAX, 0),))
+        config = AnalysisConfig(fuel=25)
+        with pytest.raises(AnalysisError) as outcome:
+            analyze(image, spec, config)
+        message = str(outcome.value)
+        assert "fuel exhausted after 25 abstract steps" in message
+        assert "diverging loop or bound too small" in message

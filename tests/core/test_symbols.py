@@ -1,6 +1,5 @@
 """Tests for symbol allocation, origins/offsets, and valuations (λ/λ̄)."""
 
-import pytest
 
 from repro.core.mask import Mask
 from repro.core.masked import MaskedOps, MaskedSymbol

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.masked import MaskedOps, MaskedSymbol
+from repro.core.masked import MaskedOps
 from repro.core.symbols import SymbolTable
 from repro.core.valueset import PrecisionLoss, ValueSet, ValueSetOps
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.lang.ir import Bin, CmpSet, CondBranch, ImmOp, Jmp, LoadOp, Ret
+from repro.lang.ir import CmpSet, CondBranch, ImmOp, Jmp, LoadOp, Ret
 from repro.lang.lower import LowerError, lower_program
 from repro.lang.parser import parse
 

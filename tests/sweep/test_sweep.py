@@ -1,0 +1,201 @@
+"""The sweep subsystem: scenarios, runner, caches, store, and the
+figure-level bit-identity regression against the seed reproduction."""
+
+import json
+import multiprocessing
+
+import pytest
+
+from repro.casestudy import experiments
+from repro.casestudy.scenarios import (
+    all_scenarios,
+    figure_scenarios,
+    gather_scenario,
+    kernel_scenario,
+    lookup_scenario,
+    sqam_scenario,
+    sqm_scenario,
+)
+from repro.core.observers import AccessKind
+from repro.sweep import (
+    Scenario,
+    ScenarioError,
+    SweepResult,
+    SweepRunner,
+    execute_scenario,
+)
+
+I, D = AccessKind.INSTRUCTION, AccessKind.DATA
+
+
+class TestScenario:
+    def test_fingerprint_stable_and_name_blind(self):
+        a = sqm_scenario(opt_level=2, line_bytes=64)
+        b = Scenario.make("another-alias", a.target, opt_level=2, line_bytes=64)
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_fingerprint_sensitive_to_params_and_overrides(self):
+        base = sqam_scenario(opt_level=2, line_bytes=64)
+        assert base.fingerprint() != sqam_scenario(opt_level=0,
+                                                   line_bytes=64).fingerprint()
+        assert base.fingerprint() != sqam_scenario(
+            opt_level=2, line_bytes=64,
+            observers=("address", "block")).fingerprint()
+
+    def test_payload_roundtrip(self):
+        scenario = lookup_scenario(opt_level=1, observers=("address", "block"),
+                                   kinds=("INSTRUCTION", "DATA"))
+        clone = Scenario.from_payload(
+            json.loads(json.dumps(scenario.to_payload())))
+        assert clone == scenario
+        assert clone.fingerprint() == scenario.fingerprint()
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ScenarioError):
+            Scenario(name="x", target="a.b:c", kind="nope")
+
+    def test_config_overrides_reach_the_analysis(self):
+        narrowed = execute_scenario(
+            sqm_scenario(opt_level=2, line_bytes=64,
+                         observers=("address",), kinds=("DATA",)))
+        assert {(row.kind, row.observer) for row in narrowed.rows} == {
+            ("DATA", "address")
+        }
+
+
+class TestRunnerCaching:
+    def test_in_process_cache_hits(self):
+        runner = SweepRunner()
+        first = runner.run_one(sqam_scenario(opt_level=2, line_bytes=64))
+        second = runner.run_one(sqam_scenario(opt_level=2, line_bytes=64))
+        assert not first.cached
+        assert second.cached
+        assert second.rows == first.rows
+
+    def test_batch_alias_dedup(self):
+        runner = SweepRunner()
+        figure = figure_scenarios()["figure7a"]
+        grid = sqm_scenario(opt_level=2, line_bytes=64)
+        results = runner.run([figure, grid])
+        assert [result.scenario for result in results] == [figure.name, grid.name]
+        assert results[0].rows == results[1].rows
+        assert results[1].cached  # second alias shared the first run
+
+    def test_disk_store_roundtrip(self, tmp_path):
+        store_path = str(tmp_path / "store.json")
+        scenario = gather_scenario(nbytes=16)
+        first = SweepRunner(store=store_path).run_one(scenario)
+        assert not first.cached
+        # A fresh runner (fresh in-process cache) reads the store instead.
+        second = SweepRunner(store=store_path).run_one(scenario)
+        assert second.cached
+        assert second.rows == first.rows
+        assert second.report.bits(D, "block") == 0.0
+
+    def test_store_is_deterministic(self, tmp_path):
+        scenarios = [sqm_scenario(opt_level=2, line_bytes=64),
+                     sqam_scenario(opt_level=0, line_bytes=32),
+                     kernel_scenario("scatter_102f", 16)]
+        paths = []
+        for round_index in (0, 1):
+            path = tmp_path / f"store{round_index}.json"
+            SweepRunner(store=str(path)).run(scenarios)
+            paths.append(path)
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+
+
+class TestPoolParallelism:
+    def test_multi_scenario_pool_sweep(self, tmp_path):
+        """≥8 scenarios through the process pool, deterministic store."""
+        catalogue = all_scenarios(entry_bytes=16, nlimbs=4)
+        scenarios = list(catalogue.values())
+        assert len(scenarios) >= 8
+        store_path = tmp_path / "pool_store.json"
+        workers = max(2, min(4, multiprocessing.cpu_count()))
+        runner = SweepRunner(processes=workers, store=str(store_path))
+
+        results = runner.run(scenarios)
+        assert len(results) == len(scenarios)
+        by_name = {result.scenario: result for result in results}
+        assert by_name["figure7b"].report.bits(D, "address") == 0.0
+        assert by_name["figure14c"].report.bits(D, "block") == 0.0
+        assert by_name["kernel-scatter_102f-16B"].metrics["instructions"] > 0
+
+        # The pooled store matches an inline run's store byte for byte.
+        inline_path = tmp_path / "inline_store.json"
+        SweepRunner(processes=1, store=str(inline_path)).run(scenarios)
+        assert store_path.read_bytes() == inline_path.read_bytes()
+
+
+class TestFigureRegression:
+    """Measured observation counts must stay bit-identical to the seed.
+
+    The expectations below were captured from the seed revision (before the
+    worklist/caching refactor); any engine or sweep change that alters a
+    count is a regression even if the bits still round to the paper's
+    numbers.
+    """
+
+    SEED_COUNTS = {
+        # (figure, kind, observer) -> (count, stuttering_count)
+        ("figure7a", "I-Cache", "address"): (2, 2),
+        ("figure7a", "I-Cache", "block"): (2, 2),
+        ("figure7a", "D-Cache", "address"): (2, 2),
+        ("figure7a", "D-Cache", "block"): (2, 2),
+        ("figure7b", "I-Cache", "address"): (2, 2),
+        ("figure7b", "I-Cache", "block"): (2, 1),
+        ("figure7b", "D-Cache", "address"): (1, 1),
+        ("figure7b", "D-Cache", "block"): (1, 1),
+        ("figure8", "I-Cache", "block"): (2, 2),
+        ("figure8", "D-Cache", "block"): (2, 2),
+        ("figure14a", "I-Cache", "address"): (2, 2),
+        ("figure14a", "D-Cache", "address"): (50, 50),
+        ("figure14a", "D-Cache", "bank"): (50, 50),
+        ("figure14a", "D-Cache", "block"): (5, 5),
+        ("figure14b", "D-Cache", "address"): (1, 1),
+        ("figure14b", "I-Cache", "address"): (1, 1),
+        ("figure14c", "D-Cache", "address"): (8 ** 32, 8 ** 32),
+        ("figure14c", "D-Cache", "bank"): (2 ** 32, 2 ** 32),
+        ("figure14c", "D-Cache", "block"): (1, 1),
+        ("figure14c", "I-Cache", "address"): (1, 1),
+        ("figure14d", "D-Cache", "address"): (1, 1),
+        ("figure14d", "D-Cache", "bank"): (1, 1),
+        ("figure14d", "I-Cache", "address"): (1, 1),
+    }
+
+    KIND_OF = {"I-Cache": I, "D-Cache": D}
+
+    @pytest.fixture(scope="class")
+    def figures(self):
+        return {
+            "figure7a": experiments.figure7a(),
+            "figure7b": experiments.figure7b(),
+            "figure8": experiments.figure8(),
+            "figure14a": experiments.figure14a(),
+            "figure14b": experiments.figure14b(nlimbs=8),
+            "figure14c": experiments.figure14c(nbytes=32),
+            "figure14d": experiments.figure14d(nbytes=16),
+        }
+
+    def test_counts_bit_identical_to_seed(self, figures):
+        mismatches = []
+        for (figure, cache, observer), expected in self.SEED_COUNTS.items():
+            report = figures[figure].analysis.report
+            bound = report.bound(self.KIND_OF[cache], observer)
+            measured = (bound.count, bound.stuttering_count)
+            if measured != expected:
+                mismatches.append((figure, cache, observer, measured, expected))
+        assert not mismatches, mismatches
+
+    def test_all_figures_match_paper(self, figures):
+        for name, figure in figures.items():
+            assert figure.all_match, f"{name}: {figure.format()}"
+
+    def test_figure_results_survive_serialization(self, figures):
+        """The SweepResult carried by a figure reconstructs its report."""
+        for figure in figures.values():
+            sweep = figure.analysis
+            clone = SweepResult.from_payload(
+                json.loads(json.dumps(sweep.to_payload())))
+            assert clone.rows == sweep.rows
+            assert clone.report.bounds.keys() == sweep.report.bounds.keys()
