@@ -46,15 +46,24 @@ def test_grid_sweep_parallel(once):
     assert _bits(by_name["figure15-O2"], I, "block", stuttering=True) == 1.0
     assert _bits(by_name["figure15-O1"], I, "block", stuttering=True) == 0.0
 
-    # Kernel scenarios carry VM metrics and preserve the paper's ordering.
+    # Kernel scenarios carry VM metrics and preserve the paper's ordering —
+    # 3 variants × 3 replacement policies since the policy grid landed.
     kernels = {name: result for name, result in by_name.items()
                if result.kind == "kernel"}
-    assert len(kernels) == 3
+    assert len(kernels) == 9
     instructions = {name: result.metrics["instructions"]
                     for name, result in kernels.items()}
-    assert (instructions["kernel-scatter_102f-32B"]
-            < instructions["kernel-secure_163-32B"]
-            < instructions["kernel-defensive_102g-32B"])
+    for suffix in ("", "-fifo", "-plru"):
+        assert (instructions[f"kernel-scatter_102f-32B{suffix}"]
+                < instructions[f"kernel-secure_163-32B{suffix}"]
+                < instructions[f"kernel-defensive_102g-32B{suffix}"])
+
+    # The leakage rows of the policy axis agree policy-for-policy: the
+    # analysis must never consult the recorded policy (the concrete
+    # per-policy replays are validated in tests/core/test_adversary.py).
+    for base in ("sqam-O2-64B", "lookup-O2-64B", "gather-32B"):
+        assert len({by_name[f"{base}-{policy}"].rows
+                    for policy in ("lru", "fifo", "plru")}) == 1
 
 
 def test_grid_sweep_cache_round(once):

@@ -11,11 +11,12 @@ performance trajectory of the figure reproductions is tracked across PRs
 (compare the file between commits to see hot-path regressions).
 """
 
-import json
 import os
 import time
 
 import pytest
+
+from repro.sweep.results import update_bench_log
 
 BENCH_LOG = os.path.join(os.path.dirname(__file__), os.pardir, "BENCH_sweep.json")
 
@@ -38,21 +39,4 @@ def once(benchmark, request):
 
 def pytest_sessionfinish(session, exitstatus):
     """Write the per-figure wall-clock log (merging earlier runs)."""
-    if not _timings:
-        return
-    path = os.path.abspath(BENCH_LOG)
-    merged: dict[str, float] = {}
-    if os.path.exists(path):
-        try:
-            with open(path, encoding="utf-8") as handle:
-                merged = json.load(handle).get("timings", {})
-        except (OSError, ValueError):
-            merged = {}
-    merged.update(_timings)
-    payload = {
-        "version": 1,
-        "timings": {key: merged[key] for key in sorted(merged)},
-    }
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=1, sort_keys=True)
-        handle.write("\n")
+    update_bench_log(os.path.abspath(BENCH_LOG), _timings)

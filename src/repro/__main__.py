@@ -5,7 +5,14 @@ Subcommands
 - ``list``                      — the scenario catalogue and figure names
 - ``figure NAME... | --all``    — regenerate paper figures (paper-style tables)
 - ``sweep [NAME...]``           — run scenarios through the SweepRunner,
-  optionally pool-parallel (``--jobs``) and persisted (``--store``)
+  optionally pool-parallel (``--jobs``), persisted (``--store``), and with
+  per-scenario wall-clock timings appended to a benchmark log
+  (``--bench-out``)
+
+The catalogue includes the policy × adversary grid: leakage scenarios
+re-analyzed per replacement policy with derived trace-/time-adversary
+bounds (``lookup-O2-64B-plru``, …) and the Figure 16b kernels measured
+under each policy (``kernel-scatter_102f-32B-fifo``, …).
 
 Examples::
 
@@ -13,6 +20,9 @@ Examples::
     python -m repro figure figure7a figure7b
     python -m repro figure --all --entry-bytes 32
     python -m repro sweep --all --jobs 4 --store sweep_results.json
+    python -m repro sweep lookup-O2-64B-plru gather-32B-fifo
+    python -m repro sweep kernel-scatter_102f-32B{,-fifo,-plru} \\
+        --bench-out BENCH_sweep.json
 """
 
 from __future__ import annotations
@@ -24,6 +34,7 @@ import time
 from repro.casestudy import experiments
 from repro.casestudy.scenarios import all_scenarios
 from repro.sweep import Scenario, SweepResult, SweepRunner
+from repro.sweep.results import update_bench_log
 
 FIGURE_RUNNERS = {
     "figure7a": experiments.figure7a,
@@ -64,6 +75,9 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="entry size of the catalogue's §8.4 scenarios")
     sweep.add_argument("--no-cache", action="store_true",
                        help="recompute even if cached")
+    sweep.add_argument("--bench-out", default=None,
+                       help="append per-scenario wall-clock timings to this "
+                            "JSON log (BENCH_sweep.json format)")
     return parser
 
 
@@ -119,6 +133,18 @@ def _render_sweep_result(result: SweepResult) -> str:
     return "\n".join(lines)
 
 
+def _append_bench_log(path: str, results: list[SweepResult]) -> int:
+    """Merge freshly measured sweep timings into a BENCH_sweep-style log.
+
+    Cached results carry no meaningful wall-clock and are skipped; keys are
+    ``cli/sweep/<scenario>`` so CLI timings sit beside the benchmark
+    harness's per-figure entries.  Returns the number of entries written.
+    """
+    return update_bench_log(
+        path, {f"cli/sweep/{result.scenario}": round(result.elapsed, 4)
+               for result in results if not result.cached})
+
+
 def _command_sweep(args) -> int:
     catalogue = all_scenarios(entry_bytes=args.entry_bytes)
     if args.all:
@@ -147,6 +173,9 @@ def _command_sweep(args) -> int:
           f"({hits} cached, jobs={args.jobs})")
     if args.store:
         print(f"results stored in {args.store}")
+    if args.bench_out:
+        written = _append_bench_log(args.bench_out, results)
+        print(f"{written} timings appended to {args.bench_out}")
     return 0
 
 

@@ -15,6 +15,7 @@ from repro.analysis.config import AnalysisConfig, AnalysisError, InputSpec, MemI
 from repro.analysis.engine import Engine, EngineResult
 from repro.analysis.state import AbsState, AnalysisContext
 from repro.analysis.transfer import SENTINEL_RETURN, Transfer
+from repro.core.adversary import derive_adversary_bounds
 from repro.core.leakage import LeakageReport, ObservationBound
 from repro.core.masked import MaskedSymbol
 from repro.core.valueset import ValueSet
@@ -124,6 +125,17 @@ def analyze(
             count=dag.count(final),
             stuttering_count=dag.count(final, stuttering=True),
         ))
+    # Trace-/time-adversary bounds derive from the block DAG: the hit/miss
+    # trace of any deterministic replacement policy is a function of the
+    # block trace, so no extra exploration is needed.
+    models = tuple(context.config.adversary_models)
+    if models:
+        for (kind, observer_name), dag in engine_result.dags.items():
+            if observer_name != "block":
+                continue
+            final = engine_result.final_vertices[(kind, observer_name)]
+            for adversary in derive_adversary_bounds(dag, final, kind, models):
+                report.record_adversary(adversary)
     report.notes = list(context.warnings)
     return AnalysisResult(
         report=report,

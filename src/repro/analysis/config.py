@@ -21,7 +21,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable
 
+from repro.core.adversary import ADVERSARY_MODELS
 from repro.core.observers import AccessKind, CacheGeometry, Observer, ProjectionPolicy
+from repro.vm.cache import POLICIES
 
 __all__ = ["AnalysisConfig", "ArgInit", "InputSpec", "RegInit", "MemInit", "AnalysisError"]
 
@@ -32,17 +34,39 @@ class AnalysisError(Exception):
 
 @dataclass(frozen=True, slots=True)
 class AnalysisConfig:
-    """Knobs of one analysis run."""
+    """Knobs of one analysis run.
+
+    ``adversary_models`` selects which derived adversary bounds (trace-/
+    time-based, :mod:`repro.core.adversary`) the analyzer attaches to the
+    report; they are computed from the block DAG, so the block observer must
+    be tracked for them to appear.  ``cache_policy`` names the concrete
+    replacement policy the bounds are validated/simulated against — the
+    static bounds themselves hold for every deterministic policy.
+    """
 
     geometry: CacheGeometry = field(default_factory=CacheGeometry)
     observer_names: tuple[str, ...] = ("address", "bank", "block", "page")
     kinds: tuple[AccessKind, ...] = (AccessKind.INSTRUCTION, AccessKind.DATA)
     projection_policy: ProjectionPolicy = ProjectionPolicy.OFFSET
+    adversary_models: tuple[str, ...] = ("trace", "time")
+    cache_policy: str = "lru"
     track_offsets: bool = True
     refine_branches: bool = True
     value_set_cap: int = 64
     fuel: int = 1_000_000
     stack_top: int = 0x0BFF_F000
+
+    def __post_init__(self) -> None:
+        unknown = [model for model in self.adversary_models
+                   if model not in ADVERSARY_MODELS]
+        if unknown:
+            raise AnalysisError(
+                f"unknown adversary models {unknown} "
+                f"(available: {', '.join(ADVERSARY_MODELS)})")
+        if self.cache_policy not in POLICIES:
+            raise AnalysisError(
+                f"unknown cache policy {self.cache_policy!r} "
+                f"(available: {', '.join(sorted(POLICIES))})")
 
     def observers(self) -> list[Observer]:
         """The observer objects selected by ``observer_names``."""

@@ -11,6 +11,13 @@ This harness is used throughout the test suite (including property-based
 tests that randomize the heap layout λ) and by the examples; a bound
 violation would falsify the implementation, so these tests double as the
 reproduction's soundness regression suite.
+
+:meth:`ConcreteValidator.check_adversaries` extends the same executable
+argument to the derived trace-/time-based adversaries: every concrete trace
+is replayed through a replacement-policy cache simulator and the number of
+distinct hit/miss traces (resp. total (hits, misses) pairs) is compared
+against the bounds of :mod:`repro.core.adversary`.  Because those bounds
+are policy-independent, the check can be run for every registered policy.
 """
 
 from __future__ import annotations
@@ -22,11 +29,18 @@ from repro.analysis.analyzer import AnalysisResult
 from repro.analysis.config import AnalysisError, InputSpec
 from repro.core.observers import AccessKind
 from repro.isa.image import Image
+from repro.vm.cache import CacheConfig, SetAssociativeCache
 from repro.vm.cpu import CPU
 from repro.vm.memory import FlatMemory
 from repro.vm.tracer import Trace
 
 __all__ = ["ConcreteValidator", "ValidationReport"]
+
+_KIND_CODES = {
+    AccessKind.INSTRUCTION: "I",
+    AccessKind.DATA: "D",
+    AccessKind.SHARED: "shared",
+}
 
 
 @dataclass(slots=True)
@@ -120,16 +134,50 @@ class ConcreteValidator:
         cpu.run(self.spec.entry, fuel=self.fuel)
         return trace
 
-    def views(self, lam: dict[str, int], cache_kind: str, offset_bits: int,
-              stuttering: bool = False) -> set[tuple]:
-        """All distinct adversary views over the full secret enumeration."""
-        collected = set()
+    def _collect_traces(self, lam: dict[str, int]) -> list[Trace]:
+        """One concrete trace per secret valuation (the expensive VM part).
+
+        Every view — observer projection, hit/miss replay, timing — is a
+        cheap function of these traces, so callers checking several bounds
+        against one layout collect the traces once and derive all views.
+        """
+        traces = []
         choice_lists = self._secret_choices() or [[()]]
         for combo in itertools.product(*choice_lists):
             combo = tuple(c for c in combo if c)
-            trace = self._run_once(lam, combo)
-            collected.add(trace.view(cache_kind, offset_bits, stuttering))
+            traces.append(self._run_once(lam, combo))
+        return traces
+
+    def views(self, lam: dict[str, int], cache_kind: str, offset_bits: int,
+              stuttering: bool = False) -> set[tuple]:
+        """All distinct adversary views over the full secret enumeration."""
+        return {trace.view(cache_kind, offset_bits, stuttering)
+                for trace in self._collect_traces(lam)}
+
+    @staticmethod
+    def _adversary_views(traces: list[Trace], cache_kind: str,
+                         model: str, cache_factory) -> set:
+        collected = set()
+        for trace in traces:
+            cache = cache_factory()
+            if model == "trace":
+                collected.add(trace.hit_miss_view(cache_kind, cache))
+            elif model == "time":
+                collected.add(trace.time_view(cache_kind, cache))
+            else:
+                raise AnalysisError(f"unknown adversary model {model!r}")
         return collected
+
+    def adversary_views(self, lam: dict[str, int], cache_kind: str,
+                        model: str, cache_factory) -> set:
+        """Distinct trace-/time-adversary observations over all secrets.
+
+        ``cache_factory`` builds a fresh cache (of any replacement policy)
+        per execution; ``model`` selects the hit/miss-sequence view
+        (``"trace"``) or the total (hits, misses) view (``"time"``).
+        """
+        return self._adversary_views(
+            self._collect_traces(lam), cache_kind, model, cache_factory)
 
     # ------------------------------------------------------------------
     # Checking against a report
@@ -143,25 +191,68 @@ class ConcreteValidator:
             observer.name: observer.offset_bits
             for observer in result.context.config.observers()
         }
-        kind_codes = {
-            AccessKind.INSTRUCTION: "I",
-            AccessKind.DATA: "D",
-            AccessKind.SHARED: "shared",
-        }
+        kind_codes = _KIND_CODES
         for lam in layouts:
+            traces = self._collect_traces(lam)
             for (kind, observer_name), bound in result.report.bounds.items():
                 offset_bits = observer_bits[observer_name]
                 for stuttering, limit in (
                     (False, bound.count), (True, bound.stuttering_count),
                 ):
-                    observed = self.views(
-                        lam, kind_codes[kind], offset_bits, stuttering)
+                    observed = {
+                        trace.view(kind_codes[kind], offset_bits, stuttering)
+                        for trace in traces}
                     report.checked += 1
                     if len(observed) > limit:
                         report.violations.append(
                             f"{kind.value}/{observer_name}"
                             f"{'/stutter' if stuttering else ''}: "
                             f"observed {len(observed)} views > bound {limit} "
+                            f"for λ={lam}"
+                        )
+        return report
+
+    def check_adversaries(self, result: AnalysisResult,
+                          layouts: list[dict[str, int]],
+                          policies: tuple[str, ...] | None = None,
+                          cache_config: CacheConfig | None = None,
+                          ) -> ValidationReport:
+        """Check the derived trace-/time-adversary bounds concretely.
+
+        For every layout λ and every registered adversary bound, replays the
+        full secret enumeration through a fresh replacement-policy cache and
+        compares the number of distinct hit/miss (resp. timing) views
+        against the static bound.  ``policies`` defaults to the analysis
+        config's ``cache_policy``; pass several names to exercise the
+        policy-independence of the bounds.  The cache's line size follows
+        the analysis geometry so block granularity matches.
+        """
+        report = ValidationReport()
+        config = result.context.config
+        if policies is None:
+            policies = (config.cache_policy,)
+        if cache_config is None:
+            # Banks are irrelevant to hit/miss replay; clamp them so small
+            # analysis line sizes still produce a valid cache geometry.
+            line_bytes = config.geometry.line_bytes
+            cache_config = CacheConfig(line_bytes=line_bytes,
+                                       banks=min(16, line_bytes))
+        for lam in layouts:
+            # The concrete traces are policy- and model-independent: run the
+            # (expensive) secret enumeration once per layout and replay the
+            # traces through a fresh cache per (policy, bound).
+            traces = self._collect_traces(lam)
+            for policy in policies:
+                def factory(policy=policy):
+                    return SetAssociativeCache(cache_config, policy=policy)
+                for (kind, model), bound in result.report.adversaries.items():
+                    observed = self._adversary_views(
+                        traces, _KIND_CODES[kind], model, factory)
+                    report.checked += 1
+                    if len(observed) > bound.count:
+                        report.violations.append(
+                            f"{kind.value}/{model}/{policy}: observed "
+                            f"{len(observed)} views > bound {bound.count} "
                             f"for λ={lam}"
                         )
         return report

@@ -82,10 +82,10 @@ KERNEL_VARIANTS = ("scatter_102f", "secure_163", "defensive_102g")
 
 
 def _run_kernel(source: str, entry: str, args: list[int],
-                setup=None) -> KernelMeasurement:
+                setup=None, policy: str = "lru") -> KernelMeasurement:
     image = compile_program(source, opt_level=2, function_align=64)
     memory = FlatMemory()
-    perf = CostModel()
+    perf = CostModel(policy=policy)
     cpu = CPU(image, memory=memory, perf=perf)
     if setup is not None:
         setup(memory)
@@ -101,11 +101,15 @@ def _run_kernel(source: str, entry: str, args: list[int],
     )
 
 
-def measure_kernel(variant: str, nbytes: int) -> dict[str, int]:
+def measure_kernel(variant: str, nbytes: int,
+                   policy: str = "lru") -> dict[str, int]:
     """Measure one table retrieval on the VM; the kernel-scenario runner.
 
-    Returns a plain metrics dict so the measurement serializes through the
-    sweep layer's result store.
+    ``policy`` selects the cache replacement policy of the cost model, the
+    policy axis of the sweep grid (instruction counts are policy-invariant;
+    only the hit/miss split and therefore cycles move).  Returns a plain
+    metrics dict so the measurement serializes through the sweep layer's
+    result store.
     """
     heap = 0x0900_0000
     r_buf, table = heap, heap + 0x1000
@@ -125,7 +129,7 @@ def measure_kernel(variant: str, nbytes: int) -> dict[str, int]:
     if variant not in runs:
         raise ValueError(f"unknown kernel variant {variant!r}")
     source, entry, args = runs[variant]
-    measured = _run_kernel(source, entry, args, setup=fill)
+    measured = _run_kernel(source, entry, args, setup=fill, policy=policy)
     return {
         "instructions": measured.instructions,
         "cycles": measured.cycles,

@@ -18,10 +18,12 @@ from dataclasses import replace as _replace
 from repro.casestudy import targets
 from repro.casestudy.performance import KERNEL_VARIANTS
 from repro.sweep import Scenario
+from repro.vm.cache import POLICIES
 
 __all__ = [
     "figure_scenarios",
     "grid_scenarios",
+    "policy_adversary_scenarios",
     "all_scenarios",
     "sqm_scenario",
     "sqam_scenario",
@@ -31,7 +33,12 @@ __all__ = [
     "scatter_scenario",
     "defensive_gather_scenario",
     "kernel_scenario",
+    "adversary_scenario",
+    "POLICY_NAMES",
 ]
+
+# The replacement-policy axis of the grid (vm.cache's registry order).
+POLICY_NAMES = tuple(POLICIES)
 
 _TARGETS = "repro.casestudy.targets:"
 _KERNELS = "repro.casestudy.performance:measure_kernel"
@@ -101,12 +108,33 @@ def defensive_gather_scenario(nbytes: int = targets.PAPER_ENTRY_BYTES,
         nbytes=nbytes, **overrides)
 
 
-def kernel_scenario(variant: str, nbytes: int) -> Scenario:
-    """VM cost measurement of one retrieval kernel (Figure 16b rows)."""
+def kernel_scenario(variant: str, nbytes: int, policy: str = "lru") -> Scenario:
+    """VM cost measurement of one retrieval kernel (Figure 16b rows).
+
+    ``policy`` selects the cost model's cache replacement policy; the LRU
+    point keeps the historical un-suffixed name.
+    """
+    suffix = "" if policy == "lru" else f"-{policy}"
     return Scenario.make(
-        f"kernel-{variant}-{nbytes}B", _KERNELS, kind="kernel",
-        description=f"one {nbytes}-byte retrieval, {variant}",
-        variant=variant, nbytes=nbytes)
+        f"kernel-{variant}-{nbytes}B{suffix}", _KERNELS, kind="kernel",
+        description=f"one {nbytes}-byte retrieval, {variant} ({policy} cache)",
+        variant=variant, nbytes=nbytes, policy=policy)
+
+
+def adversary_scenario(base: Scenario, policy: str,
+                       models: tuple[str, ...] = ("trace", "time")) -> Scenario:
+    """One (policy, adversary) grid point derived from a leakage scenario.
+
+    The derived trace-/time-adversary bounds hold for every deterministic
+    replacement policy; the policy recorded here is what the concrete
+    validator replays hit/miss traces against, and it keys a separate
+    fingerprint so each grid point caches on its own.
+    """
+    return _replace(
+        base, name=f"{base.name}-{policy}",
+        description=f"{base.description} [{policy} cache, "
+                    f"{'/'.join(models) or 'no'} adversaries]",
+        cache_policy=policy, adversaries=tuple(models))
 
 
 # ----------------------------------------------------------------------
@@ -158,11 +186,50 @@ def grid_scenarios(entry_bytes: int = 32) -> dict[str, Scenario]:
     return grid
 
 
+def policy_adversary_scenarios(entry_bytes: int = 32) -> dict[str, Scenario]:
+    """The policy × adversary grid (replacement policies × adversary models).
+
+    Two axes on top of the figure grid:
+
+    - **leakage × policy**: three representative targets per replacement
+      policy, each carrying the derived trace-/time-adversary bounds.  The
+      analysis itself never consults the policy, so the rows agree across
+      the axis (a regression test locks that invariant) and the ``-lru``
+      points alias the base analyses under their own fingerprints; the
+      policy's concrete meaning is exercised by
+      ``ConcreteValidator.check_adversaries``;
+    - **kernel × policy**: every Figure 16b retrieval kernel measured on the
+      VM under each policy, where cycles genuinely move;
+    - one adversary-model ablation point (``-noadv``) with the derived
+      bounds switched off.
+    """
+    grid: dict[str, Scenario] = {}
+    leakage_bases = (
+        sqam_scenario(opt_level=2, line_bytes=64),
+        lookup_scenario(opt_level=2, line_bytes=64),
+        gather_scenario(nbytes=entry_bytes),
+    )
+    for policy in POLICY_NAMES:
+        for base in leakage_bases:
+            scenario = adversary_scenario(base, policy)
+            grid[scenario.name] = scenario
+        for variant in KERNEL_VARIANTS:
+            scenario = kernel_scenario(variant, entry_bytes, policy=policy)
+            grid[scenario.name] = scenario
+    ablation = adversary_scenario(
+        lookup_scenario(opt_level=2, line_bytes=64), "lru", models=())
+    ablation = _replace(ablation, name="lookup-O2-64B-noadv")
+    grid[ablation.name] = ablation
+    return grid
+
+
 def all_scenarios(entry_bytes: int = 32, nlimbs: int = 8) -> dict[str, Scenario]:
-    """Figures (at fast geometry) plus the grid, for the CLI and sweeps."""
+    """Figures (at fast geometry) plus both grids, for the CLI and sweeps.
+
+    The kernel scenarios come in via the policy grid, whose LRU points keep
+    the historical un-suffixed ``kernel-*`` names.
+    """
     catalogue = figure_scenarios(entry_bytes=entry_bytes, nlimbs=nlimbs)
     catalogue.update(grid_scenarios(entry_bytes=entry_bytes))
-    for variant in KERNEL_VARIANTS:
-        scenario = kernel_scenario(variant, entry_bytes)
-        catalogue[scenario.name] = scenario
+    catalogue.update(policy_adversary_scenarios(entry_bytes=entry_bytes))
     return catalogue

@@ -54,14 +54,17 @@ class Target:
 
 
 def _config(line_bytes: int = 64,
-            observers: tuple[str, ...] = ("address", "bank", "block")) -> AnalysisConfig:
+            observers: tuple[str, ...] = ("address", "bank", "block"),
+            cache_policy: str = "lru") -> AnalysisConfig:
     return AnalysisConfig(
         geometry=CacheGeometry(line_bytes=line_bytes),
         observer_names=observers,
+        cache_policy=cache_policy,
     )
 
 
-def sqm_target(opt_level: int = 2, line_bytes: int = 64) -> Target:
+def sqm_target(opt_level: int = 2, line_bytes: int = 64,
+               cache_policy: str = "lru") -> Target:
     """Square-and-multiply step, libgcrypt 1.5.2 (Figures 5/7a)."""
     image = compile_program(
         sources.SQM_STEP, opt_level=opt_level,
@@ -72,10 +75,12 @@ def sqm_target(opt_level: int = 2, line_bytes: int = 64) -> Target:
               ArgInit.pointer("mp"), ArgInit.high([0, 1])),
         description="square-and-multiply (libgcrypt 1.5.2)",
     )
-    return Target("sqm_152", image, spec, _config(line_bytes), opt_level)
+    return Target("sqm_152", image, spec,
+                  _config(line_bytes, cache_policy=cache_policy), opt_level)
 
 
-def sqam_target(opt_level: int = 2, line_bytes: int = 64) -> Target:
+def sqam_target(opt_level: int = 2, line_bytes: int = 64,
+                cache_policy: str = "lru") -> Target:
     """Square-and-always-multiply step, libgcrypt 1.5.3 (Figures 6/7b/8)."""
     image = compile_program(
         sources.SQAM_STEP, opt_level=opt_level,
@@ -88,10 +93,12 @@ def sqam_target(opt_level: int = 2, line_bytes: int = 64) -> Target:
               ArgInit.of(PAPER_LIMBS), ArgInit.of(PAPER_LIMBS)),
         description="square-and-always-multiply (libgcrypt 1.5.3)",
     )
-    return Target("sqam_153", image, spec, _config(line_bytes), opt_level)
+    return Target("sqam_153", image, spec,
+                  _config(line_bytes, cache_policy=cache_policy), opt_level)
 
 
-def lookup_target(opt_level: int = 2, line_bytes: int = 64) -> Target:
+def lookup_target(opt_level: int = 2, line_bytes: int = 64,
+                  cache_policy: str = "lru") -> Target:
     """Unprotected table lookup, libgcrypt 1.6.1 (Figures 10/14a/15)."""
     image = compile_program(
         sources.LOOKUP_161, opt_level=opt_level,
@@ -104,10 +111,12 @@ def lookup_target(opt_level: int = 2, line_bytes: int = 64) -> Target:
               ArgInit.pointer("bp"), ArgInit.pointer("bsize")),
         description="unprotected lookup (libgcrypt 1.6.1)",
     )
-    return Target("lookup_161", image, spec, _config(line_bytes), opt_level)
+    return Target("lookup_161", image, spec,
+                  _config(line_bytes, cache_policy=cache_policy), opt_level)
 
 
-def secure_retrieve_target(opt_level: int = 2, nlimbs: int = PAPER_LIMBS) -> Target:
+def secure_retrieve_target(opt_level: int = 2, nlimbs: int = PAPER_LIMBS,
+                           cache_policy: str = "lru") -> Target:
     """Access-all-entries copy, libgcrypt 1.6.3 (Figures 11/14b)."""
     image = compile_program(
         sources.SECURE_RETRIEVE_163, opt_level=opt_level, function_align=64)
@@ -117,10 +126,12 @@ def secure_retrieve_target(opt_level: int = 2, nlimbs: int = PAPER_LIMBS) -> Tar
               ArgInit.high(range(7)), ArgInit.of(7), ArgInit.of(nlimbs)),
         description="secure table access (libgcrypt 1.6.3)",
     )
-    return Target("secure_163", image, spec, _config(), opt_level)
+    return Target("secure_163", image, spec,
+                  _config(cache_policy=cache_policy), opt_level)
 
 
-def gather_target(opt_level: int = 2, nbytes: int = PAPER_ENTRY_BYTES) -> Target:
+def gather_target(opt_level: int = 2, nbytes: int = PAPER_ENTRY_BYTES,
+                  cache_policy: str = "lru") -> Target:
     """Scatter/gather retrieval, OpenSSL 1.0.2f (Figures 3/14c + CacheBleed)."""
     image = compile_program(
         sources.SCATTER_GATHER_102F, opt_level=opt_level, function_align=64)
@@ -130,10 +141,12 @@ def gather_target(opt_level: int = 2, nbytes: int = PAPER_ENTRY_BYTES) -> Target
               ArgInit.high(range(TABLE_ENTRIES)), ArgInit.of(nbytes)),
         description="scatter/gather (OpenSSL 1.0.2f)",
     )
-    return Target("scatter_102f", image, spec, _config(), opt_level)
+    return Target("scatter_102f", image, spec,
+                  _config(cache_policy=cache_policy), opt_level)
 
 
-def scatter_target(opt_level: int = 2, nbytes: int = PAPER_ENTRY_BYTES) -> Target:
+def scatter_target(opt_level: int = 2, nbytes: int = PAPER_ENTRY_BYTES,
+                   cache_policy: str = "lru") -> Target:
     """The scatter (store) half of the 1.0.2f countermeasure."""
     image = compile_program(
         sources.SCATTER_GATHER_102F, opt_level=opt_level, function_align=64)
@@ -143,11 +156,13 @@ def scatter_target(opt_level: int = 2, nbytes: int = PAPER_ENTRY_BYTES) -> Targe
               ArgInit.high(range(TABLE_ENTRIES)), ArgInit.of(nbytes)),
         description="scatter (OpenSSL 1.0.2f)",
     )
-    return Target("scatter_store_102f", image, spec, _config(), opt_level)
+    return Target("scatter_store_102f", image, spec,
+                  _config(cache_policy=cache_policy), opt_level)
 
 
 def defensive_gather_target(opt_level: int = 2,
-                            nbytes: int = PAPER_ENTRY_BYTES) -> Target:
+                            nbytes: int = PAPER_ENTRY_BYTES,
+                            cache_policy: str = "lru") -> Target:
     """Defensive gather, OpenSSL 1.0.2g (Figures 12/14d)."""
     image = compile_program(
         sources.DEFENSIVE_GATHER_102G, opt_level=opt_level, function_align=64)
@@ -157,4 +172,5 @@ def defensive_gather_target(opt_level: int = 2,
               ArgInit.high(range(TABLE_ENTRIES)), ArgInit.of(nbytes)),
         description="defensive gather (OpenSSL 1.0.2g)",
     )
-    return Target("defensive_102g", image, spec, _config(), opt_level)
+    return Target("defensive_102g", image, spec,
+                  _config(cache_policy=cache_policy), opt_level)

@@ -7,9 +7,16 @@ This package implements the paper's primary contribution:
 - :mod:`repro.core.observers` — the hierarchy of memory-trace observers and
   their projections (§3.2, §5.3);
 - :mod:`repro.core.tracedag` — the memory trace domain T♯ (§6);
-- :mod:`repro.core.leakage` — static quantification of leaks (§4).
+- :mod:`repro.core.leakage` — static quantification of leaks (§4);
+- :mod:`repro.core.adversary` — trace- and time-based adversary bounds
+  derived from the block trace DAG (the CacheAudit adversary hierarchy).
 """
 
+from repro.core.adversary import (
+    ADVERSARY_MODELS,
+    AdversaryBound,
+    derive_adversary_bounds,
+)
 from repro.core.leakage import LeakageReport, ObservationBound, log2_int
 from repro.core.mask import Mask
 from repro.core.masked import FlagBits, MaskedOps, MaskedSymbol
@@ -27,7 +34,9 @@ from repro.core.tracedag import TraceDAG
 from repro.core.valueset import PrecisionLoss, ValueSet, ValueSetOps
 
 __all__ = [
+    "ADVERSARY_MODELS",
     "AccessKind",
+    "AdversaryBound",
     "CacheGeometry",
     "FlagBits",
     "LeakageReport",
@@ -44,6 +53,7 @@ __all__ = [
     "Valuation",
     "ValueSet",
     "ValueSetOps",
+    "derive_adversary_bounds",
     "log2_int",
     "project_value_set",
     "standard_observers",

@@ -60,15 +60,34 @@ class ObservationBound:
 
 @dataclass(slots=True)
 class LeakageReport:
-    """All observation bounds of one analyzed program."""
+    """All observation bounds of one analyzed program.
+
+    ``bounds`` holds the access-based observer hierarchy of §3.2;
+    ``adversaries`` holds the trace-/time-based bounds derived from the
+    block DAG (:mod:`repro.core.adversary`), keyed by (cache kind, model).
+    """
 
     target: str = ""
     bounds: dict[tuple[AccessKind, str], ObservationBound] = field(default_factory=dict)
+    adversaries: dict[tuple[AccessKind, str], "AdversaryBound"] = field(  # noqa: F821
+        default_factory=dict)
     notes: list[str] = field(default_factory=list)
 
     def record(self, bound: ObservationBound) -> None:
         """Insert one observer's result."""
         self.bounds[(bound.kind, bound.observer)] = bound
+
+    def record_adversary(self, bound) -> None:
+        """Insert one derived adversary bound (trace/time model)."""
+        self.adversaries[(bound.kind, bound.model)] = bound
+
+    def adversary_bound(self, kind: AccessKind, model: str):
+        """Look up the derived bound for one (cache kind, adversary model)."""
+        return self.adversaries[(kind, model)]
+
+    def adversary_bits(self, kind: AccessKind, model: str) -> float:
+        """Leakage bound in bits for one derived adversary."""
+        return self.adversaries[(kind, model)].bits
 
     def bound(self, kind: AccessKind, observer: str) -> ObservationBound:
         """Look up the result for a (cache kind, observer) pair."""
@@ -114,7 +133,11 @@ class LeakageReport:
         return "\n".join(lines)
 
     def format_full_table(self) -> str:
-        """Render every observer (including bank and page) for both caches."""
+        """Render every observer (including bank and page) for both caches.
+
+        When derived adversary bounds are present they follow as a second
+        block of rows (one column per adversary model).
+        """
         observers = sorted({name for _, name in self.bounds})
         lines = [f"{'Observer':<12}" + "".join(f"{name:>12}" for name in observers)]
         for kind in (AccessKind.INSTRUCTION, AccessKind.DATA, AccessKind.SHARED):
@@ -122,6 +145,23 @@ class LeakageReport:
             for name in observers:
                 if (kind, name) in self.bounds:
                     cells.append(format_bits(self.bits(kind, name)))
+                else:
+                    cells.append("-")
+            if any(cell != "-" for cell in cells):
+                lines.append(f"{kind.value:<12}" + "".join(f"{c:>12}" for c in cells))
+        if self.adversaries:
+            lines.append(self.format_adversary_table())
+        return "\n".join(lines)
+
+    def format_adversary_table(self) -> str:
+        """Render the derived trace-/time-adversary bounds (any policy)."""
+        models = sorted({model for _, model in self.adversaries})
+        lines = [f"{'Adversary':<12}" + "".join(f"{model:>12}" for model in models)]
+        for kind in (AccessKind.INSTRUCTION, AccessKind.DATA, AccessKind.SHARED):
+            cells = []
+            for model in models:
+                if (kind, model) in self.adversaries:
+                    cells.append(format_bits(self.adversary_bits(kind, model)))
                 else:
                     cells.append("-")
             if any(cell != "-" for cell in cells):

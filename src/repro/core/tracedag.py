@@ -218,6 +218,35 @@ class TraceDAG:
                 memo[parent] for parent in vertex.parents)
         return sum(memo[ident] for ident in final) or 1
 
+    def path_length_span(self, ends: EndSet) -> tuple[int, int]:
+        """Shortest and longest access count over all traces in the exact DAG.
+
+        A vertex contributes its repetition count ``run``; the span is used
+        by :mod:`repro.core.adversary` to bound the time-based adversary,
+        whose observation ``(hits, misses)`` always sums to the trace length.
+        """
+        final = ends.exact
+        if not final:
+            return (0, 0)
+        memo: dict[int, tuple[int, int]] = {ROOT_VERTEX: (0, 0)}
+        stack = list(final)
+        while stack:
+            ident = stack[-1]
+            if ident in memo:
+                stack.pop()
+                continue
+            vertex = self._vertices[ident]
+            missing = [p for p in vertex.parents if p not in memo]
+            if missing:
+                stack.extend(missing)
+                continue
+            stack.pop()
+            spans = [memo[parent] for parent in vertex.parents]
+            memo[ident] = (vertex.run + min(low for low, _ in spans),
+                          vertex.run + max(high for _, high in spans))
+        spans = [memo[ident] for ident in final]
+        return (min(low for low, _ in spans), max(high for _, high in spans))
+
     # ------------------------------------------------------------------
     # Rendering (used for Figure 4)
     # ------------------------------------------------------------------

@@ -12,11 +12,12 @@ turns that grid into data and machinery:
   consume.
 """
 
-from repro.sweep.results import BoundRow, ResultStore, SweepResult
+from repro.sweep.results import AdversaryRow, BoundRow, ResultStore, SweepResult
 from repro.sweep.runner import SweepRunner, default_runner, execute_scenario
 from repro.sweep.scenario import Scenario, ScenarioError, resolve_dotted
 
 __all__ = [
+    "AdversaryRow",
     "BoundRow",
     "ResultStore",
     "Scenario",

@@ -21,12 +21,53 @@ import os
 import tempfile
 from dataclasses import dataclass, field
 
+from repro.core.adversary import AdversaryBound
 from repro.core.leakage import LeakageReport, ObservationBound
 from repro.core.observers import AccessKind
 
-__all__ = ["BoundRow", "SweepResult", "ResultStore"]
+__all__ = ["AdversaryRow", "BoundRow", "SweepResult", "ResultStore",
+           "update_bench_log"]
 
 STORE_VERSION = 1
+
+
+def update_bench_log(path: str | os.PathLike, timings: dict[str, float]) -> int:
+    """Merge wall-clock timings into a ``BENCH_sweep.json``-style log.
+
+    The one writer for every producer of the log (the benchmark harness and
+    the CLI's ``--bench-out``): loads the existing ``{"version": 1,
+    "timings": {...}}`` file if its shape is valid (anything else — missing,
+    truncated, non-object — starts fresh), merges, and rewrites atomically
+    with sorted keys.  Returns the number of entries merged in.
+    """
+    if not timings:
+        return 0
+    path = os.fspath(path)
+    merged: dict[str, float] = {}
+    if os.path.exists(path):
+        try:
+            with open(path, encoding="utf-8") as handle:
+                loaded = json.load(handle)
+        except (OSError, ValueError):
+            loaded = None
+        if isinstance(loaded, dict) and isinstance(loaded.get("timings"), dict):
+            merged = loaded["timings"]
+    merged.update(timings)
+    payload = {
+        "version": 1,
+        "timings": {key: merged[key] for key in sorted(merged)},
+    }
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    descriptor, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        os.replace(temp_path, path)
+    except BaseException:
+        os.unlink(temp_path)
+        raise
+    return len(timings)
 
 
 @dataclass(frozen=True, slots=True)
@@ -45,6 +86,20 @@ class BoundRow:
         )
 
 
+@dataclass(frozen=True, slots=True)
+class AdversaryRow:
+    """One derived adversary bound (trace/time model), serialization-friendly."""
+
+    kind: str          # AccessKind name: "INSTRUCTION" | "DATA" | "SHARED"
+    model: str         # "trace" | "time"
+    count: int
+
+    def to_bound(self) -> AdversaryBound:
+        return AdversaryBound(
+            kind=AccessKind[self.kind], model=self.model, count=self.count,
+        )
+
+
 @dataclass(slots=True)
 class SweepResult:
     """The outcome of one scenario run."""
@@ -54,6 +109,7 @@ class SweepResult:
     kind: str                                   # "leakage" | "kernel"
     target: str = ""                            # human-readable target label
     rows: tuple[BoundRow, ...] = ()             # leakage scenarios
+    adversary_rows: tuple[AdversaryRow, ...] = ()  # derived trace/time bounds
     metrics: dict = field(default_factory=dict)  # kernel metrics / engine stats
     warnings: tuple[str, ...] = ()
     elapsed: float = 0.0                        # not part of the payload
@@ -68,6 +124,8 @@ class SweepResult:
         report = LeakageReport(target=self.target)
         for row in self.rows:
             report.record(row.to_bound())
+        for adversary_row in self.adversary_rows:
+            report.record_adversary(adversary_row.to_bound())
         report.notes = list(self.warnings)
         return report
 
@@ -85,6 +143,9 @@ class SweepResult:
                 [row.kind, row.observer, row.count, row.stuttering_count]
                 for row in self.rows
             ],
+            "adversaries": [
+                [row.kind, row.model, row.count] for row in self.adversary_rows
+            ],
             "metrics": dict(self.metrics),
             "warnings": list(self.warnings),
         }
@@ -97,6 +158,8 @@ class SweepResult:
             kind=payload["kind"],
             target=payload.get("target", ""),
             rows=tuple(BoundRow(*row) for row in payload.get("rows", ())),
+            adversary_rows=tuple(
+                AdversaryRow(*row) for row in payload.get("adversaries", ())),
             metrics=dict(payload.get("metrics", {})),
             warnings=tuple(payload.get("warnings", ())),
             cached=cached,

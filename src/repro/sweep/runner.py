@@ -25,7 +25,7 @@ from dataclasses import replace as dataclass_replace
 from typing import Iterable
 
 from repro.core.observers import AccessKind, ProjectionPolicy
-from repro.sweep.results import BoundRow, ResultStore, SweepResult
+from repro.sweep.results import AdversaryRow, BoundRow, ResultStore, SweepResult
 from repro.sweep.scenario import KERNEL, LEAKAGE, Scenario, ScenarioError
 
 __all__ = ["SweepRunner", "default_runner", "execute_scenario"]
@@ -44,6 +44,8 @@ def _overridden_config(config, scenario: Scenario):
             translated["kinds"] = tuple(AccessKind[kind] for kind in value)
         elif name == "projection_policy":
             translated["projection_policy"] = ProjectionPolicy[value]
+        elif name == "adversaries":
+            translated["adversary_models"] = tuple(value)
         else:
             translated[name] = value
     return dataclass_replace(config, **translated)
@@ -84,12 +86,19 @@ def execute_scenario(scenario: Scenario) -> SweepResult:
                 analysis.report.bounds.items(),
                 key=lambda item: (item[0][0].name, item[0][1]))
         )
+        adversary_rows = tuple(
+            AdversaryRow(kind=kind.name, model=model, count=bound.count)
+            for (kind, model), bound in sorted(
+                analysis.report.adversaries.items(),
+                key=lambda item: (item[0][0].name, item[0][1]))
+        )
         result = SweepResult(
             scenario=scenario.name,
             fingerprint=scenario.fingerprint(),
             kind=LEAKAGE,
             target=analysis.report.target,
             rows=rows,
+            adversary_rows=adversary_rows,
             metrics=_engine_metrics(analysis.engine_result),
             warnings=tuple(analysis.report.notes),
         )

@@ -69,10 +69,16 @@ class Scenario:
     params: tuple[tuple[str, object], ...] = ()
     kind: str = LEAKAGE
     description: str = ""
-    # AnalysisConfig overrides (leakage scenarios only).
+    # AnalysisConfig overrides (leakage scenarios only).  ``adversaries``
+    # selects the derived trace-/time-adversary models; ``cache_policy``
+    # names the replacement policy the scenario is validated against (the
+    # static bounds are policy-independent, but the fingerprint records the
+    # policy so the grid's per-policy scenarios cache separately).
     observers: tuple[str, ...] | None = None
     kinds: tuple[str, ...] | None = None
     projection_policy: str | None = None
+    adversaries: tuple[str, ...] | None = None
+    cache_policy: str | None = None
     track_offsets: bool | None = None
     refine_branches: bool | None = None
     value_set_cap: int | None = None
@@ -95,8 +101,9 @@ class Scenario:
         target parameter.
         """
         override_names = {
-            "observers", "kinds", "projection_policy", "track_offsets",
-            "refine_branches", "value_set_cap", "fuel",
+            "observers", "kinds", "projection_policy", "adversaries",
+            "cache_policy", "track_offsets", "refine_branches",
+            "value_set_cap", "fuel",
         }
         overrides = {key: params.pop(key) for key in list(params)
                      if key in override_names}
@@ -113,8 +120,9 @@ class Scenario:
     def config_overrides(self) -> dict:
         """The non-``None`` analysis-config overrides."""
         overrides = {}
-        for name in ("observers", "kinds", "projection_policy",
-                     "track_offsets", "refine_branches", "value_set_cap", "fuel"):
+        for name in ("observers", "kinds", "projection_policy", "adversaries",
+                     "cache_policy", "track_offsets", "refine_branches",
+                     "value_set_cap", "fuel"):
             value = getattr(self, name)
             if value is not None:
                 overrides[name] = value
@@ -137,7 +145,7 @@ class Scenario:
         data["params"] = tuple(
             (key, value) for key, value in (data.get("params") or ())
         )
-        for name in ("observers", "kinds"):
+        for name in ("observers", "kinds", "adversaries"):
             if data.get(name) is not None:
                 data[name] = tuple(data[name])
         return cls(**data)

@@ -1,6 +1,16 @@
 """Concrete execution substrate: CPU, memory, tracing, cache, cost model."""
 
-from repro.vm.cache import CacheConfig, CacheStats, SetAssociativeCache
+from repro.vm.cache import (
+    POLICIES,
+    CacheConfig,
+    CacheStats,
+    FIFOPolicy,
+    LRUPolicy,
+    ReplacementPolicy,
+    SetAssociativeCache,
+    TreePLRUPolicy,
+    make_policy,
+)
 from repro.vm.cpu import CPU, CPUError, StepLimitExceeded
 from repro.vm.memory import FlatMemory
 from repro.vm.perf import CostModel, PerfCounters
@@ -8,6 +18,7 @@ from repro.vm.tracer import FETCH, READ, WRITE, Access, Trace
 
 __all__ = [
     "Access", "CPU", "CPUError", "CacheConfig", "CacheStats", "CostModel",
-    "FETCH", "FlatMemory", "PerfCounters", "READ", "SetAssociativeCache",
-    "StepLimitExceeded", "Trace", "WRITE",
+    "FETCH", "FIFOPolicy", "FlatMemory", "LRUPolicy", "POLICIES",
+    "PerfCounters", "READ", "ReplacementPolicy", "SetAssociativeCache",
+    "StepLimitExceeded", "Trace", "TreePLRUPolicy", "WRITE", "make_policy",
 ]

@@ -1,9 +1,18 @@
-"""Set-associative cache simulator.
+"""Set-associative cache simulator with pluggable replacement policies.
 
 Used by the cost model of the performance study (paper Figure 16) and by the
 examples that demonstrate *why* the observers of §3.2 correspond to real
 adversaries: the trace of hits/misses of this cache is a deterministic
 function of the block-level view of the access trace.
+
+The paper's observer hierarchy deliberately abstracts away the replacement
+policy — the block-trace determinism argument holds for *any* deterministic
+policy.  To make that claim executable rather than asserted for one
+hardcoded simulator, the eviction logic lives behind a
+:class:`ReplacementPolicy` strategy: LRU (the historical behavior,
+bit-identical to the original simulator), FIFO, and tree-PLRU (the
+pseudo-LRU tree used by real L1/L2 caches).  All policies operate on the
+same set/tag geometry; only the victim choice differs.
 
 The simulator also models cache banks (CacheBleed, §8.4): each line is split
 into ``banks`` equally sized banks and concurrent accesses to the same bank
@@ -14,7 +23,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["CacheConfig", "SetAssociativeCache", "CacheStats"]
+__all__ = [
+    "CacheConfig",
+    "CacheStats",
+    "SetAssociativeCache",
+    "ReplacementPolicy",
+    "LRUPolicy",
+    "FIFOPolicy",
+    "TreePLRUPolicy",
+    "POLICIES",
+    "make_policy",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -27,9 +46,16 @@ class CacheConfig:
     banks: int = 16
 
     def __post_init__(self) -> None:
-        for value, label in ((self.line_bytes, "line_bytes"), (self.num_sets, "num_sets")):
-            if value & (value - 1):
+        for value, label in ((self.line_bytes, "line_bytes"), (self.num_sets, "num_sets"),
+                             (self.banks, "banks")):
+            if value < 1 or value & (value - 1):
                 raise ValueError(f"{label} must be a power of two, got {value}")
+        if self.associativity < 1:
+            raise ValueError(
+                f"associativity must be >= 1, got {self.associativity}")
+        if self.banks > self.line_bytes:
+            raise ValueError(
+                f"banks ({self.banks}) must divide line_bytes ({self.line_bytes})")
 
     @property
     def offset_bits(self) -> int:
@@ -38,6 +64,11 @@ class CacheConfig:
     @property
     def set_bits(self) -> int:
         return self.num_sets.bit_length() - 1
+
+    @property
+    def bank_bytes(self) -> int:
+        """Size of one cache bank (the CacheBleed observation unit)."""
+        return self.line_bytes // self.banks
 
     @property
     def capacity_bytes(self) -> int:
@@ -60,19 +91,203 @@ class CacheStats:
         return self.misses / self.accesses if self.accesses else 0.0
 
 
-class SetAssociativeCache:
-    """LRU set-associative cache."""
+class ReplacementPolicy:
+    """Strategy deciding which line of a set a miss evicts.
 
-    def __init__(self, config: CacheConfig | None = None) -> None:
+    A policy owns the *representation* of one set's state: ``new_set``
+    creates it, ``access`` performs one lookup/update on it, ``reset``
+    empties it in place (including any metadata such as PLRU tree bits),
+    and ``tags`` enumerates the resident tags.  The cache itself only does
+    geometry (set indexing and tag extraction).
+    """
+
+    name = "?"
+
+    def __init__(self, associativity: int) -> None:
+        if associativity < 1:
+            raise ValueError(f"associativity must be >= 1, got {associativity}")
+        self.associativity = associativity
+
+    def new_set(self):
+        """A fresh (empty) per-set state."""
+        raise NotImplementedError
+
+    def access(self, state, tag: int) -> bool:
+        """Look up ``tag`` in one set; update state; return True on a hit."""
+        raise NotImplementedError
+
+    def reset(self, state) -> None:
+        """Empty one set in place, clearing every piece of policy state."""
+        raise NotImplementedError
+
+    def tags(self, state):
+        """The tags currently resident in one set."""
+        raise NotImplementedError
+
+
+class LRUPolicy(ReplacementPolicy):
+    """Least-recently-used: the original simulator's policy, bit-identical.
+
+    State is an ordered list of tags, most recently used last.
+    """
+
+    name = "lru"
+
+    def new_set(self) -> list[int]:
+        return []
+
+    def access(self, state: list[int], tag: int) -> bool:
+        if tag in state:
+            state.remove(tag)
+            state.append(tag)
+            return True
+        state.append(tag)
+        if len(state) > self.associativity:
+            state.pop(0)
+        return False
+
+    def reset(self, state: list[int]) -> None:
+        state.clear()
+
+    def tags(self, state: list[int]):
+        return state
+
+
+class FIFOPolicy(ReplacementPolicy):
+    """First-in-first-out: hits do not refresh a line's age.
+
+    State is an ordered list of tags, oldest first.
+    """
+
+    name = "fifo"
+
+    def new_set(self) -> list[int]:
+        return []
+
+    def access(self, state: list[int], tag: int) -> bool:
+        if tag in state:
+            return True
+        state.append(tag)
+        if len(state) > self.associativity:
+            state.pop(0)
+        return False
+
+    def reset(self, state: list[int]) -> None:
+        state.clear()
+
+    def tags(self, state: list[int]):
+        return state
+
+
+class TreePLRUPolicy(ReplacementPolicy):
+    """Tree-based pseudo-LRU (the policy of real Intel L1/L2 caches).
+
+    State is ``(ways, bits)``: ``ways`` maps way index → tag (or None),
+    ``bits`` is the implicit binary tree of ``associativity - 1`` direction
+    bits stored level by level; ``bits[i] == 0`` means the left subtree is
+    older.  Touching a way flips every node on its root path to point away
+    from it; the victim is found by following the direction bits down.
+    Requires a power-of-two associativity (as the real hardware does).
+    """
+
+    name = "plru"
+
+    def __init__(self, associativity: int) -> None:
+        super().__init__(associativity)
+        if associativity & (associativity - 1):
+            raise ValueError(
+                f"tree-PLRU needs a power-of-two associativity, got {associativity}")
+        self._levels = associativity.bit_length() - 1
+
+    def new_set(self) -> tuple[list, list[int]]:
+        return ([None] * self.associativity, [0] * (self.associativity - 1))
+
+    def _touch(self, bits: list[int], way: int) -> None:
+        node = 0
+        for level in range(self._levels - 1, -1, -1):
+            direction = (way >> level) & 1
+            bits[node] = 1 - direction  # point away from the touched way
+            node = 2 * node + 1 + direction
+
+    def _victim(self, bits: list[int]) -> int:
+        node = 0
+        internal = self.associativity - 1
+        while node < internal:
+            node = 2 * node + 1 + bits[node]
+        return node - internal
+
+    def access(self, state: tuple[list, list[int]], tag: int) -> bool:
+        ways, bits = state
+        try:
+            way = ways.index(tag)
+        except ValueError:
+            way = None
+        if way is not None:
+            self._touch(bits, way)
+            return True
+        try:
+            way = ways.index(None)  # fill invalid ways first
+        except ValueError:
+            way = self._victim(bits)
+        ways[way] = tag
+        self._touch(bits, way)
+        return False
+
+    def reset(self, state: tuple[list, list[int]]) -> None:
+        ways, bits = state
+        for index in range(len(ways)):
+            ways[index] = None
+        for index in range(len(bits)):
+            bits[index] = 0
+
+    def tags(self, state: tuple[list, list[int]]):
+        return [tag for tag in state[0] if tag is not None]
+
+
+POLICIES: dict[str, type[ReplacementPolicy]] = {
+    LRUPolicy.name: LRUPolicy,
+    FIFOPolicy.name: FIFOPolicy,
+    TreePLRUPolicy.name: TreePLRUPolicy,
+}
+
+
+def make_policy(policy: str | ReplacementPolicy, associativity: int) -> ReplacementPolicy:
+    """Resolve a policy name (or pass an instance through)."""
+    if isinstance(policy, ReplacementPolicy):
+        return policy
+    try:
+        factory = POLICIES[policy]
+    except KeyError:
+        raise ValueError(
+            f"unknown replacement policy {policy!r} "
+            f"(available: {', '.join(sorted(POLICIES))})") from None
+    return factory(associativity)
+
+
+class SetAssociativeCache:
+    """Set-associative cache with a pluggable replacement policy."""
+
+    def __init__(self, config: CacheConfig | None = None,
+                 policy: str | ReplacementPolicy = "lru") -> None:
         self.config = config or CacheConfig()
-        # Each set is an ordered list of tags, most recently used last.
-        self._sets: list[list[int]] = [[] for _ in range(self.config.num_sets)]
+        self.policy = make_policy(policy, self.config.associativity)
+        if self.policy.associativity != self.config.associativity:
+            raise ValueError(
+                f"policy is {self.policy.associativity}-way but the cache is "
+                f"{self.config.associativity}-way")
+        self._sets = [self.policy.new_set() for _ in range(self.config.num_sets)]
         self.stats = CacheStats()
         # Geometry, flattened out of the config properties for the hot path.
         self._offset_bits = self.config.offset_bits
         self._set_bits = self.config.set_bits
         self._set_mask = self.config.num_sets - 1
-        self._assoc = self.config.associativity
+        self._bank_bytes = self.config.bank_bytes
+        self._line_mask = self.config.line_bytes - 1
+        self._policy_access = self.policy.access
+
+    @property
+    def policy_name(self) -> str:
+        return self.policy.name
 
     def _locate(self, addr: int) -> tuple[int, int]:
         block = addr >> self.config.offset_bits
@@ -81,35 +296,34 @@ class SetAssociativeCache:
         return set_index, tag
 
     def access(self, addr: int) -> bool:
-        """Access one address; returns True on hit and updates LRU state."""
+        """Access one address; returns True on hit and updates policy state."""
         # _locate inlined: this runs once per simulated memory access.
         block = addr >> self._offset_bits
-        tag = block >> self._set_bits
-        lines = self._sets[block & self._set_mask]
-        if tag in lines:
-            lines.remove(tag)
-            lines.append(tag)
+        hit = self._policy_access(self._sets[block & self._set_mask],
+                                  block >> self._set_bits)
+        if hit:
             self.stats.hits += 1
-            return True
-        lines.append(tag)
-        if len(lines) > self._assoc:
-            lines.pop(0)
-        self.stats.misses += 1
-        return False
+        else:
+            self.stats.misses += 1
+        return hit
 
     def bank_of(self, addr: int) -> int:
         """The cache bank an address falls into (CacheBleed granularity)."""
-        bank_bytes = self.config.line_bytes // self.config.banks
-        return (addr % self.config.line_bytes) // bank_bytes
+        return (addr & self._line_mask) // self._bank_bytes
 
     def flush(self) -> None:
-        """Empty the cache (keeps statistics)."""
-        self._sets = [[] for _ in range(self.config.num_sets)]
+        """Empty the cache (keeps statistics).
+
+        Goes through the policy's reset hook so metadata beyond the resident
+        tags — e.g. PLRU tree bits — cannot survive a flush.
+        """
+        for state in self._sets:
+            self.policy.reset(state)
 
     def resident_blocks(self) -> set[int]:
         """The set of block numbers currently cached (for inspection)."""
         blocks = set()
-        for set_index, lines in enumerate(self._sets):
-            for tag in lines:
+        for set_index, state in enumerate(self._sets):
+            for tag in self.policy.tags(state):
                 blocks.add((tag << self.config.set_bits) | set_index)
         return blocks

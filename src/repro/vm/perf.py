@@ -40,7 +40,14 @@ class PerfCounters:
 
 @dataclass
 class CostModel:
-    """In-order cost model: base latency + memory hierarchy latency."""
+    """In-order cost model: base latency + memory hierarchy latency.
+
+    ``policy`` selects the replacement policy of both caches (``"lru"``,
+    ``"fifo"``, ``"plru"``); when given, it rebuilds ``icache``/``dcache``
+    with fresh (empty) caches of the same geometry, so pass either a policy
+    name or pre-built caches, not both.  ``None`` keeps the caches as they
+    are and records their policy.
+    """
 
     base_cycles: int = 1
     mul_cycles: int = 3
@@ -48,12 +55,20 @@ class CostModel:
     branch_cycles: int = 1
     hit_cycles: int = 3
     miss_cycles: int = 40
+    policy: str | None = None
     icache: SetAssociativeCache = field(
         default_factory=lambda: SetAssociativeCache(CacheConfig(num_sets=64)))
     dcache: SetAssociativeCache = field(
         default_factory=lambda: SetAssociativeCache(CacheConfig(num_sets=64)))
     counters: PerfCounters = field(default_factory=PerfCounters)
     _mnemonic_cycles: dict[str, int] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.policy is None:
+            self.policy = self.icache.policy_name
+        elif self.policy != self.icache.policy_name or self.policy != self.dcache.policy_name:
+            self.icache = SetAssociativeCache(self.icache.config, policy=self.policy)
+            self.dcache = SetAssociativeCache(self.dcache.config, policy=self.policy)
 
     def instruction(self, instr: Instruction) -> None:
         """Charge the base cost of one instruction (fetch charged separately)."""

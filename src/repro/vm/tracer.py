@@ -5,6 +5,14 @@ Its :meth:`Trace.view` method computes exactly the adversary views of paper
 §3.2 — ``π_{n:b}`` projections of one access stream, optionally collapsed
 modulo stuttering — which is what the validation harness compares against the
 static bounds (the executable form of Theorem 1).
+
+:meth:`Trace.hit_miss_view` and :meth:`Trace.time_view` derive the
+*trace-based* and *time-based* adversary observations (the CacheAudit
+adversary hierarchy) by replaying one access stream through a replacement-
+policy cache simulator: the hit/miss sequence, and the total (hits, misses)
+pair that determines execution time on an in-order machine.  Both are
+deterministic functions of the block-level view — for any policy — which is
+what lets :mod:`repro.core.adversary` bound them from the block trace DAG.
 """
 
 from __future__ import annotations
@@ -53,15 +61,7 @@ class Trace:
         granularity; ``stuttering=True`` collapses maximal runs of equal
         observations.
         """
-        if cache_kind == "I":
-            addresses = self.fetches()
-        elif cache_kind == "D":
-            addresses = self.data_accesses()
-        elif cache_kind == "shared":
-            addresses = [a.addr for a in self.accesses]
-        else:
-            raise ValueError(f"unknown cache kind {cache_kind!r}")
-        observations = [addr >> offset_bits for addr in addresses]
+        observations = [addr >> offset_bits for addr in self._stream(cache_kind)]
         if not stuttering:
             return tuple(observations)
         collapsed: list[int] = []
@@ -69,6 +69,38 @@ class Trace:
             if not collapsed or collapsed[-1] != observation:
                 collapsed.append(observation)
         return tuple(collapsed)
+
+    def _stream(self, cache_kind: str) -> list[int]:
+        """The addresses of one cache's access stream."""
+        if cache_kind == "I":
+            return self.fetches()
+        if cache_kind == "D":
+            return self.data_accesses()
+        if cache_kind == "shared":
+            return [a.addr for a in self.accesses]
+        raise ValueError(f"unknown cache kind {cache_kind!r}")
+
+    def hit_miss_view(self, cache_kind: str, cache) -> tuple[bool, ...]:
+        """The trace-based adversary's view: the hit/miss sequence.
+
+        Replays this trace's ``cache_kind`` stream through ``cache`` (a fresh
+        :class:`~repro.vm.cache.SetAssociativeCache` of any policy).  The
+        result is a deterministic function of the block view, so its number
+        of distinct values over all secrets is bounded by the block-trace
+        count (see :mod:`repro.core.adversary`).
+        """
+        return tuple(cache.access(addr) for addr in self._stream(cache_kind))
+
+    def time_view(self, cache_kind: str, cache) -> tuple[int, int]:
+        """The time-based adversary's view: total (hits, misses).
+
+        On an in-order cost model the execution time is an affine function
+        of these two counters, so distinguishing timings is exactly
+        distinguishing (hits, misses) pairs.
+        """
+        sequence = self.hit_miss_view(cache_kind, cache)
+        hits = sum(sequence)
+        return hits, len(sequence) - hits
 
     def __len__(self) -> int:
         return len(self.accesses)

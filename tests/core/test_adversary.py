@@ -1,0 +1,238 @@
+"""Trace-/time-based adversary bounds (core/adversary.py): the DAG-level
+derivations, the block-trace determinism argument across replacement
+policies, and the end-to-end analyzer/validator integration."""
+
+import pytest
+
+from repro.analysis.analyzer import analyze
+from repro.analysis.config import AnalysisConfig, AnalysisError, InputSpec
+from repro.analysis.validation import ConcreteValidator
+from repro.core.adversary import (
+    ADVERSARY_MODELS,
+    AdversaryBound,
+    derive_adversary_bounds,
+    time_adversary_count,
+    trace_adversary_count,
+)
+from repro.core.observers import AccessKind, ProjectedLabel
+from repro.core.tracedag import TraceDAG
+from repro.isa import parse_asm
+from repro.isa.registers import EAX, ESI
+from repro.vm.cache import POLICIES, CacheConfig, SetAssociativeCache
+from repro.vm.tracer import Trace
+
+
+def label(*keys, count=None):
+    return ProjectedLabel(keys=frozenset(keys), count=count or len(keys))
+
+
+A, B, C = label("A"), label("B"), label("C")
+
+
+def _linear_dag(*accesses):
+    dag = TraceDAG()
+    cursor = dag.root_cursor()
+    for access in accesses:
+        cursor = dag.access(cursor, access)
+    return dag, dag.finalize(cursor)
+
+
+class TestAdversaryBound:
+    def test_bits(self):
+        bound = AdversaryBound(kind=AccessKind.DATA, model="trace", count=8)
+        assert bound.bits == 3.0
+        assert not bound.is_non_interferent
+
+    def test_non_interference(self):
+        bound = AdversaryBound(kind=AccessKind.DATA, model="time", count=1)
+        assert bound.is_non_interferent
+
+    def test_rejects_unknown_model(self):
+        with pytest.raises(ValueError):
+            AdversaryBound(kind=AccessKind.DATA, model="power", count=1)
+
+    def test_rejects_nonpositive_count(self):
+        with pytest.raises(ValueError):
+            AdversaryBound(kind=AccessKind.DATA, model="trace", count=0)
+
+
+class TestPathLengthSpan:
+    def test_empty_trace(self):
+        dag = TraceDAG()
+        ends = dag.finalize(dag.root_cursor())
+        assert dag.path_length_span(ends) == (0, 0)
+
+    def test_single_path_counts_accesses(self):
+        dag, ends = _linear_dag(A, A, A, B)
+        assert dag.path_length_span(ends) == (4, 4)
+
+    def test_branching_lengths(self):
+        """Two merged arms with 2 vs 5 accesses span [2, 5]."""
+        dag = TraceDAG()
+        short = dag.access(dag.access(dag.root_cursor(), A), B)
+        long = dag.root_cursor()
+        for access in (A, A, A, A, C):
+            long = dag.access(long, access)
+        ends = dag.finalize(dag.merge(short, long))
+        assert dag.path_length_span(ends) == (2, 5)
+
+
+class TestDerivations:
+    def test_trace_bound_equals_block_count(self):
+        dag, ends = _linear_dag(label("A", "B"), C)
+        assert trace_adversary_count(dag, ends) == dag.count(ends)
+
+    def test_time_bound_constant_length(self):
+        """Single achievable length n: at most n+1 (hits, misses) pairs."""
+        dag, ends = _linear_dag(label("A", "B", "C", "D", "E", "F"), A, B)
+        # trace bound is 6, but all traces have length 3 → 4 timing pairs.
+        assert trace_adversary_count(dag, ends) == 6
+        assert time_adversary_count(dag, ends) == 4
+
+    def test_time_bound_never_exceeds_trace_bound(self):
+        dag, ends = _linear_dag(label("A", "B"))
+        # length 1 everywhere → 2 pairs, but only 2 block traces anyway.
+        assert time_adversary_count(dag, ends) <= trace_adversary_count(dag, ends)
+
+    def test_time_bound_empty_trace(self):
+        dag = TraceDAG()
+        ends = dag.finalize(dag.root_cursor())
+        assert time_adversary_count(dag, ends) == 1
+
+    def test_derive_selected_models(self):
+        dag, ends = _linear_dag(A, B)
+        bounds = derive_adversary_bounds(dag, ends, AccessKind.DATA, ("trace",))
+        assert [(b.model, b.count) for b in bounds] == [("trace", 1)]
+
+    def test_derive_rejects_unknown_model(self):
+        dag, ends = _linear_dag(A)
+        with pytest.raises(ValueError):
+            derive_adversary_bounds(dag, ends, AccessKind.DATA, ("tempest",))
+
+
+class TestBlockTraceDeterminism:
+    """The §3.2 argument the derivations rest on, executable: equal block
+    views imply equal hit/miss traces — for every replacement policy."""
+
+    def _trace(self, addresses):
+        trace = Trace()
+        for addr in addresses:
+            trace.record("R", addr, 4)
+        return trace
+
+    @pytest.mark.parametrize("policy", sorted(POLICIES))
+    def test_equal_block_views_equal_hit_miss_traces(self, policy):
+        config = CacheConfig(line_bytes=64, num_sets=2, associativity=2)
+        blocks = [0, 1, 5, 1, 9, 0, 5, 9, 1, 0, 3, 5]
+        # Two traces touching the same blocks at different line offsets.
+        first = self._trace([b * 64 + 4 for b in blocks])
+        second = self._trace([b * 64 + 60 for b in blocks])
+        assert first.view("D", 6) == second.view("D", 6)
+        first_hm = first.hit_miss_view("D", SetAssociativeCache(config, policy))
+        second_hm = second.hit_miss_view("D", SetAssociativeCache(config, policy))
+        assert first_hm == second_hm
+        assert first.time_view("D", SetAssociativeCache(config, policy)) == \
+               second.time_view("D", SetAssociativeCache(config, policy))
+
+    def test_time_view_sums_to_length(self):
+        trace = self._trace([0, 64, 0, 128])
+        hits, misses = trace.time_view("D", SetAssociativeCache())
+        assert hits + misses == 4
+
+
+ASM = """
+.text
+main:
+    test eax, eax
+    je .skip
+    add esi, 64
+.skip:
+    mov ebx, [esi]
+    ret
+"""
+
+
+class TestAnalyzerIntegration:
+    @pytest.fixture(scope="class")
+    def result(self):
+        image = parse_asm(ASM).assemble()
+        spec = InputSpec(entry="main", registers=(
+            InputSpec.reg_high(EAX, [0, 1]),
+            InputSpec.reg_symbol(ESI, "x"),
+        ))
+        return analyze(image, spec, AnalysisConfig())
+
+    def test_adversary_bounds_recorded_per_kind(self, result):
+        recorded = set(result.report.adversaries)
+        assert (AccessKind.DATA, "trace") in recorded
+        assert (AccessKind.INSTRUCTION, "time") in recorded
+
+    def test_trace_bound_matches_block_count(self, result):
+        for kind in (AccessKind.INSTRUCTION, AccessKind.DATA):
+            assert (result.report.adversary_bound(kind, "trace").count
+                    == result.report.bound(kind, "block").count)
+
+    def test_adversary_hierarchy(self, result):
+        """time ≤ trace ≤ block-address observations, per kind."""
+        for kind in (AccessKind.INSTRUCTION, AccessKind.DATA):
+            time = result.report.adversary_bound(kind, "time").count
+            trace = result.report.adversary_bound(kind, "trace").count
+            assert time <= trace
+
+    def test_models_can_be_disabled(self):
+        image = parse_asm(ASM).assemble()
+        spec = InputSpec(entry="main", registers=(
+            InputSpec.reg_high(EAX, [0, 1]),
+            InputSpec.reg_symbol(ESI, "x"),
+        ))
+        result = analyze(image, spec, AnalysisConfig(adversary_models=()))
+        assert result.report.adversaries == {}
+
+    def test_config_rejects_unknown_model(self):
+        with pytest.raises(AnalysisError):
+            AnalysisConfig(adversary_models=("power",))
+
+    def test_config_rejects_unknown_policy(self):
+        with pytest.raises(AnalysisError):
+            AnalysisConfig(cache_policy="belady")
+
+    def test_concrete_validation_across_policies(self, result):
+        image = parse_asm(ASM).assemble()
+        validator = ConcreteValidator(image, result.spec)
+        outcome = validator.check_adversaries(
+            result, layouts=[{"x": 0x9000000}, {"x": 0x9000040}],
+            policies=tuple(sorted(POLICIES)))
+        # 3 policies x 2 layouts x 4 (kind, model) bounds
+        assert outcome.checked == 3 * 2 * 4
+        assert outcome.ok, outcome.violations
+
+    def test_report_formats_adversary_table(self, result):
+        table = result.report.format_full_table()
+        assert "Adversary" in table and "trace" in table and "time" in table
+        assert "ADVERSARY_MODELS" not in table  # sanity
+        assert set(ADVERSARY_MODELS) == {"trace", "time"}
+
+
+class TestCaseStudyConcreteValidation:
+    """The grid's policy axis, exercised for real: the case-study targets'
+    trace-/time-adversary bounds must dominate the concrete hit/miss and
+    timing views under *every* registered replacement policy."""
+
+    LAYOUTS = {
+        "sqam_153": {"rp": 0x9000000, "tmp": 0x9001000,
+                     "bp": 0x9002000, "mp": 0x9003000},
+        "lookup_161": {"bp": 0x9000000, "bsize": 0x9000100},
+    }
+
+    @pytest.mark.parametrize("factory_name", ["sqam_target", "lookup_target"])
+    def test_bounds_hold_under_every_policy(self, factory_name):
+        from repro.casestudy import targets
+
+        target = getattr(targets, factory_name)()
+        result = target.analyze()
+        validator = ConcreteValidator(target.image, target.spec)
+        outcome = validator.check_adversaries(
+            result, [self.LAYOUTS[target.name]],
+            policies=tuple(sorted(POLICIES)))
+        assert outcome.checked == len(POLICIES) * len(result.report.adversaries)
+        assert outcome.ok, outcome.violations

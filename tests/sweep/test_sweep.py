@@ -8,16 +8,20 @@ import pytest
 
 from repro.casestudy import experiments
 from repro.casestudy.scenarios import (
+    POLICY_NAMES,
+    adversary_scenario,
     all_scenarios,
     figure_scenarios,
     gather_scenario,
     kernel_scenario,
     lookup_scenario,
+    policy_adversary_scenarios,
     sqam_scenario,
     sqm_scenario,
 )
 from repro.core.observers import AccessKind
 from repro.sweep import (
+    ResultStore,
     Scenario,
     ScenarioError,
     SweepResult,
@@ -102,6 +106,120 @@ class TestRunnerCaching:
             SweepRunner(store=str(path)).run(scenarios)
             paths.append(path)
         assert paths[0].read_bytes() == paths[1].read_bytes()
+
+
+class TestResultStoreRobustness:
+    """The on-disk store under fingerprint churn and file corruption."""
+
+    def test_fingerprint_change_invalidates(self, tmp_path):
+        """A changed scenario meaning misses the cache and recomputes."""
+        store_path = str(tmp_path / "store.json")
+        base = gather_scenario(nbytes=16)
+        first = SweepRunner(store=store_path).run_one(base)
+        assert not first.cached
+        changed = gather_scenario(nbytes=16, observers=("address", "block"))
+        assert changed.fingerprint() != base.fingerprint()
+        second = SweepRunner(store=store_path).run_one(changed)
+        assert not second.cached  # new fingerprint: no stale answer
+        # Both results are now stored under their own fingerprints.
+        store = ResultStore(store_path)
+        assert store.get(base.fingerprint()) is not None
+        assert store.get(changed.fingerprint()) is not None
+        assert len(store) == 2
+
+    def test_policy_and_adversary_overrides_key_fingerprints(self):
+        base = lookup_scenario(opt_level=2, line_bytes=64)
+        fingerprints = {base.fingerprint()}
+        for policy in POLICY_NAMES:
+            fingerprints.add(adversary_scenario(base, policy).fingerprint())
+        fingerprints.add(adversary_scenario(base, "lru", models=()).fingerprint())
+        assert len(fingerprints) == 5  # base + 3 policies + ablation
+
+    @pytest.mark.parametrize("content", [
+        "",                                  # truncated to nothing
+        "{\"version\": 1, \"results\": ",    # truncated mid-object
+        "not json at all {{{",               # garbage
+        "[1, 2, 3]",                         # wrong shape
+        "{\"version\": 999, \"results\": {}}",  # incompatible version
+    ])
+    def test_corrupt_store_starts_fresh(self, tmp_path, content):
+        store_path = tmp_path / "store.json"
+        store_path.write_text(content)
+        store = ResultStore(str(store_path))
+        assert len(store) == 0
+        scenario = gather_scenario(nbytes=16)
+        result = SweepRunner(store=str(store_path)).run_one(scenario)
+        assert not result.cached
+        # The save overwrote the corrupt file with a loadable store.
+        recovered = ResultStore(str(store_path))
+        assert recovered.get(scenario.fingerprint()) is not None
+
+    def test_corrupt_store_does_not_crash_sweep(self, tmp_path):
+        store_path = tmp_path / "store.json"
+        store_path.write_text("\x00\x01 binary junk")
+        runner = SweepRunner(store=str(store_path))
+        results = runner.run([gather_scenario(nbytes=16)])
+        assert len(results) == 1 and results[0].rows
+
+
+class TestPolicyAdversaryGrid:
+    """The policy × adversary scenario axis of the catalogue."""
+
+    @pytest.fixture(scope="class")
+    def grid_results(self):
+        runner = SweepRunner()
+        grid = policy_adversary_scenarios(entry_bytes=16)
+        return {name: runner.run_one(scenario)
+                for name, scenario in grid.items()}
+
+    def test_grid_is_in_the_catalogue(self):
+        catalogue = all_scenarios(entry_bytes=16)
+        for name in policy_adversary_scenarios(entry_bytes=16):
+            assert name in catalogue
+
+    def test_leakage_rows_policy_independent(self, grid_results):
+        """Rows agree across the policy axis.
+
+        Today this holds by construction — the analysis never consults
+        ``cache_policy`` — and this test locks that invariant: a future
+        change that makes ``analyze()`` policy-sensitive must not alter the
+        observation counts.  The *executable* policy-independence argument
+        (hit/miss replays under each policy stay within the bounds) lives
+        in ``tests/core/test_adversary.py``'s concrete-validation tests.
+        """
+        for base in ("sqam-O2-64B", "lookup-O2-64B", "gather-16B"):
+            rows = {grid_results[f"{base}-{policy}"].rows
+                    for policy in POLICY_NAMES}
+            adversary_rows = {grid_results[f"{base}-{policy}"].adversary_rows
+                              for policy in POLICY_NAMES}
+            assert len(rows) == 1
+            assert len(adversary_rows) == 1
+
+    def test_adversary_rows_present_and_bounded(self, grid_results):
+        result = grid_results["lookup-O2-64B-lru"]
+        by_key = {(row.kind, row.model): row.count
+                  for row in result.adversary_rows}
+        block = {row.kind: row.count for row in result.rows
+                 if row.observer == "block"}
+        assert by_key[("DATA", "trace")] == block["DATA"]
+        assert by_key[("DATA", "time")] <= by_key[("DATA", "trace")]
+
+    def test_ablation_has_no_adversary_rows(self, grid_results):
+        assert grid_results["lookup-O2-64B-noadv"].adversary_rows == ()
+
+    def test_adversary_rows_serialize(self, grid_results):
+        result = grid_results["gather-16B-plru"]
+        clone = SweepResult.from_payload(
+            json.loads(json.dumps(result.to_payload())))
+        assert clone.adversary_rows == result.adversary_rows
+        report = clone.report
+        assert report.adversary_bound(D, "trace").count == 1
+
+    def test_kernel_policies_all_measured(self, grid_results):
+        for policy in POLICY_NAMES:
+            suffix = "" if policy == "lru" else f"-{policy}"
+            metrics = grid_results[f"kernel-scatter_102f-16B{suffix}"].metrics
+            assert metrics["instructions"] > 0 and metrics["cycles"] > 0
 
 
 class TestPoolParallelism:

@@ -1,0 +1,49 @@
+"""The ``python -m repro`` CLI: listing, policy-grid sweeps, bench log."""
+
+import json
+
+from repro.__main__ import main
+
+
+class TestList:
+    def test_lists_policy_grid(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "figure7a" in out
+        assert "lookup-O2-64B-plru" in out
+        assert "kernel-scatter_102f-32B-fifo" in out
+
+
+class TestSweep:
+    def test_policy_grid_sweep_renders_adversaries(self, capsys):
+        code = main(["sweep", "--entry-bytes", "16",
+                     "kernel-scatter_102f-16B", "kernel-scatter_102f-16B-fifo",
+                     "kernel-scatter_102f-16B-plru", "gather-16B-plru"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "kernel-scatter_102f-16B-plru" in out
+        assert "Adversary" in out and "trace" in out and "time" in out
+
+    def test_unknown_scenario_rejected(self, capsys):
+        assert main(["sweep", "no-such-scenario"]) == 2
+
+    def test_bench_out_appends_timings(self, tmp_path, capsys):
+        bench = tmp_path / "bench.json"
+        bench.write_text(json.dumps(
+            {"version": 1, "timings": {"existing/key": 1.5}}))
+        code = main(["sweep", "--entry-bytes", "16", "--no-cache",
+                     "kernel-scatter_102f-16B-plru",
+                     "--bench-out", str(bench)])
+        assert code == 0
+        payload = json.loads(bench.read_text())
+        assert payload["timings"]["existing/key"] == 1.5
+        assert "cli/sweep/kernel-scatter_102f-16B-plru" in payload["timings"]
+
+    def test_bench_out_survives_corrupt_log(self, tmp_path):
+        bench = tmp_path / "bench.json"
+        bench.write_text("{corrupt")
+        code = main(["sweep", "--entry-bytes", "16", "--no-cache",
+                     "kernel-scatter_102f-16B", "--bench-out", str(bench)])
+        assert code == 0
+        payload = json.loads(bench.read_text())
+        assert "cli/sweep/kernel-scatter_102f-16B" in payload["timings"]

@@ -112,6 +112,24 @@ class TestCostModel:
         assert model.dcache.stats.misses == 0
         assert model.counters.memory_accesses == 0  # fetches not counted as data
 
+    def test_policy_selects_cache_policies(self):
+        model = CostModel(policy="plru")
+        assert model.icache.policy_name == "plru"
+        assert model.dcache.policy_name == "plru"
+        assert model.icache.config.num_sets == 64  # geometry preserved
+
+    def test_policy_defaults_to_cache_policy(self):
+        assert CostModel().policy == "lru"
+
+    def test_instruction_counts_policy_invariant(self):
+        """Policies move the hit/miss split, never the instruction count."""
+        from repro.casestudy.performance import measure_kernel
+
+        counts = {policy: measure_kernel("scatter_102f", 16, policy=policy)
+                  for policy in ("lru", "fifo", "plru")}
+        assert len({m["instructions"] for m in counts.values()}) == 1
+        assert len({m["memory_accesses"] for m in counts.values()}) == 1
+
     def test_charge_hybrid(self):
         model = CostModel()
         model.charge(instructions=1000, cycles=800)
