@@ -6,9 +6,10 @@ benchmarks/bench_*.py`` doubles as the reproduction harness.  Analyses are
 deterministic, so a single measured round is representative.
 
 Each benchmarked call's wall-clock time is also appended to
-``BENCH_sweep.json`` at the repository root, keyed by test id, so the
-performance trajectory of the figure reproductions is tracked across PRs
-(compare the file between commits to see hot-path regressions).
+``.bench/BENCH_sweep.json`` (untracked), keyed by test id, so local runs
+never dirty the committed ``BENCH_sweep.json`` snapshot at the repository
+root.  To refresh the tracked snapshot deliberately, point the CLI at it:
+``python -m repro sweep ... --bench-out BENCH_sweep.json``.
 """
 
 import os
@@ -18,7 +19,8 @@ import pytest
 
 from repro.sweep.results import update_bench_log
 
-BENCH_LOG = os.path.join(os.path.dirname(__file__), os.pardir, "BENCH_sweep.json")
+BENCH_LOG = os.path.join(os.path.dirname(__file__), os.pardir,
+                         ".bench", "BENCH_sweep.json")
 
 _timings: dict[str, float] = {}
 

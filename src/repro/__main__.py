@@ -1,28 +1,31 @@
-"""``python -m repro`` — list and run scenarios, figures, and sweeps.
+"""``python -m repro`` — list, run, and transform scenarios and figures.
 
 Subcommands
 -----------
 - ``list``                      — the scenario catalogue and figure names
+  (``--filter SUBSTR`` narrows it, ``--policies`` shows the policy axis)
 - ``figure NAME... | --all``    — regenerate paper figures (paper-style tables)
 - ``sweep [NAME...]``           — run scenarios through the SweepRunner,
   optionally pool-parallel (``--jobs``), persisted (``--store``), and with
   per-scenario wall-clock timings appended to a benchmark log
   (``--bench-out``)
+- ``transform NAME --passes P[,P...]`` — apply countermeasure passes to a
+  base scenario, analyze original vs. transformed side by side, enforce the
+  leakage ordering on the passes' targeted observers, and optionally replay
+  semantic equivalence on the VM (``--validate``)
 
-The catalogue includes the policy × adversary grid: leakage scenarios
-re-analyzed per replacement policy with derived trace-/time-adversary
-bounds (``lookup-O2-64B-plru``, …) and the Figure 16b kernels measured
-under each policy (``kernel-scatter_102f-32B-fifo``, …).
+The catalogue includes the policy × adversary grid (``lookup-O2-64B-plru``,
+``kernel-scatter_102f-32B-fifo``, …) and the generated countermeasure grid
+(``lookup-O2-64B-hardened``, ``sqm-O2-64B-balanced``, ``naive-32B-sg``, …).
 
 Examples::
 
-    python -m repro list
+    python -m repro list --filter hardened
     python -m repro figure figure7a figure7b
-    python -m repro figure --all --entry-bytes 32
     python -m repro sweep --all --jobs 4 --store sweep_results.json
-    python -m repro sweep lookup-O2-64B-plru gather-32B-fifo
-    python -m repro sweep kernel-scatter_102f-32B{,-fifo,-plru} \\
-        --bench-out BENCH_sweep.json
+    python -m repro sweep lookup-O2-64B-hardened naive-32B-sg
+    python -m repro transform lookup-O2-64B \\
+        --passes preload,balance-branches --validate
 """
 
 from __future__ import annotations
@@ -32,9 +35,11 @@ import sys
 import time
 
 from repro.casestudy import experiments
-from repro.casestudy.scenarios import all_scenarios
+from repro.casestudy.scenarios import all_scenarios, transformed_scenario
+from repro.casestudy.targets import default_layouts
 from repro.sweep import Scenario, SweepResult, SweepRunner
 from repro.sweep.results import update_bench_log
+from repro.sweep.scenario import ScenarioError
 
 FIGURE_RUNNERS = {
     "figure7a": experiments.figure7a,
@@ -54,7 +59,11 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
-    commands.add_parser("list", help="list figures and sweep scenarios")
+    listing = commands.add_parser("list", help="list figures and sweep scenarios")
+    listing.add_argument("--filter", default=None, metavar="SUBSTR",
+                         help="only show names containing this substring")
+    listing.add_argument("--policies", action="store_true",
+                         help="also list the cache replacement policy axis")
 
     figure = commands.add_parser("figure", help="regenerate paper figures")
     figure.add_argument("names", nargs="*", help="figure names (see list)")
@@ -78,18 +87,48 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--bench-out", default=None,
                        help="append per-scenario wall-clock timings to this "
                             "JSON log (BENCH_sweep.json format)")
+
+    transform = commands.add_parser(
+        "transform", help="apply countermeasure passes and compare leakage")
+    transform.add_argument("name", help="base scenario (see list)")
+    transform.add_argument("--passes", required=True,
+                           help="comma-separated pass names: preload, "
+                                "scatter-gather, align-tables, "
+                                "balance-branches")
+    transform.add_argument("--entry-bytes", type=int, default=32,
+                           help="entry size of the catalogue's §8.4 scenarios")
+    transform.add_argument("--validate", action="store_true",
+                           help="replay original vs. transformed on the VM "
+                                "and check semantic equivalence")
     return parser
 
 
-def _command_list() -> int:
-    print("figures (python -m repro figure NAME):")
-    for name in FIGURE_RUNNERS:
-        print(f"  {name}")
-    print("\nscenarios (python -m repro sweep NAME, fast geometry):")
-    catalogue = all_scenarios()
-    width = max(len(name) for name in catalogue)
-    for name, scenario in sorted(catalogue.items()):
-        print(f"  {name:<{width}}  [{scenario.kind}] {scenario.description}")
+def _command_list(args) -> int:
+    needle = (args.filter or "").lower()
+    if args.policies:
+        from repro.vm.cache import POLICIES
+        print("cache replacement policies (scenario suffixes):")
+        for name in POLICIES:
+            print(f"  {name}")
+        print()
+    figures = [name for name in FIGURE_RUNNERS if needle in name.lower()]
+    if figures:
+        print("figures (python -m repro figure NAME):")
+        for name in figures:
+            print(f"  {name}")
+        print()
+    catalogue = {
+        name: scenario for name, scenario in all_scenarios().items()
+        if needle in name.lower()
+    }
+    if catalogue:
+        print("scenarios (python -m repro sweep NAME, fast geometry):")
+        width = max(len(name) for name in catalogue)
+        for name, scenario in sorted(catalogue.items()):
+            print(f"  {name:<{width}}  [{scenario.kind}] {scenario.description}")
+    if needle and not figures and not catalogue:
+        print(f"nothing matches {args.filter!r}", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -123,7 +162,8 @@ def _command_figure(args) -> int:
 
 def _render_sweep_result(result: SweepResult) -> str:
     source = "cache" if result.cached else f"{result.elapsed:.2f}s"
-    lines = [f"== {result.scenario} [{result.kind}] ({source})"]
+    applied = f" transforms={'+'.join(result.transforms)}" if result.transforms else ""
+    lines = [f"== {result.scenario} [{result.kind}]{applied} ({source})"]
     if result.kind == "leakage":
         lines.append(result.report.format_full_table())
     else:
@@ -179,12 +219,101 @@ def _command_sweep(args) -> int:
     return 0
 
 
+def _command_transform(args) -> int:
+    catalogue = all_scenarios(entry_bytes=args.entry_bytes)
+    base = catalogue.get(args.name)
+    if base is None:
+        print(f"unknown scenario {args.name!r}; see `python -m repro list`",
+              file=sys.stderr)
+        return 2
+    if base.kind != "leakage" or base.transforms:
+        print(f"{args.name!r} is not an untransformed leakage scenario",
+              file=sys.stderr)
+        return 2
+    from repro.transform import TransformError, targeted_observers
+
+    pass_names = tuple(p.strip() for p in args.passes.split(",") if p.strip())
+    try:
+        hardened = transformed_scenario(base, pass_names)
+        runner = SweepRunner()
+        original, transformed = runner.run([base, hardened])
+    except (ScenarioError, TransformError) as problem:
+        # Unknown passes and passes that do not apply to this kernel (no
+        # secret branch to balance, no table to preload, ...) are user
+        # errors, not crashes.
+        print(str(problem), file=sys.stderr)
+        return 2
+    print(f"== {base.name}  vs  {'+'.join(pass_names)}")
+    header = f"{'cache/observer':<24}{'original':>16}{'transformed':>16}"
+    print(header)
+    regressions = []
+    targeted = set(targeted_observers(hardened.transforms))
+    before = {(row.kind, row.observer): row.count for row in original.rows}
+    after = {(row.kind, row.observer): row.count for row in transformed.rows}
+    for key in sorted(before):
+        kind, observer = key
+        note = ""
+        if observer in targeted and key in after and after[key] > before[key]:
+            regressions.append(key)
+            note = "  <- REGRESSION"
+        print(f"{kind[0]}-Cache/{observer:<16}{before[key]:>16,}"
+              f"{after.get(key, 0):>16,}{note}")
+    adversaries_before = {(row.kind, row.model): row.count
+                          for row in original.adversary_rows}
+    for row in transformed.adversary_rows:
+        baseline = adversaries_before.get((row.kind, row.model))
+        rendered = f"{baseline:,}" if baseline is not None else "-"
+        print(f"{row.kind[0]}-Cache/{row.model + ' adv':<16}"
+              f"{rendered:>16}{row.count:>16,}")
+
+    status = 0
+    if regressions:
+        print(f"\nleakage ordering violated on targeted observers: "
+              f"{sorted(regressions)}", file=sys.stderr)
+        status = 1
+    else:
+        print(f"\nleakage ordering holds on targeted observers "
+              f"({', '.join(sorted(targeted))})")
+
+    if args.validate:
+        from repro.analysis.validation import ConcreteValidator
+        original_target = base.build_target()
+        transformed_target = hardened.build_target()
+        fills = _table_fills(original_target)
+        validator = ConcreteValidator(original_target.image,
+                                      original_target.spec)
+        outcome = validator.check_equivalence(
+            transformed_target.image,
+            default_layouts(original_target.name), fills=fills)
+        if outcome.ok:
+            print(f"semantic equivalence: OK "
+                  f"({outcome.checked} concrete executions)")
+        else:
+            print("semantic equivalence VIOLATED:", file=sys.stderr)
+            for violation in outcome.violations:
+                print(f"  {violation}", file=sys.stderr)
+            status = 1
+    return status
+
+
+def _table_fills(target) -> dict[str, bytes]:
+    """A deterministic byte pattern behind every pointer argument, so
+    equivalence replay compares real table contents, not zero-fill."""
+    from repro.analysis.validation import DEFAULT_FILL
+    return {
+        arg.symbol: DEFAULT_FILL for arg in target.spec.args
+        if arg.symbol is not None
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
-        return _command_list()
+        return _command_list(args)
     if args.command == "figure":
         return _command_figure(args)
+    if args.command == "transform":
+        return _command_transform(args)
     return _command_sweep(args)
 
 

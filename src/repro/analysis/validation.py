@@ -18,6 +18,15 @@ is replayed through a replacement-policy cache simulator and the number of
 distinct hit/miss traces (resp. total (hits, misses) pairs) is compared
 against the bounds of :mod:`repro.core.adversary`.  Because those bounds
 are policy-independent, the check can be run for every registered policy.
+
+:meth:`ConcreteValidator.check_equivalence` is the correctness side of the
+countermeasure transformation subsystem (:mod:`repro.transform`): a
+transformed image is semantically equivalent to its original when, for
+every layout and every secret valuation, both executions return the same
+value and leave the same bytes at every (non-stack) address the original
+wrote.  Transformed code may touch *additional* scratch memory — that is
+what countermeasures like scatter/gather do — but must reproduce the
+original's observable outputs exactly.
 """
 
 from __future__ import annotations
@@ -29,12 +38,24 @@ from repro.analysis.analyzer import AnalysisResult
 from repro.analysis.config import AnalysisError, InputSpec
 from repro.core.observers import AccessKind
 from repro.isa.image import Image
+from repro.isa.registers import EAX
 from repro.vm.cache import CacheConfig, SetAssociativeCache
 from repro.vm.cpu import CPU
-from repro.vm.memory import FlatMemory
-from repro.vm.tracer import Trace
+from repro.vm.memory import DEFAULT_STACK_TOP, FlatMemory
+from repro.vm.tracer import WRITE, Trace
 
-__all__ = ["ConcreteValidator", "ValidationReport"]
+__all__ = ["ConcreteValidator", "ValidationReport", "DEFAULT_FILL"]
+
+# Writes above this address are call-frame traffic (locals, spills, pushed
+# arguments); equivalence compares only program-visible memory below it —
+# two compilations of one kernel lay out their frames differently.
+_STACK_WINDOW = 1 << 20
+
+# The standard non-trivial table payload for equivalence replay ``fills``:
+# every byte distinct from its neighbors and from zero-fill, shared by the
+# CLI, the examples, and the hardening tests so all three exercise the same
+# oracle data.
+DEFAULT_FILL = bytes((offset * 7 + 1) & 0xFF for offset in range(4096))
 
 _KIND_CODES = {
     AccessKind.INSTRUCTION: "I",
@@ -94,10 +115,16 @@ class ConcreteValidator:
         name, offset = at
         return lam[name] + offset
 
-    def _run_once(self, lam: dict[str, int], secret_combo) -> Trace:
+    def _run_once(self, lam: dict[str, int], secret_combo,
+                  fills=None) -> tuple[Trace, CPU]:
         memory = FlatMemory()
         trace = Trace()
         cpu = CPU(self.image, memory=memory, trace=trace)
+        for symbol, payload in (fills or {}).items():
+            if symbol not in lam:
+                raise AnalysisError(
+                    f"equivalence fill for unknown symbol {symbol!r}")
+            memory.write_block(lam[symbol], payload)
 
         for reg_init in self.spec.registers:
             if reg_init.constant is not None:
@@ -132,7 +159,7 @@ class ConcreteValidator:
         for value in reversed(arg_values):
             cpu.push(value)
         cpu.run(self.spec.entry, fuel=self.fuel)
-        return trace
+        return trace, cpu
 
     def _collect_traces(self, lam: dict[str, int]) -> list[Trace]:
         """One concrete trace per secret valuation (the expensive VM part).
@@ -142,11 +169,16 @@ class ConcreteValidator:
         against one layout collect the traces once and derive all views.
         """
         traces = []
+        for combo in self._secret_combos():
+            trace, _cpu = self._run_once(lam, combo)
+            traces.append(trace)
+        return traces
+
+    def _secret_combos(self):
+        """Every secret valuation, as a tuple of (kind, where, value)."""
         choice_lists = self._secret_choices() or [[()]]
         for combo in itertools.product(*choice_lists):
-            combo = tuple(c for c in combo if c)
-            traces.append(self._run_once(lam, combo))
-        return traces
+            yield tuple(c for c in combo if c)
 
     def views(self, lam: dict[str, int], cache_kind: str, offset_bits: int,
               stuttering: bool = False) -> set[tuple]:
@@ -255,4 +287,57 @@ class ConcreteValidator:
                             f"{len(observed)} views > bound {bound.count} "
                             f"for λ={lam}"
                         )
+        return report
+
+    # ------------------------------------------------------------------
+    # Semantic equivalence of transformed images
+    # ------------------------------------------------------------------
+    def check_equivalence(self, transformed: Image,
+                          layouts: list[dict[str, int]],
+                          fills: dict[str, bytes] | None = None,
+                          ) -> ValidationReport:
+        """Replay original vs. transformed images over all secrets.
+
+        Both images are executed from this validator's input spec for every
+        layout λ and every secret valuation; each pair of runs must agree on
+
+        - the return value (EAX at the final RET), and
+        - the final contents of every non-stack byte the *original* wrote.
+
+        The transformed image may write additional memory (countermeasure
+        scratch buffers, preloaded copies); stack traffic is excluded
+        because register allocation legitimately differs between the two
+        compilations.  ``fills`` seeds the heap region behind a layout
+        symbol with a byte pattern before each run — identically for both
+        images — so table-retrieval kernels are compared on non-trivial
+        data rather than all-zero memory.
+        """
+        report = ValidationReport()
+        other = ConcreteValidator(transformed, self.spec, fuel=self.fuel)
+        stack_floor = DEFAULT_STACK_TOP - _STACK_WINDOW
+        for lam in layouts:
+            for combo in self._secret_combos():
+                trace_a, cpu_a = self._run_once(lam, combo, fills=fills)
+                _trace_b, cpu_b = other._run_once(lam, combo, fills=fills)
+                report.checked += 1
+                label = f"λ={lam}, secrets={[c[2] for c in combo]}"
+                if cpu_a.get_reg(EAX) != cpu_b.get_reg(EAX):
+                    report.violations.append(
+                        f"return value {cpu_a.get_reg(EAX):#x} != "
+                        f"{cpu_b.get_reg(EAX):#x} for {label}")
+                    continue
+                written = sorted({
+                    access.addr + offset
+                    for access in trace_a.accesses
+                    if access.kind == WRITE and access.addr < stack_floor
+                    for offset in range(access.size)
+                })
+                differing = [
+                    addr for addr in written
+                    if cpu_a.memory.read_byte(addr) != cpu_b.memory.read_byte(addr)
+                ]
+                if differing:
+                    report.violations.append(
+                        f"{len(differing)} byte(s) differ (first at "
+                        f"{differing[0]:#x}) for {label}")
         return report

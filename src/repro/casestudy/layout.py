@@ -148,6 +148,6 @@ def branch_block_summary(target: Target, layout: dict[str, int] | None = None) -
     if not choices:
         raise ValueError("target has no secret inputs")
     for kind, where, value in choices[0]:
-        trace = validator._run_once(lam, ((kind, where, value),))
+        trace, _cpu = validator._run_once(lam, ((kind, where, value),))
         per_secret[value] = trace.view("I", offset_bits, stuttering=True)
     return BranchBlocks(per_secret=per_secret, line_bytes=line_bytes)

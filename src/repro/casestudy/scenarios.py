@@ -18,12 +18,14 @@ from dataclasses import replace as _replace
 from repro.casestudy import targets
 from repro.casestudy.performance import KERNEL_VARIANTS
 from repro.sweep import Scenario
+from repro.sweep.scenario import ScenarioError
 from repro.vm.cache import POLICIES
 
 __all__ = [
     "figure_scenarios",
     "grid_scenarios",
     "policy_adversary_scenarios",
+    "transform_scenarios",
     "all_scenarios",
     "sqm_scenario",
     "sqam_scenario",
@@ -32,8 +34,11 @@ __all__ = [
     "gather_scenario",
     "scatter_scenario",
     "defensive_gather_scenario",
+    "naive_gather_scenario",
     "kernel_scenario",
     "adversary_scenario",
+    "default_transforms",
+    "transformed_scenario",
     "POLICY_NAMES",
 ]
 
@@ -108,6 +113,14 @@ def defensive_gather_scenario(nbytes: int = targets.PAPER_ENTRY_BYTES,
         nbytes=nbytes, **overrides)
 
 
+def naive_gather_scenario(nbytes: int = 32, **overrides) -> Scenario:
+    """Unprotected contiguous gather (the scatter-gather pass baseline)."""
+    return Scenario.make(
+        f"naive-{nbytes}B", _TARGETS + "naive_gather_target",
+        description="naive contiguous gather (pre-1.0.2f baseline)",
+        nbytes=nbytes, **overrides)
+
+
 def kernel_scenario(variant: str, nbytes: int, policy: str = "lru") -> Scenario:
     """VM cost measurement of one retrieval kernel (Figure 16b rows).
 
@@ -135,6 +148,126 @@ def adversary_scenario(base: Scenario, policy: str,
         description=f"{base.description} [{policy} cache, "
                     f"{'/'.join(models) or 'no'} adversaries]",
         cache_policy=policy, adversaries=tuple(models))
+
+
+# ----------------------------------------------------------------------
+# Countermeasure transformations
+# ----------------------------------------------------------------------
+
+# Which target factories each pass has default parameters for, and how to
+# derive them from the scenario.  ``balance-branches`` is kernel-agnostic —
+# it applies wherever the taint analysis finds a secret branch.
+_TARGET_KERNEL = {
+    "sqm_target": "sqm",
+    "sqam_target": "sqam",
+    "lookup_target": "lookup",
+    "naive_gather_target": "naive",
+}
+
+
+def default_transforms(scenario: Scenario,
+                       pass_names: tuple[str, ...]) -> tuple:
+    """Resolve pass names to fully-parameterized specs for a base scenario.
+
+    The per-kernel table geometry (entry counts, strides, the tables
+    themselves) is catalogue knowledge, so callers — the CLI in particular —
+    can say ``--passes preload,balance-branches`` without spelling out
+    parameters.  Returns the wire form consumed by ``Scenario.transforms``.
+    """
+    kernel = _TARGET_KERNEL.get(scenario.target.rpartition(":")[2])
+    params = scenario.params_dict()
+    specs: list[tuple] = []
+    for name in pass_names:
+        if name == "balance-branches":
+            specs.append(("balance-branches", ()))
+        elif name == "preload" and kernel == "lookup":
+            for table in ("b2i3", "b2i3size"):
+                specs.append(("preload", (("entries", 7), ("stride", 4),
+                                          ("table", table))))
+        elif name == "align-tables" and kernel == "lookup":
+            line_bytes = params.get("line_bytes", 64)
+            specs.append(("align-tables", (("line_bytes", line_bytes),
+                                           ("tables", ("b2i3", "b2i3size")))))
+        elif name == "scatter-gather" and kernel == "naive":
+            nbytes = params.get("nbytes", 32)
+            if nbytes & (nbytes - 1):
+                raise ScenarioError(
+                    f"scatter-gather needs a power-of-two entry size, "
+                    f"got {nbytes}")
+            specs.append(("scatter-gather", (("entries", 8),
+                                             ("entry_bytes", nbytes),
+                                             ("spacing", 8),
+                                             ("table_param", "p"))))
+        else:
+            raise ScenarioError(
+                f"no default parameters for pass {name!r} on "
+                f"{scenario.target!r}")
+    return tuple(specs)
+
+
+def transformed_scenario(base: Scenario, pass_names: tuple[str, ...],
+                         suffix: str | None = None) -> Scenario:
+    """A hardened variant of a leakage scenario, countermeasures applied."""
+    specs = default_transforms(base, pass_names)
+    label = "+".join(pass_names)
+    return _replace(
+        base, name=f"{base.name}-{suffix or label}",
+        description=f"{base.description} [{label}]",
+        transforms=specs)
+
+
+def transform_scenarios(entry_bytes: int = 32) -> dict[str, Scenario]:
+    """The generated countermeasure grid over the existing kernels.
+
+    Every point is a base kernel with a pass pipeline applied through the
+    transform subsystem — no hand-written hardened source involved:
+
+    - the unprotected **lookup** hardened by alignment, by access-all-
+      entries preloading, by branch balancing, and by the full
+      ``preload+balance-branches`` pipeline (which reaches the paper's
+      0-leakage result, matching the hand-written ``secure_retrieve``);
+    - **sqm** and **sqam** if-converted into always-multiply form (Figure 7);
+    - the **naive contiguous gather** baseline and its scatter-gather
+      rewrite (Figure 3, reaching the hand-written 1.0.2f gather's bounds);
+    - the hardened-lookup and balanced-sqm points re-validated per
+      replacement policy with derived adversary bounds, like the policy ×
+      adversary grid of the base catalogue.
+    """
+    grid: dict[str, Scenario] = {}
+
+    def add(scenario: Scenario) -> Scenario:
+        grid[scenario.name] = scenario
+        return scenario
+
+    lookup = lookup_scenario(opt_level=2, line_bytes=64)
+    add(transformed_scenario(lookup, ("align-tables",), suffix="aligned"))
+    add(transformed_scenario(lookup, ("preload",), suffix="preload"))
+    add(transformed_scenario(lookup, ("balance-branches",), suffix="balanced"))
+    hardened = add(transformed_scenario(
+        lookup, ("preload", "balance-branches"), suffix="hardened"))
+
+    sqm_balanced = add(transformed_scenario(
+        sqm_scenario(opt_level=2, line_bytes=64), ("balance-branches",),
+        suffix="balanced"))
+    add(transformed_scenario(
+        sqm_scenario(opt_level=0, line_bytes=64), ("balance-branches",),
+        suffix="balanced"))
+    add(transformed_scenario(
+        sqam_scenario(opt_level=2, line_bytes=64), ("balance-branches",),
+        suffix="balanced"))
+
+    add(naive_gather_scenario(nbytes=entry_bytes))
+    if entry_bytes & (entry_bytes - 1) == 0:
+        add(transformed_scenario(
+            naive_gather_scenario(nbytes=entry_bytes), ("scatter-gather",),
+            suffix="sg"))
+
+    # Countermeasure × policy × adversary points: the hardened variants
+    # re-validated against non-LRU replacement policies.
+    for policy in ("fifo", "plru"):
+        add(adversary_scenario(hardened, policy))
+        add(adversary_scenario(sqm_balanced, policy))
+    return grid
 
 
 # ----------------------------------------------------------------------
@@ -224,12 +357,14 @@ def policy_adversary_scenarios(entry_bytes: int = 32) -> dict[str, Scenario]:
 
 
 def all_scenarios(entry_bytes: int = 32, nlimbs: int = 8) -> dict[str, Scenario]:
-    """Figures (at fast geometry) plus both grids, for the CLI and sweeps.
+    """Figures (at fast geometry) plus every grid, for the CLI and sweeps.
 
     The kernel scenarios come in via the policy grid, whose LRU points keep
-    the historical un-suffixed ``kernel-*`` names.
+    the historical un-suffixed ``kernel-*`` names; the countermeasure grid
+    contributes the transformed variants (``lookup-O2-64B-hardened``, …).
     """
     catalogue = figure_scenarios(entry_bytes=entry_bytes, nlimbs=nlimbs)
     catalogue.update(grid_scenarios(entry_bytes=entry_bytes))
     catalogue.update(policy_adversary_scenarios(entry_bytes=entry_bytes))
+    catalogue.update(transform_scenarios(entry_bytes=entry_bytes))
     return catalogue

@@ -7,6 +7,12 @@ paper: window size 3 → 8 pre-computed values, 3072-bit entries = 384 bytes,
 spacing 8, 64-byte cache lines, 4-byte banks; smaller entry sizes can be
 requested for fast tests (the leakage *per access* is unchanged — only the
 number of loop iterations scales).
+
+Every factory accepts ``transforms``: a tuple of countermeasure pass specs
+(the wire form of :class:`repro.transform.spec.TransformSpec`).  When
+present, the kernel is lowered, run through the transform pipeline, and
+code-generated with the pipeline's layout directives — the mechanism behind
+the generated countermeasure × policy × adversary grid.
 """
 
 from __future__ import annotations
@@ -19,11 +25,13 @@ from repro.core.observers import CacheGeometry
 from repro.crypto import sources
 from repro.isa.image import Image
 from repro.lang.driver import compile_program
+from repro.transform import transformed_image
 
 __all__ = [
     "Target", "sqm_target", "sqam_target", "lookup_target",
     "secure_retrieve_target", "gather_target", "scatter_target",
-    "defensive_gather_target", "PAPER_ENTRY_BYTES", "PAPER_LIMBS",
+    "defensive_gather_target", "naive_gather_target", "default_layouts",
+    "PAPER_ENTRY_BYTES", "PAPER_LIMBS",
 ]
 
 PAPER_ENTRY_BYTES = 384  # 3072-bit pre-computed values
@@ -47,10 +55,29 @@ class Target:
     config: AnalysisConfig
     opt_level: int
     description: str = ""
+    transforms: tuple = ()  # countermeasure pass specs applied, if any
 
     def analyze(self) -> AnalysisResult:
         """Run the static analysis on this target."""
         return analyze(self.image, self.spec, self.config)
+
+
+def _compile(source: str, spec: InputSpec, opt_level: int,
+             transforms, **kwargs) -> Image:
+    """Compile a kernel, through the transform pipeline when one is given.
+
+    The secret argument positions (the spec's ``high_values`` args) seed the
+    passes' taint analysis, so a pass knows which loads and branches are
+    secret-dependent without per-kernel annotations.
+    """
+    if not transforms:
+        return compile_program(source, opt_level=opt_level, **kwargs)
+    secret_args = tuple(
+        index for index, arg in enumerate(spec.args)
+        if arg.high_values is not None)
+    return transformed_image(
+        source, transforms, entry=spec.entry, secret_args=secret_args,
+        opt_level=opt_level, **kwargs)
 
 
 def _config(line_bytes: int = 64,
@@ -64,27 +91,25 @@ def _config(line_bytes: int = 64,
 
 
 def sqm_target(opt_level: int = 2, line_bytes: int = 64,
-               cache_policy: str = "lru") -> Target:
+               cache_policy: str = "lru", transforms: tuple = ()) -> Target:
     """Square-and-multiply step, libgcrypt 1.5.2 (Figures 5/7a)."""
-    image = compile_program(
-        sources.SQM_STEP, opt_level=opt_level,
-        function_align=line_bytes, cold_align=line_bytes)
     spec = InputSpec(
         entry="sqm_step",
         args=(ArgInit.pointer("rp"), ArgInit.pointer("bp"),
               ArgInit.pointer("mp"), ArgInit.high([0, 1])),
         description="square-and-multiply (libgcrypt 1.5.2)",
     )
+    image = _compile(
+        sources.SQM_STEP, spec, opt_level, transforms,
+        function_align=line_bytes, cold_align=line_bytes)
     return Target("sqm_152", image, spec,
-                  _config(line_bytes, cache_policy=cache_policy), opt_level)
+                  _config(line_bytes, cache_policy=cache_policy), opt_level,
+                  transforms=transforms)
 
 
 def sqam_target(opt_level: int = 2, line_bytes: int = 64,
-                cache_policy: str = "lru") -> Target:
+                cache_policy: str = "lru", transforms: tuple = ()) -> Target:
     """Square-and-always-multiply step, libgcrypt 1.5.3 (Figures 6/7b/8)."""
-    image = compile_program(
-        sources.SQAM_STEP, opt_level=opt_level,
-        function_align=line_bytes, cold_align=line_bytes)
     spec = InputSpec(
         entry="sqam_step",
         args=(ArgInit.pointer("rp"), ArgInit.pointer("tmp"),
@@ -93,84 +118,173 @@ def sqam_target(opt_level: int = 2, line_bytes: int = 64,
               ArgInit.of(PAPER_LIMBS), ArgInit.of(PAPER_LIMBS)),
         description="square-and-always-multiply (libgcrypt 1.5.3)",
     )
+    image = _compile(
+        sources.SQAM_STEP, spec, opt_level, transforms,
+        function_align=line_bytes, cold_align=line_bytes)
     return Target("sqam_153", image, spec,
-                  _config(line_bytes, cache_policy=cache_policy), opt_level)
+                  _config(line_bytes, cache_policy=cache_policy), opt_level,
+                  transforms=transforms)
 
 
 def lookup_target(opt_level: int = 2, line_bytes: int = 64,
-                  cache_policy: str = "lru") -> Target:
+                  cache_policy: str = "lru", transforms: tuple = ()) -> Target:
     """Unprotected table lookup, libgcrypt 1.6.1 (Figures 10/14a/15)."""
-    image = compile_program(
-        sources.LOOKUP_161, opt_level=opt_level,
-        function_align=line_bytes,
-        cold_align=line_bytes if opt_level >= 2 else None,
-        data_pad=LOOKUP_TABLE_PADS)
     spec = InputSpec(
         entry="lookup",
         args=(ArgInit.high(range(TABLE_ENTRIES)),
               ArgInit.pointer("bp"), ArgInit.pointer("bsize")),
         description="unprotected lookup (libgcrypt 1.6.1)",
     )
+    image = _compile(
+        sources.LOOKUP_161, spec, opt_level, transforms,
+        function_align=line_bytes,
+        cold_align=line_bytes if opt_level >= 2 else None,
+        data_pad=LOOKUP_TABLE_PADS)
     return Target("lookup_161", image, spec,
-                  _config(line_bytes, cache_policy=cache_policy), opt_level)
+                  _config(line_bytes, cache_policy=cache_policy), opt_level,
+                  transforms=transforms)
 
 
 def secure_retrieve_target(opt_level: int = 2, nlimbs: int = PAPER_LIMBS,
-                           cache_policy: str = "lru") -> Target:
+                           cache_policy: str = "lru",
+                           transforms: tuple = ()) -> Target:
     """Access-all-entries copy, libgcrypt 1.6.3 (Figures 11/14b)."""
-    image = compile_program(
-        sources.SECURE_RETRIEVE_163, opt_level=opt_level, function_align=64)
     spec = InputSpec(
         entry="secure_retrieve",
         args=(ArgInit.pointer("r"), ArgInit.pointer("p"),
               ArgInit.high(range(7)), ArgInit.of(7), ArgInit.of(nlimbs)),
         description="secure table access (libgcrypt 1.6.3)",
     )
+    image = _compile(
+        sources.SECURE_RETRIEVE_163, spec, opt_level, transforms,
+        function_align=64)
     return Target("secure_163", image, spec,
-                  _config(cache_policy=cache_policy), opt_level)
+                  _config(cache_policy=cache_policy), opt_level,
+                  transforms=transforms)
 
 
 def gather_target(opt_level: int = 2, nbytes: int = PAPER_ENTRY_BYTES,
-                  cache_policy: str = "lru") -> Target:
+                  cache_policy: str = "lru", transforms: tuple = ()) -> Target:
     """Scatter/gather retrieval, OpenSSL 1.0.2f (Figures 3/14c + CacheBleed)."""
-    image = compile_program(
-        sources.SCATTER_GATHER_102F, opt_level=opt_level, function_align=64)
     spec = InputSpec(
         entry="gather",
         args=(ArgInit.pointer("r"), ArgInit.pointer("buf"),
               ArgInit.high(range(TABLE_ENTRIES)), ArgInit.of(nbytes)),
         description="scatter/gather (OpenSSL 1.0.2f)",
     )
+    image = _compile(
+        sources.SCATTER_GATHER_102F, spec, opt_level, transforms,
+        function_align=64)
     return Target("scatter_102f", image, spec,
-                  _config(cache_policy=cache_policy), opt_level)
+                  _config(cache_policy=cache_policy), opt_level,
+                  transforms=transforms)
 
 
 def scatter_target(opt_level: int = 2, nbytes: int = PAPER_ENTRY_BYTES,
-                   cache_policy: str = "lru") -> Target:
+                   cache_policy: str = "lru", transforms: tuple = ()) -> Target:
     """The scatter (store) half of the 1.0.2f countermeasure."""
-    image = compile_program(
-        sources.SCATTER_GATHER_102F, opt_level=opt_level, function_align=64)
     spec = InputSpec(
         entry="scatter",
         args=(ArgInit.pointer("buf"), ArgInit.pointer("p"),
               ArgInit.high(range(TABLE_ENTRIES)), ArgInit.of(nbytes)),
         description="scatter (OpenSSL 1.0.2f)",
     )
+    image = _compile(
+        sources.SCATTER_GATHER_102F, spec, opt_level, transforms,
+        function_align=64)
     return Target("scatter_store_102f", image, spec,
-                  _config(cache_policy=cache_policy), opt_level)
+                  _config(cache_policy=cache_policy), opt_level,
+                  transforms=transforms)
 
 
 def defensive_gather_target(opt_level: int = 2,
                             nbytes: int = PAPER_ENTRY_BYTES,
-                            cache_policy: str = "lru") -> Target:
+                            cache_policy: str = "lru",
+                            transforms: tuple = ()) -> Target:
     """Defensive gather, OpenSSL 1.0.2g (Figures 12/14d)."""
-    image = compile_program(
-        sources.DEFENSIVE_GATHER_102G, opt_level=opt_level, function_align=64)
     spec = InputSpec(
         entry="defensive_gather",
         args=(ArgInit.pointer("r"), ArgInit.pointer("buf"),
               ArgInit.high(range(TABLE_ENTRIES)), ArgInit.of(nbytes)),
         description="defensive gather (OpenSSL 1.0.2g)",
     )
+    image = _compile(
+        sources.DEFENSIVE_GATHER_102G, spec, opt_level, transforms,
+        function_align=64)
     return Target("defensive_102g", image, spec,
-                  _config(cache_policy=cache_policy), opt_level)
+                  _config(cache_policy=cache_policy), opt_level,
+                  transforms=transforms)
+
+
+def naive_gather_target(opt_level: int = 2, nbytes: int = 32,
+                        cache_policy: str = "lru",
+                        transforms: tuple = ()) -> Target:
+    """Unprotected contiguous retrieval — the scatter-gather pass's baseline.
+
+    Entry ``k`` is read from ``p + k*nbytes``, so the block-trace observer
+    sees the secret entry's cache lines directly; the ``scatter-gather``
+    transform rewrites it into the 1.0.2f interleaved layout.
+    """
+    spec = InputSpec(
+        entry="naive_gather",
+        args=(ArgInit.pointer("r"), ArgInit.pointer("p"),
+              ArgInit.high(range(TABLE_ENTRIES)), ArgInit.of(nbytes)),
+        description="naive contiguous gather (pre-1.0.2f baseline)",
+    )
+    image = _compile(
+        sources.NAIVE_GATHER, spec, opt_level, transforms, function_align=64)
+    return Target("naive_gather", image, spec,
+                  _config(cache_policy=cache_policy), opt_level,
+                  transforms=transforms)
+
+
+# ----------------------------------------------------------------------
+# Default validation layouts (heap placements λ)
+# ----------------------------------------------------------------------
+
+# Two λ per kernel: distinct placements of every unknown pointer, so
+# equivalence replay and bound validation exercise layout-independence too.
+_VALIDATION_LAYOUTS: dict[str, tuple[dict[str, int], ...]] = {
+    "sqm_152": (
+        {"rp": 0x9000000, "bp": 0x9001000, "mp": 0x9002000},
+        {"rp": 0x9000040, "bp": 0x9003000, "mp": 0x9004080},
+    ),
+    "sqam_153": (
+        {"rp": 0x9000000, "tmp": 0x9001000, "bp": 0x9002000, "mp": 0x9003000},
+        {"rp": 0x9000080, "tmp": 0x9001040, "bp": 0x9002080, "mp": 0x9003040},
+    ),
+    "lookup_161": (
+        {"bp": 0x9000000, "bsize": 0x9000100},
+        {"bp": 0x9000040, "bsize": 0x9000180},
+    ),
+    "secure_163": (
+        {"r": 0x9000000, "p": 0x9010000},
+        {"r": 0x9000040, "p": 0x9010040},
+    ),
+    "scatter_102f": (
+        {"r": 0x9000000, "buf": 0x9010000},
+        {"r": 0x9000040, "buf": 0x9010020},
+    ),
+    "scatter_store_102f": (
+        {"buf": 0x9010000, "p": 0x9000000},
+        {"buf": 0x9010020, "p": 0x9000040},
+    ),
+    "defensive_102g": (
+        {"r": 0x9000000, "buf": 0x9010000},
+        {"r": 0x9000040, "buf": 0x9010020},
+    ),
+    "naive_gather": (
+        {"r": 0x9000000, "p": 0x9010000},
+        {"r": 0x9000040, "p": 0x9010040},
+    ),
+}
+
+
+def default_layouts(target_name: str) -> list[dict[str, int]]:
+    """Concrete heap placements for a target's unknown pointers."""
+    try:
+        return [dict(layout) for layout in _VALIDATION_LAYOUTS[target_name]]
+    except KeyError:
+        raise KeyError(
+            f"no default validation layouts for target {target_name!r}"
+        ) from None

@@ -18,6 +18,7 @@ from __future__ import annotations
 __all__ = [
     "SQM_STEP", "SQAM_STEP", "LOOKUP_161", "SECURE_RETRIEVE_163",
     "SCATTER_GATHER_102F", "DEFENSIVE_GATHER_102G", "ALIGN_ONLY",
+    "NAIVE_GATHER",
 ]
 
 # One-line models of the multi-precision routines.  The paper excludes the
@@ -161,6 +162,21 @@ u32 defensive_gather(u32 r, u32 buf, u32 k, u32 nbytes) {
             acc = acc | (v & (0 - s));
         }
         store8(r + i, acc);
+    }
+    return r;
+}
+"""
+
+# ----------------------------------------------------------------------
+# The unprotected contiguous retrieval the 1.0.2f countermeasure replaces:
+# entry k occupies bytes [k*nbytes, (k+1)*nbytes), so reading it walks
+# exactly the cache lines of the secret entry.  This is the baseline the
+# scatter-gather transformation pass hardens (compare Figure 3).
+# ----------------------------------------------------------------------
+NAIVE_GATHER = """
+u32 naive_gather(u32 r, u32 p, u32 k, u32 nbytes) {
+    for (u32 i = 0; i < nbytes; i = i + 1) {
+        store8(r + i, load8(p + k * nbytes + i));
     }
     return r;
 }

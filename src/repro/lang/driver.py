@@ -4,10 +4,11 @@ from __future__ import annotations
 
 from repro.isa.image import Assembler, DEFAULT_CODE_BASE, DEFAULT_DATA_BASE, Image
 from repro.lang.codegen import generate_program
+from repro.lang.ir import IRProgram
 from repro.lang.lower import lower_program
 from repro.lang.parser import parse
 
-__all__ = ["compile_program", "compile_to_assembler"]
+__all__ = ["compile_program", "compile_to_assembler", "compile_ir_program"]
 
 
 def compile_to_assembler(
@@ -30,6 +31,33 @@ def compile_to_assembler(
         function_align=function_align, stub_align=stub_align,
         cold_align=cold_align, data_align=data_align, data_pad=data_pad,
     )
+
+
+def compile_ir_program(
+    program: IRProgram,
+    opt_level: int = 2,
+    code_base: int = DEFAULT_CODE_BASE,
+    data_base: int = DEFAULT_DATA_BASE,
+    function_align: int | None = None,
+    stub_align: int | None = None,
+    cold_align: int | None = None,
+    data_align: dict[str, int] | None = None,
+    data_pad: dict[str, int] | None = None,
+) -> Image:
+    """Assemble an already-lowered (possibly transformed) IR program.
+
+    The entry point for the countermeasure pass pipeline
+    (:mod:`repro.transform`): passes rewrite IR and layout directives, then
+    hand the program here for code generation and assembly.  No caching —
+    IR programs are mutable; callers that want caching key on their own
+    inputs (see :func:`repro.transform.pipeline.transformed_image`).
+    """
+    assembler = Assembler(code_base=code_base, data_base=data_base)
+    return generate_program(
+        program, assembler, opt_level=opt_level,
+        function_align=function_align, stub_align=stub_align,
+        cold_align=cold_align, data_align=data_align, data_pad=data_pad,
+    ).assemble()
 
 
 _COMPILE_CACHE: dict[tuple, Image] = {}
@@ -56,7 +84,10 @@ def compile_program(source: str, opt_level: int = 2, **kwargs) -> Image:
     image = _COMPILE_CACHE.get(key)
     if image is None:
         if len(_COMPILE_CACHE) >= _COMPILE_CACHE_MAX:
-            _COMPILE_CACHE.clear()
+            # FIFO, one entry at a time: a sweep over more than
+            # _COMPILE_CACHE_MAX distinct sources evicts only the oldest
+            # images instead of thrashing the whole cache to zero hits.
+            _COMPILE_CACHE.pop(next(iter(_COMPILE_CACHE)))
         image = compile_to_assembler(source, opt_level=opt_level, **kwargs).assemble()
         _COMPILE_CACHE[key] = image
     return image

@@ -58,6 +58,7 @@ def update_bench_log(path: str | os.PathLike, timings: dict[str, float]) -> int:
         "timings": {key: merged[key] for key in sorted(merged)},
     }
     directory = os.path.dirname(os.path.abspath(path)) or "."
+    os.makedirs(directory, exist_ok=True)
     descriptor, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
     try:
         with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
@@ -110,6 +111,7 @@ class SweepResult:
     target: str = ""                            # human-readable target label
     rows: tuple[BoundRow, ...] = ()             # leakage scenarios
     adversary_rows: tuple[AdversaryRow, ...] = ()  # derived trace/time bounds
+    transforms: tuple[str, ...] = ()            # countermeasure passes applied
     metrics: dict = field(default_factory=dict)  # kernel metrics / engine stats
     warnings: tuple[str, ...] = ()
     elapsed: float = 0.0                        # not part of the payload
@@ -146,6 +148,7 @@ class SweepResult:
             "adversaries": [
                 [row.kind, row.model, row.count] for row in self.adversary_rows
             ],
+            "transforms": list(self.transforms),
             "metrics": dict(self.metrics),
             "warnings": list(self.warnings),
         }
@@ -160,6 +163,7 @@ class SweepResult:
             rows=tuple(BoundRow(*row) for row in payload.get("rows", ())),
             adversary_rows=tuple(
                 AdversaryRow(*row) for row in payload.get("adversaries", ())),
+            transforms=tuple(payload.get("transforms", ())),
             metrics=dict(payload.get("metrics", {})),
             warnings=tuple(payload.get("warnings", ())),
             cached=cached,

@@ -99,6 +99,8 @@ def execute_scenario(scenario: Scenario) -> SweepResult:
             target=analysis.report.target,
             rows=rows,
             adversary_rows=adversary_rows,
+            transforms=tuple(
+                name for name, _params in (scenario.transforms or ())),
             metrics=_engine_metrics(analysis.engine_result),
             warnings=tuple(analysis.report.notes),
         )

@@ -83,6 +83,13 @@ class Scenario:
     refine_branches: bool | None = None
     value_set_cap: int | None = None
     fuel: int | None = None
+    # Countermeasure pipeline: ``((pass_name, ((param, value), ...)), ...)``
+    # — the wire form of :class:`repro.transform.spec.TransformSpec`s, kept
+    # as plain nested tuples so the sweep layer stays below the transform
+    # subsystem.  Forwarded to the target factory as ``transforms=``, and
+    # part of the fingerprint: a hardened variant caches separately from its
+    # baseline.
+    transforms: tuple | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in (LEAKAGE, KERNEL):
@@ -90,6 +97,11 @@ class Scenario:
         object.__setattr__(
             self, "params", tuple(sorted(tuple(pair) for pair in self.params))
         )
+        if self.transforms is not None:
+            if self.kind != LEAKAGE:
+                raise ScenarioError(
+                    "transforms only apply to leakage scenarios")
+            object.__setattr__(self, "transforms", _tuplify(self.transforms))
 
     @classmethod
     def make(cls, name: str, target: str, *, kind: str = LEAKAGE,
@@ -103,7 +115,7 @@ class Scenario:
         override_names = {
             "observers", "kinds", "projection_policy", "adversaries",
             "cache_policy", "track_offsets", "refine_branches",
-            "value_set_cap", "fuel",
+            "value_set_cap", "fuel", "transforms",
         }
         overrides = {key: params.pop(key) for key in list(params)
                      if key in override_names}
@@ -148,6 +160,8 @@ class Scenario:
         for name in ("observers", "kinds", "adversaries"):
             if data.get(name) is not None:
                 data[name] = tuple(data[name])
+        if data.get("transforms") is not None:
+            data["transforms"] = _tuplify(data["transforms"])
         return cls(**data)
 
     def fingerprint(self) -> str:
@@ -166,13 +180,26 @@ class Scenario:
     # Materialization (runs in the worker process)
     # ------------------------------------------------------------------
     def build_target(self):
-        """Resolve and invoke the target factory with this scenario's params."""
+        """Resolve and invoke the target factory with this scenario's params.
+
+        A transform pipeline rides along as the ``transforms=`` keyword —
+        target factories apply it between lowering and code generation."""
         factory = resolve_dotted(self.target)
-        return factory(**self.params_dict())
+        params = self.params_dict()
+        if self.transforms:
+            params["transforms"] = self.transforms
+        return factory(**params)
 
 
 def _listify(value):
     """Tuples → lists, recursively, for canonical JSON."""
     if isinstance(value, tuple):
         return [_listify(item) for item in value]
+    return value
+
+
+def _tuplify(value):
+    """Lists → tuples, recursively (inverse of :func:`_listify`)."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_tuplify(item) for item in value)
     return value

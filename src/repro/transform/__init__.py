@@ -1,0 +1,46 @@
+"""Countermeasure transformation subsystem.
+
+A pass pipeline over the three-address IR (:mod:`repro.lang.ir`) that
+*applies* the paper's software countermeasures to arbitrary kernels instead
+of relying on hand-written hardened sources:
+
+- :class:`~repro.transform.passes.PreloadPass` — access-all-entries
+  preloading with a branch-free select (paper §2 / Figure 11);
+- :class:`~repro.transform.passes.ScatterGatherPass` — interleave a
+  secret-indexed table into a block-aligned, spacing-strided scratch buffer
+  and gather from it (Figure 3, OpenSSL 1.0.2f);
+- :class:`~repro.transform.passes.AlignTablesPass` — pin tables to cache
+  lines through the code generator's layout hooks (Examples 5/6);
+- :class:`~repro.transform.passes.BranchBalancePass` — if-conversion of
+  secret-dependent branches into masked selects (the square-and-always-
+  multiply idea of Figure 7).
+
+Every pass is described by a :class:`TransformSpec` — a named, parameterized,
+fingerprintable value — so transformed variants thread through the sweep
+layer's scenarios, result store, and caches exactly like the cache-policy
+axis does.
+"""
+
+from repro.transform.pipeline import (
+    PASS_REGISTRY,
+    TransformUnit,
+    apply_pipeline,
+    build_passes,
+    build_unit,
+    targeted_observers,
+    transformed_image,
+)
+from repro.transform.spec import TransformError, TransformSpec, as_specs
+
+__all__ = [
+    "PASS_REGISTRY",
+    "TransformError",
+    "TransformSpec",
+    "TransformUnit",
+    "apply_pipeline",
+    "as_specs",
+    "build_passes",
+    "build_unit",
+    "targeted_observers",
+    "transformed_image",
+]

@@ -1,0 +1,112 @@
+"""Flow-insensitive dataflow over the three-address IR.
+
+Two analyses drive the countermeasure passes:
+
+- **secret taint**: which virtual registers can carry secret-derived values,
+  seeded from the entry function's secret parameters.  A load through a
+  tainted address is itself tainted (a secret-indexed table entry is
+  secret), and calls propagate taint from any argument to the result.
+- **pointer bases**: which named regions (``param:p`` pointer arguments,
+  ``global:t`` data tables) a virtual register's value can be derived from
+  through copy and ``+``/``-`` arithmetic — how the passes recognize "a load
+  from table ``t`` indexed by a secret".
+
+Both are conservative fixpoints over all assignments (the IR is not SSA:
+a register reassigned in a loop accumulates every source it ever had),
+which is exactly the right polarity for transformation safety checks.
+"""
+
+from __future__ import annotations
+
+from repro.lang.ir import AddrOf, Bin, CallOp, CmpSet, CondBranch, IRFunction, LoadOp, Mov
+
+__all__ = ["tainted_vregs", "pointer_bases", "secret_seeds", "secret_branches"]
+
+
+def secret_seeds(fn: IRFunction, secret_params) -> set[int]:
+    """The virtual registers of the named secret parameters."""
+    return {fn.param_vregs[name] for name in secret_params
+            if name in fn.param_vregs}
+
+
+def _read_operands(instruction):
+    for attr in ("src", "left", "right", "addr"):
+        operand = getattr(instruction, attr, None)
+        if isinstance(operand, int):
+            yield operand
+    for arg in getattr(instruction, "args", ()):
+        if isinstance(arg, int):
+            yield arg
+
+
+def tainted_vregs(fn: IRFunction, seeds: set[int]) -> set[int]:
+    """Fixpoint of secret taint from ``seeds`` over every assignment."""
+    tainted = set(seeds)
+    changed = True
+    while changed:
+        changed = False
+        for block in fn.blocks.values():
+            for instruction in block.instructions:
+                dst = getattr(instruction, "dst", None)
+                if not isinstance(dst, int) or dst in tainted:
+                    continue
+                if any(operand in tainted
+                       for operand in _read_operands(instruction)):
+                    tainted.add(dst)
+                    changed = True
+    return tainted
+
+
+def pointer_bases(fn: IRFunction) -> dict[int, frozenset[str]]:
+    """Which named regions each vreg's value may be offset from.
+
+    Bases are ``"param:NAME"`` (a pointer argument) and ``"global:NAME"``
+    (a data table).  Only copies and additive arithmetic propagate a base;
+    masking, shifting, comparing, or loading produce base-free values, so a
+    recovered *offset* (``addr - base``) is never itself treated as a
+    pointer into the region.
+    """
+    bases: dict[int, set[str]] = {
+        vreg: {f"param:{name}"} for name, vreg in fn.param_vregs.items()
+    }
+
+    def get(operand) -> set[str]:
+        if isinstance(operand, int):
+            return bases.setdefault(operand, set())
+        return set()
+
+    changed = True
+    while changed:
+        changed = False
+        for block in fn.blocks.values():
+            for instruction in block.instructions:
+                if isinstance(instruction, AddrOf):
+                    incoming = {f"global:{instruction.global_name}"}
+                elif isinstance(instruction, Mov):
+                    incoming = get(instruction.src)
+                elif isinstance(instruction, Bin) and instruction.op in ("+", "-"):
+                    incoming = get(instruction.left) | get(instruction.right)
+                elif isinstance(instruction, (Bin, CmpSet, LoadOp, CallOp)):
+                    incoming = set()
+                else:
+                    continue
+                dst = getattr(instruction, "dst", None)
+                if not isinstance(dst, int):
+                    continue
+                known = bases.setdefault(dst, set())
+                if not incoming <= known:
+                    known |= incoming
+                    changed = True
+    return {vreg: frozenset(found) for vreg, found in bases.items()}
+
+
+def secret_branches(fn: IRFunction, tainted: set[int]) -> list[str]:
+    """Labels of blocks whose terminator branches on a tainted operand."""
+    labels = []
+    for label, block in fn.blocks.items():
+        terminator = block.terminator
+        if isinstance(terminator, CondBranch):
+            operands = [terminator.left, terminator.right]
+            if any(isinstance(op, int) and op in tainted for op in operands):
+                labels.append(label)
+    return labels

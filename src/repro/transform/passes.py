@@ -1,0 +1,465 @@
+"""The countermeasure passes (paper §2, §8.4, survey taxonomy).
+
+Each pass rewrites the entry function of a :class:`~repro.transform.
+pipeline.TransformUnit` in place (and/or its layout directives) and records
+a human-readable note.  Passes validate their own applicability and raise
+:class:`~repro.transform.spec.TransformError` when a kernel does not contain
+the shape they harden — a pipeline that silently does nothing would fake a
+countermeasure.
+
+Every pass declares ``targets``: the observer granularities whose leakage
+bound it is meant to reduce.  The transform CLI and the hardening tests
+enforce the ordering ``transformed ≤ original`` exactly on those observers
+(a pass may legitimately trade, say, address-trace observations for a lower
+block-trace bound).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace as dataclass_replace
+
+from repro.lang.ast import GlobalDecl
+from repro.lang.ir import (
+    AddrOf,
+    Bin,
+    CallOp,
+    CmpSet,
+    CondBranch,
+    ImmOp,
+    IRBlock,
+    Jmp,
+    LoadOp,
+    Mov,
+    StoreOp,
+)
+from repro.transform.dataflow import (
+    pointer_bases,
+    secret_branches,
+    secret_seeds,
+    tainted_vregs,
+)
+from repro.transform.spec import TransformError
+
+__all__ = [
+    "TransformPass", "PreloadPass", "ScatterGatherPass",
+    "AlignTablesPass", "BranchBalancePass",
+]
+
+
+def _require_power_of_two(value: int, what: str) -> int:
+    if value <= 0 or value & (value - 1):
+        raise TransformError(f"{what} must be a positive power of two, got {value}")
+    return value.bit_length() - 1
+
+
+class TransformPass:
+    """Base class: a named rewrite of a :class:`TransformUnit`."""
+
+    name = "?"
+    targets: tuple[str, ...] = ()
+
+    def run(self, unit) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+# ----------------------------------------------------------------------
+# Preload (access-all-entries with branch-free select, Figure 11)
+# ----------------------------------------------------------------------
+
+class PreloadPass(TransformPass):
+    """Replace a secret-indexed table load by an access-all-entries gather.
+
+    Every entry of ``table`` is touched in a fixed order and the wanted one
+    is selected with an arithmetic mask — the libgcrypt 1.6.3 idiom
+    (Figure 11, ``secure_retrieve``), which is preloading taken to its
+    conclusion: the table's every line is loaded before (indeed, instead of)
+    any secret-indexed access, so the memory trace is the same for every
+    secret index.
+
+    Parameters: ``table`` (global name), ``entries`` (table length),
+    ``stride`` (bytes per entry, a power of two — the select recovers the
+    entry index as ``(addr - table) >> log2(stride)``).
+    """
+
+    name = "preload"
+    targets = ("address", "bank", "block")
+
+    def __init__(self, table: str, entries: int, stride: int):
+        if entries < 1:
+            raise TransformError(f"preload needs entries >= 1, got {entries}")
+        self.table = table
+        self.entries = entries
+        self.stride = stride
+        self.shift = _require_power_of_two(stride, "preload stride")
+
+    def run(self, unit) -> None:
+        fn = unit.entry_function()
+        if self.table not in unit.global_names():
+            raise TransformError(
+                f"preload: no global table {self.table!r} in the program")
+        tainted = tainted_vregs(fn, secret_seeds(fn, unit.secret_params))
+        bases = pointer_bases(fn)
+        wanted = f"global:{self.table}"
+        rewritten = 0
+        for block in fn.blocks.values():
+            expanded: list = []
+            for instruction in block.instructions:
+                if (isinstance(instruction, LoadOp)
+                        and isinstance(instruction.addr, int)
+                        and instruction.addr in tainted
+                        and wanted in bases.get(instruction.addr, ())):
+                    expanded.extend(self._expand(fn, instruction))
+                    rewritten += 1
+                else:
+                    expanded.append(instruction)
+            block.instructions = expanded
+        if not rewritten:
+            raise TransformError(
+                f"preload: no secret-indexed load of {self.table!r} found")
+        unit.note(f"preload: {rewritten} load(s) of {self.table} -> "
+                  f"access-all-{self.entries}-entries select")
+
+    def _expand(self, fn, load: LoadOp) -> list:
+        new = fn.new_vreg
+        base, off, index, intra = new(), new(), new(), new()
+        out = [
+            AddrOf(dst=base, global_name=self.table),
+            Bin(op="-", dst=off, left=load.addr, right=base),
+            Bin(op=">>", dst=index, left=off, right=ImmOp(self.shift)),
+            Bin(op="&", dst=intra, left=off, right=ImmOp(self.stride - 1)),
+        ]
+        accumulator = new()
+        out.append(Mov(dst=accumulator, src=ImmOp(0)))
+        for entry in range(self.entries):
+            slot, value, hit, mask, kept, merged = (
+                new(), new(), new(), new(), new(), new())
+            out.extend([
+                # Entry bases are pass-generated constants: every execution
+                # touches base, base+stride, ... in the same fixed order.
+                Bin(op="+", dst=slot, left=base,
+                    right=ImmOp(entry * self.stride)),
+                Bin(op="+", dst=slot, left=slot, right=intra),
+                LoadOp(dst=value, addr=slot, size=load.size),
+                CmpSet(cond="e", dst=hit, left=index, right=ImmOp(entry)),
+                Bin(op="-", dst=mask, left=ImmOp(0), right=hit),
+                Bin(op="&", dst=kept, left=value, right=mask),
+                Bin(op="|", dst=merged, left=accumulator, right=kept),
+            ])
+            accumulator = merged
+        out.append(Mov(dst=load.dst, src=accumulator))
+        return out
+
+
+# ----------------------------------------------------------------------
+# Scatter/gather layout (Figure 3, OpenSSL 1.0.2f)
+# ----------------------------------------------------------------------
+
+class ScatterGatherPass(TransformPass):
+    """Interleave a secret-indexed byte table and gather from the copy.
+
+    A prologue scatters *every* entry of the pointer-parameter table into a
+    line-aligned scratch global at the OpenSSL 1.0.2f layout — byte ``i`` of
+    entry ``k`` lives at ``scratch + k + i*spacing`` — and every secret-
+    indexed byte load is rewritten to gather from the scratch buffer.  All
+    of one group's candidate bytes share a cache line, so the block-trace
+    observer learns nothing; banks still split the group (CacheBleed), which
+    the analysis duly reports.
+
+    Parameters: ``table_param`` (pointer parameter holding the table),
+    ``entries``, ``entry_bytes`` (power of two), ``spacing`` (>= entries,
+    default 8), ``line_bytes`` (scratch alignment, default 64), ``scratch``
+    (generated global's name).
+    """
+
+    name = "scatter-gather"
+    targets = ("block",)
+
+    def __init__(self, table_param: str, entries: int, entry_bytes: int,
+                 spacing: int = 8, line_bytes: int = 64,
+                 scratch: str = "__sg_scratch"):
+        if entries < 1 or entries > spacing:
+            raise TransformError(
+                f"scatter-gather needs 1 <= entries <= spacing, got "
+                f"entries={entries}, spacing={spacing}")
+        self.table_param = table_param
+        self.entries = entries
+        self.entry_bytes = entry_bytes
+        self.shift = _require_power_of_two(entry_bytes, "scatter-gather entry_bytes")
+        self.spacing = spacing
+        self.line_bytes = line_bytes
+        self.scratch = scratch
+
+    def run(self, unit) -> None:
+        fn = unit.entry_function()
+        if self.table_param not in fn.param_vregs:
+            raise TransformError(
+                f"scatter-gather: {unit.entry!r} has no parameter "
+                f"{self.table_param!r}")
+        if self.scratch in unit.global_names():
+            raise TransformError(
+                f"scatter-gather: global {self.scratch!r} already exists")
+        table_vreg = fn.param_vregs[self.table_param]
+        tainted = tainted_vregs(fn, secret_seeds(fn, unit.secret_params))
+        bases = pointer_bases(fn)
+        wanted = f"param:{self.table_param}"
+
+        # Refuse tables that are also written: the scratch copy is made once,
+        # at entry, and would go stale.
+        for block in fn.blocks.values():
+            for instruction in block.instructions:
+                if (isinstance(instruction, StoreOp)
+                        and isinstance(instruction.addr, int)
+                        and wanted in bases.get(instruction.addr, ())):
+                    raise TransformError(
+                        f"scatter-gather: kernel stores through "
+                        f"{self.table_param!r}; cannot relocate the table")
+
+        rewritten = 0
+        for block in fn.blocks.values():
+            expanded: list = []
+            for instruction in block.instructions:
+                if (isinstance(instruction, LoadOp)
+                        and isinstance(instruction.addr, int)
+                        and instruction.addr in tainted
+                        and wanted in bases.get(instruction.addr, ())):
+                    if instruction.size != 1:
+                        # A wider load through the table would keep walking
+                        # the original secret entry's lines — leaving it
+                        # behind would fake the countermeasure.
+                        raise TransformError(
+                            f"scatter-gather: {instruction.size}-byte "
+                            f"secret-indexed load through "
+                            f"{self.table_param!r}; only byte gathers can "
+                            f"be relocated to the strided layout")
+                    expanded.extend(self._gather(fn, table_vreg, instruction))
+                    rewritten += 1
+                else:
+                    expanded.append(instruction)
+            block.instructions = expanded
+        if not rewritten:
+            raise TransformError(
+                f"scatter-gather: no secret-indexed byte load through "
+                f"{self.table_param!r} found")
+
+        entry_block = fn.blocks[fn.entry]
+        entry_block.instructions = (
+            self._scatter_prologue(fn, table_vreg) + entry_block.instructions)
+        unit.add_global(GlobalDecl(
+            name=self.scratch, size=self.entry_bytes * self.spacing))
+        unit.align_data(self.scratch, self.line_bytes)
+        unit.note(
+            f"scatter-gather: {rewritten} load(s) through {self.table_param} "
+            f"-> {self.scratch} (spacing {self.spacing}, "
+            f"{self.line_bytes}-byte aligned)")
+
+    def _scatter_prologue(self, fn, table_vreg: int) -> list:
+        """Copy every entry into the strided scratch layout (all entries are
+        touched in a fixed order — the scatter half is secret-independent)."""
+        new = fn.new_vreg
+        scratch_base = new()
+        out: list = [AddrOf(dst=scratch_base, global_name=self.scratch)]
+        for entry in range(self.entries):
+            for byte in range(self.entry_bytes):
+                source, value, destination = new(), new(), new()
+                out.extend([
+                    Bin(op="+", dst=source, left=table_vreg,
+                        right=ImmOp(entry * self.entry_bytes + byte)),
+                    LoadOp(dst=value, addr=source, size=1),
+                    Bin(op="+", dst=destination, left=scratch_base,
+                        right=ImmOp(entry + byte * self.spacing)),
+                    StoreOp(addr=destination, src=value, size=1),
+                ])
+        return out
+
+    def _gather(self, fn, table_vreg: int, load: LoadOp) -> list:
+        """``load8(table + k*entry_bytes + i)`` →
+        ``load8(scratch + k + i*spacing)``."""
+        new = fn.new_vreg
+        off, key, byte, stretched, base, addr = (
+            new(), new(), new(), new(), new(), new())
+        return [
+            Bin(op="-", dst=off, left=load.addr, right=table_vreg),
+            Bin(op=">>", dst=key, left=off, right=ImmOp(self.shift)),
+            Bin(op="&", dst=byte, left=off, right=ImmOp(self.entry_bytes - 1)),
+            Bin(op="*", dst=stretched, left=byte, right=ImmOp(self.spacing)),
+            AddrOf(dst=base, global_name=self.scratch),
+            Bin(op="+", dst=addr, left=base, right=key),
+            Bin(op="+", dst=addr, left=addr, right=stretched),
+            LoadOp(dst=load.dst, addr=addr, size=1),
+        ]
+
+
+# ----------------------------------------------------------------------
+# Table alignment (Examples 5/6: layout as a countermeasure)
+# ----------------------------------------------------------------------
+
+class AlignTablesPass(TransformPass):
+    """Pin data tables to cache-line boundaries via the codegen layout hooks.
+
+    Purely a driver-directive pass: it rewrites no IR, it sets the
+    ``data_align`` hook (and clears any ``data_pad`` straddling) that
+    :func:`repro.lang.driver.compile_ir_program` forwards to the assembler.
+    A table that does not straddle line boundaries collapses the block-trace
+    observations of its accesses onto one line.
+    """
+
+    name = "align-tables"
+    targets = ("block",)
+
+    def __init__(self, tables: tuple[str, ...], line_bytes: int = 64):
+        if not tables:
+            raise TransformError("align-tables needs at least one table")
+        _require_power_of_two(line_bytes, "align-tables line_bytes")
+        self.tables = tuple(tables)
+        self.line_bytes = line_bytes
+
+    def run(self, unit) -> None:
+        known = unit.global_names()
+        for table in self.tables:
+            if table not in known:
+                raise TransformError(
+                    f"align-tables: no global table {table!r} in the program")
+            unit.align_data(table, self.line_bytes, clear_pad=True)
+        unit.note(f"align-tables: {', '.join(self.tables)} aligned to "
+                  f"{self.line_bytes}B lines")
+
+
+# ----------------------------------------------------------------------
+# Branch balancing / if-conversion (Figure 7: square-and-always-multiply)
+# ----------------------------------------------------------------------
+
+class BranchBalancePass(TransformPass):
+    """If-convert secret-dependent branches into masked straight-line code.
+
+    Both arms of every secret-conditioned diamond are executed
+    unconditionally and each value the arms define is selected with a
+    ``CmpSet``-derived mask (``out = else ^ (mask & (then ^ else))``), so
+    the instruction fetch trace — and any arm-specific data trace — stops
+    depending on the secret.  This is the transformation libgcrypt 1.5.3
+    applied by hand (square-and-*always*-multiply, Figure 7b).
+
+    Arms must be store-free straight-line blocks; calls are permitted when
+    ``allow_calls`` is true (the default), which is sound here because the
+    summarized extern models are read-only — set it to false for kernels
+    whose callees write memory.
+    """
+
+    name = "balance-branches"
+    targets = ("block",)
+
+    def __init__(self, allow_calls: bool = True):
+        self.allow_calls = bool(allow_calls)
+
+    def run(self, unit) -> None:
+        fn = unit.entry_function()
+        converted = 0
+        while True:
+            tainted = tainted_vregs(fn, secret_seeds(fn, unit.secret_params))
+            candidates = secret_branches(fn, tainted)
+            if not candidates:
+                break
+            self._convert(fn, candidates[0])
+            converted += 1
+        if not converted:
+            raise TransformError(
+                f"balance-branches: {unit.entry!r} has no secret-dependent "
+                f"branch")
+        unit.note(f"balance-branches: if-converted {converted} secret "
+                  f"branch(es)")
+
+    # ------------------------------------------------------------------
+    def _convert(self, fn, label: str) -> None:
+        block = fn.blocks[label]
+        branch: CondBranch = block.terminator
+        then_label, join_label = branch.if_true, branch.if_false
+        then_block = self._arm(fn, label, then_label, "then")
+        if then_block.terminator.target != join_label:
+            # if/else diamond: if_false is the else arm, not the join.
+            else_block = self._arm(fn, label, join_label, "else")
+            join_label = then_block.terminator.target
+            if else_block.terminator.target != join_label:
+                raise TransformError(
+                    "balance-branches: branch arms do not rejoin at a "
+                    "common block")
+        else:
+            else_block = None
+
+        new = fn.new_vreg
+        condition, mask = new(), new()
+        block.instructions.append(CmpSet(
+            cond=branch.cond, dst=condition,
+            left=branch.left, right=branch.right))
+        block.instructions.append(Bin(
+            op="-", dst=mask, left=ImmOp(0), right=condition))
+
+        then_env = self._inline_arm(fn, block, then_block)
+        else_env = self._inline_arm(fn, block, else_block) if else_block else {}
+
+        for vreg in sorted(set(then_env) | set(else_env)):
+            taken = then_env.get(vreg, vreg)
+            skipped = else_env.get(vreg, vreg)
+            delta, kept = new(), new()
+            block.instructions.extend([
+                Bin(op="^", dst=delta, left=taken, right=skipped),
+                Bin(op="&", dst=kept, left=mask, right=delta),
+                Bin(op="^", dst=kept, left=kept, right=skipped),
+                Mov(dst=vreg, src=kept),
+            ])
+
+        block.terminator = Jmp(join_label)
+        del fn.blocks[then_block.label]
+        if else_block is not None:
+            del fn.blocks[else_block.label]
+
+    def _arm(self, fn, branch_label: str, label: str, role: str) -> IRBlock:
+        """Validate one arm: single-predecessor, straight-line, side-effect
+        constrained, ending in an unconditional jump."""
+        arm = fn.blocks.get(label)
+        if arm is None or not isinstance(arm.terminator, Jmp):
+            raise TransformError(
+                f"balance-branches: {role} arm {label!r} is not a "
+                f"straight-line block")
+        predecessors = [
+            other.label for other in fn.blocks.values()
+            if label in other.successors()
+        ]
+        if predecessors != [branch_label]:
+            raise TransformError(
+                f"balance-branches: {role} arm {label!r} has predecessors "
+                f"{predecessors}, cannot inline")
+        for instruction in arm.instructions:
+            if isinstance(instruction, StoreOp):
+                raise TransformError(
+                    f"balance-branches: {role} arm stores to memory; "
+                    f"executing it unconditionally would change state")
+            if isinstance(instruction, CallOp) and not self.allow_calls:
+                raise TransformError(
+                    f"balance-branches: {role} arm calls {instruction.name!r} "
+                    f"and allow_calls is false")
+        return arm
+
+    def _inline_arm(self, fn, block, arm: IRBlock) -> dict[int, int]:
+        """Append the arm's instructions with every write renamed to a fresh
+        vreg; returns the final renaming (original vreg → its arm value)."""
+        env: dict[int, int] = {}
+
+        def rename_read(operand):
+            if isinstance(operand, int):
+                return env.get(operand, operand)
+            return operand
+
+        for instruction in arm.instructions:
+            fields = {}
+            for attr in ("src", "left", "right", "addr"):
+                if hasattr(instruction, attr):
+                    fields[attr] = rename_read(getattr(instruction, attr))
+            if hasattr(instruction, "args"):
+                fields["args"] = tuple(
+                    rename_read(arg) for arg in instruction.args)
+            dst = getattr(instruction, "dst", None)
+            if isinstance(dst, int):
+                fresh = fn.new_vreg()
+                env[dst] = fresh
+                fields["dst"] = fresh
+            block.instructions.append(dataclass_replace(instruction, **fields))
+        return env

@@ -1,0 +1,87 @@
+"""Transform specifications: countermeasure passes as plain data.
+
+A :class:`TransformSpec` names one pass application plus its parameters,
+stored as sorted key/value pairs — the same shape :class:`~repro.sweep.
+scenario.Scenario` uses for target parameters, and for the same reasons:
+specs are structurally comparable, picklable, JSON-serializable, and
+fingerprintable, so a transformed scenario caches under a key that changes
+exactly when the transformation's meaning changes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+
+# The one canonical pair of wire-form converters: tuples in memory,
+# lists in JSON — shared with the scenario layer so the two fingerprinting
+# schemes can never diverge.
+from repro.sweep.scenario import _listify, _tuplify as _freeze
+
+__all__ = ["TransformSpec", "TransformError", "as_specs", "specs_payload"]
+
+
+class TransformError(Exception):
+    """Raised when a pass cannot be built or cannot apply to a kernel."""
+
+
+@dataclass(frozen=True)
+class TransformSpec:
+    """One pass application: a registry name plus sorted parameter pairs."""
+
+    name: str
+    params: tuple[tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        pairs = tuple(sorted((key, _freeze(value)) for key, value in self.params))
+        object.__setattr__(self, "params", pairs)
+
+    @classmethod
+    def make(cls, name: str, **params) -> "TransformSpec":
+        return cls(name=name, params=tuple(params.items()))
+
+    def params_dict(self) -> dict:
+        return dict(self.params)
+
+    def to_payload(self) -> list:
+        """JSON form: ``[name, [[key, value], ...]]``."""
+        return [self.name, _listify(self.params)]
+
+    @classmethod
+    def from_payload(cls, payload) -> "TransformSpec":
+        name, params = payload
+        return cls(name=name, params=_freeze(params))
+
+    def fingerprint(self) -> str:
+        canonical = json.dumps(self.to_payload(), sort_keys=True,
+                               separators=(",", ":"))
+        return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+    def describe(self) -> str:
+        if not self.params:
+            return self.name
+        rendered = ",".join(f"{key}={value}" for key, value in self.params)
+        return f"{self.name}({rendered})"
+
+
+def as_specs(raw) -> tuple[TransformSpec, ...]:
+    """Normalize a pipeline description to a tuple of specs.
+
+    Accepts :class:`TransformSpec` objects, ``(name, params_pairs)`` tuples
+    (the scenario wire format), or bare pass names.
+    """
+    specs: list[TransformSpec] = []
+    for item in raw or ():
+        if isinstance(item, TransformSpec):
+            specs.append(item)
+        elif isinstance(item, str):
+            specs.append(TransformSpec(name=item))
+        else:
+            specs.append(TransformSpec.from_payload(item))
+    return tuple(specs)
+
+
+def specs_payload(specs) -> tuple:
+    """The scenario wire format: nested tuples, ready for a Scenario field."""
+    return tuple((spec.name, spec.params) for spec in as_specs(specs))

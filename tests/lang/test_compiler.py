@@ -290,3 +290,29 @@ def test_expression_semantics_property(a, b, shift, opt):
     """
     expected = (((a + b) ^ (a & b)) + ((a >> shift) | (b * 3)) - ((a << 1))) & 0xFFFFFFFF
     assert result_of(source, args=(a, b), opt_level=opt) == expected
+
+
+class TestCompileCacheEviction:
+    """A sweep over more distinct sources than the cache holds must evict
+    FIFO, one entry at a time — not clear the whole cache to zero hits."""
+
+    def test_fifo_eviction_keeps_recent_entries(self):
+        from repro.lang import driver
+
+        driver._COMPILE_CACHE.clear()
+        overflow = 4
+        total = driver._COMPILE_CACHE_MAX + overflow
+        programs = [f"u32 f(u32 x) {{ return x + {n}; }}"
+                    for n in range(total)]
+        images = [driver.compile_program(program) for program in programs]
+        assert len(driver._COMPILE_CACHE) == driver._COMPILE_CACHE_MAX
+
+        # Only the oldest `overflow` entries were evicted: everything from
+        # `overflow` on is still answered by the very same Image object.
+        assert driver.compile_program(programs[-1]) is images[-1]
+        assert driver.compile_program(programs[overflow]) is images[overflow]
+        # The oldest entries are gone (recompiled fresh)...
+        assert driver.compile_program(programs[0]) is not images[0]
+        # ...and that miss evicted exactly one entry, not the whole cache.
+        assert len(driver._COMPILE_CACHE) == driver._COMPILE_CACHE_MAX
+        assert driver.compile_program(programs[-1]) is images[-1]

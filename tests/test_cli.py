@@ -12,6 +12,55 @@ class TestList:
         assert "figure7a" in out
         assert "lookup-O2-64B-plru" in out
         assert "kernel-scatter_102f-32B-fifo" in out
+        assert "lookup-O2-64B-hardened" in out
+
+    def test_filter_narrows_the_listing(self, capsys):
+        assert main(["list", "--filter", "hardened"]) == 0
+        out = capsys.readouterr().out
+        assert "lookup-O2-64B-hardened" in out
+        assert "figure7a" not in out
+        assert "kernel-scatter_102f" not in out
+
+    def test_filter_without_match_fails(self, capsys):
+        assert main(["list", "--filter", "zzz-not-there"]) == 2
+
+    def test_policies_flag_lists_the_policy_axis(self, capsys):
+        assert main(["list", "--policies", "--filter", "figure7a"]) == 0
+        out = capsys.readouterr().out
+        assert "lru" in out and "fifo" in out and "plru" in out
+
+
+class TestTransform:
+    def test_balance_sqm_with_validation(self, capsys):
+        code = main(["transform", "sqm-O2-64B",
+                     "--passes", "balance-branches", "--validate"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "leakage ordering holds" in out
+        assert "semantic equivalence: OK" in out
+
+    def test_transformed_scenario_sweep_renders_transforms(self, capsys):
+        code = main(["sweep", "--entry-bytes", "16", "naive-16B-sg"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "transforms=scatter-gather" in out
+
+    def test_unknown_scenario_rejected(self, capsys):
+        assert main(["transform", "no-such", "--passes",
+                     "balance-branches"]) == 2
+
+    def test_unknown_pass_rejected(self, capsys):
+        assert main(["transform", "sqm-O2-64B", "--passes", "nope"]) == 2
+
+    def test_inapplicable_pass_fails_cleanly(self, capsys):
+        """A pass that finds nothing to harden is a diagnostic, not a crash."""
+        code = main(["transform", "naive-32B", "--passes", "balance-branches"])
+        assert code == 2
+        assert "no secret-dependent branch" in capsys.readouterr().err
+
+    def test_already_transformed_rejected(self, capsys):
+        assert main(["transform", "lookup-O2-64B-hardened",
+                     "--passes", "preload"]) == 2
 
 
 class TestSweep:

@@ -1,0 +1,203 @@
+"""End-to-end hardening guarantees, per pass (the issue's acceptance bar):
+
+for every countermeasure pass, the transformed kernel (1) is semantically
+equivalent to the original on >= 8 concrete secret inputs — replayed by
+``ConcreteValidator.check_equivalence`` — and (2) carries an analyzer bound
+on the pass's targeted observers that is <= the original's, with the
+``preload+balance-branches`` pipeline and the balanced kernels reaching the
+paper's 0-leakage result (every count == 1).  Where a pass reproduces a
+hand-written countermeasure, the bounds are compared against that golden
+reference (preload+balance vs. ``secure_retrieve``, scatter-gather vs. the
+1.0.2f ``gather``, balanced sqm vs. ``sqam``).
+"""
+
+import pytest
+
+from repro.analysis.validation import DEFAULT_FILL, ConcreteValidator
+from repro.casestudy import targets
+from repro.casestudy.scenarios import (
+    default_transforms,
+    lookup_scenario,
+    naive_gather_scenario,
+    sqam_scenario,
+    sqm_scenario,
+)
+from repro.core.observers import AccessKind
+
+I, D = AccessKind.INSTRUCTION, AccessKind.DATA
+
+# The shared non-trivial pattern behind every table pointer, so the
+# equivalence replay compares real gathered bytes, not zero-fill.
+FILL = DEFAULT_FILL
+
+
+def counts(report):
+    return {(kind, observer): bound.count
+            for (kind, observer), bound in report.bounds.items()}
+
+
+def check_pair(base_scenario, pass_names, fills=None, extra_layouts=()):
+    """Build base + transformed targets, replay equivalence, return reports."""
+    from dataclasses import replace
+    transforms = default_transforms(base_scenario, pass_names)
+    original = base_scenario.build_target()
+    transformed = replace(base_scenario, transforms=transforms).build_target()
+
+    layouts = targets.default_layouts(original.name) + list(extra_layouts)
+    validator = ConcreteValidator(original.image, original.spec)
+    outcome = validator.check_equivalence(
+        transformed.image, layouts, fills=fills)
+    assert outcome.ok, outcome.violations
+    assert outcome.checked >= 8  # >= 8 concrete secret executions
+    return original.analyze().report, transformed.analyze().report, outcome
+
+
+class TestBranchBalance:
+    EXTRA = ({"rp": 0x9005000, "bp": 0x9006000, "mp": 0x9007000},
+             {"rp": 0x9005040, "bp": 0x9006040, "mp": 0x9007080})
+
+    def test_sqm_balanced_reaches_zero_leakage(self):
+        before, after, outcome = check_pair(
+            sqm_scenario(opt_level=2, line_bytes=64), ("balance-branches",),
+            extra_layouts=self.EXTRA)
+        assert all(count == 1 for count in counts(after).values())
+        assert all(counts(after)[key] <= count
+                   for key, count in counts(before).items())
+        assert outcome.checked == 8  # 2 secrets x 4 layouts
+
+    def test_sqm_balanced_dominates_handwritten_sqam(self):
+        """The generated always-multiply beats libgcrypt 1.5.3's by-hand one
+        (whose swap branch still leaks one I-block observation at O2)."""
+        balanced = sqm_scenario(opt_level=2, line_bytes=64)
+        transforms = default_transforms(balanced, ("balance-branches",))
+        generated = targets.sqm_target(opt_level=2, line_bytes=64,
+                                       transforms=transforms)
+        handwritten = targets.sqam_target(opt_level=2, line_bytes=64)
+        generated_counts = counts(generated.analyze().report)
+        handwritten_counts = counts(handwritten.analyze().report)
+        for key, count in handwritten_counts.items():
+            assert generated_counts[key] <= count
+
+    def test_sqam_swap_branch_balanced(self):
+        extra = (
+            {"rp": 0x9005000, "tmp": 0x9005400, "bp": 0x9006000,
+             "mp": 0x9007000},
+            {"rp": 0x9005040, "tmp": 0x9005440, "bp": 0x9006040,
+             "mp": 0x9007080},
+        )
+        before, after, _ = check_pair(
+            sqam_scenario(opt_level=2, line_bytes=64), ("balance-branches",),
+            extra_layouts=extra)
+        assert all(count == 1 for count in counts(after).values())
+
+    def test_lookup_balanced_block_ordering(self):
+        before, after, _ = check_pair(
+            lookup_scenario(opt_level=2, line_bytes=64),
+            ("balance-branches",), fills={"bp": FILL, "bsize": FILL})
+        assert counts(after)[(I, "block")] == 1
+        assert counts(after)[(D, "block")] <= counts(before)[(D, "block")]
+
+
+class TestPreload:
+    def test_lookup_preload_ordering(self):
+        before, after, outcome = check_pair(
+            lookup_scenario(opt_level=2, line_bytes=64), ("preload",),
+            fills={"bp": FILL, "bsize": FILL})
+        # preload targets every data-granularity observer.
+        for observer in ("address", "bank", "block"):
+            assert counts(after)[(D, observer)] <= counts(before)[(D, observer)]
+        assert counts(after)[(D, "block")] < counts(before)[(D, "block")]
+        assert outcome.checked == 16  # 8 secrets x 2 layouts
+
+    def test_hardened_lookup_reaches_zero_leakage(self):
+        before, after, _ = check_pair(
+            lookup_scenario(opt_level=2, line_bytes=64),
+            ("preload", "balance-branches"), fills={"bp": FILL, "bsize": FILL})
+        assert all(count == 1 for count in counts(after).values())
+
+    def test_hardened_lookup_matches_secure_retrieve_golden(self):
+        """preload+balance turns the 1.6.1 lookup into the 1.6.3 idiom: the
+        golden hand-written ``secure_retrieve`` and the generated variant
+        both show exactly one observation everywhere."""
+        hardened = targets.lookup_target(
+            opt_level=2, line_bytes=64,
+            transforms=default_transforms(
+                lookup_scenario(opt_level=2, line_bytes=64),
+                ("preload", "balance-branches")))
+        golden = targets.secure_retrieve_target(nlimbs=4)
+        hardened_counts = counts(hardened.analyze().report)
+        golden_counts = counts(golden.analyze().report)
+        for key in ((I, "address"), (I, "block"), (D, "address"), (D, "block")):
+            assert hardened_counts[key] == golden_counts[key] == 1
+
+
+class TestAlignTables:
+    def test_lookup_aligned_block_ordering(self):
+        before, after, _ = check_pair(
+            lookup_scenario(opt_level=2, line_bytes=64), ("align-tables",),
+            fills={"bp": FILL, "bsize": FILL})
+        assert counts(after)[(D, "block")] < counts(before)[(D, "block")]
+        # Alignment moves tables but never changes the code: the
+        # instruction-side bounds are untouched.
+        assert counts(after)[(I, "block")] == counts(before)[(I, "block")]
+
+
+class TestScatterGather:
+    def test_naive_gather_transformed_matches_gather_golden(self):
+        nbytes = 16
+        before, after, outcome = check_pair(
+            naive_gather_scenario(nbytes=nbytes), ("scatter-gather",),
+            fills={"p": FILL})
+        assert outcome.checked == 16  # 8 secrets x 2 layouts
+        # Zero block leakage, exactly the paper's Figure 3 property...
+        assert counts(after)[(D, "block")] == 1
+        assert counts(before)[(D, "block")] > 1
+        # ...with the CacheBleed bank residual intact.
+        assert counts(after)[(D, "bank")] == 2 ** nbytes
+        # Golden reference: the hand-written OpenSSL 1.0.2f gather shows the
+        # same data-side bounds at the same entry size.
+        golden = counts(targets.gather_target(nbytes=nbytes).analyze().report)
+        for observer in ("address", "bank", "block"):
+            assert counts(after)[(D, observer)] == golden[(D, observer)]
+
+
+class TestEquivalenceHarness:
+    def test_detects_wrong_memory(self):
+        """The replay is a real oracle: a kernel storing mutated bytes fails."""
+        from repro.crypto import sources
+        from repro.lang.driver import compile_program
+        original = targets.naive_gather_target(nbytes=16)
+        mutated = compile_program(
+            sources.NAIVE_GATHER.replace(
+                "load8(p + k * nbytes + i)",
+                "load8(p + k * nbytes + i) ^ 1"),
+            opt_level=2, function_align=64)
+        validator = ConcreteValidator(original.image, original.spec)
+        outcome = validator.check_equivalence(
+            mutated, targets.default_layouts(original.name), fills={"p": FILL})
+        assert not outcome.ok
+        assert any("byte(s) differ" in violation
+                   for violation in outcome.violations)
+
+    def test_detects_wrong_return_value(self):
+        from repro.crypto import sources
+        from repro.lang.driver import compile_program
+        original = targets.naive_gather_target(nbytes=16)
+        mutated = compile_program(
+            sources.NAIVE_GATHER.replace("return r;", "return r + 1;"),
+            opt_level=2, function_align=64)
+        validator = ConcreteValidator(original.image, original.spec)
+        outcome = validator.check_equivalence(
+            mutated, targets.default_layouts(original.name))
+        assert not outcome.ok
+        assert any("return value" in violation
+                   for violation in outcome.violations)
+
+    def test_unknown_fill_symbol_rejected(self):
+        from repro.analysis.config import AnalysisError
+        original = targets.naive_gather_target(nbytes=16)
+        validator = ConcreteValidator(original.image, original.spec)
+        with pytest.raises(AnalysisError, match="unknown symbol"):
+            validator.check_equivalence(
+                original.image, targets.default_layouts(original.name),
+                fills={"zzz": FILL})

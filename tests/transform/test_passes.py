@@ -1,0 +1,228 @@
+"""Pass-level behavior on the IR: rewrites, gates, and dataflow."""
+
+import pytest
+
+from repro.crypto import sources
+from repro.lang.ir import CondBranch, LoadOp, StoreOp
+from repro.lang.lower import lower_program
+from repro.lang.parser import parse
+from repro.transform import (
+    TransformError,
+    TransformSpec,
+    apply_pipeline,
+    build_unit,
+)
+from repro.transform.dataflow import (
+    pointer_bases,
+    secret_branches,
+    secret_seeds,
+    tainted_vregs,
+)
+
+BALANCE = (TransformSpec.make("balance-branches"),)
+LOOKUP_PRELOAD = (
+    TransformSpec.make("preload", table="b2i3", entries=7, stride=4),
+    TransformSpec.make("preload", table="b2i3size", entries=7, stride=4),
+)
+
+
+def lookup_unit(**kwargs):
+    return build_unit(sources.LOOKUP_161, "lookup", secret_args=(0,), **kwargs)
+
+
+class TestDataflow:
+    def test_taint_flows_through_loads_and_calls(self):
+        program = lower_program(parse(sources.SQM_STEP))
+        fn = program.functions["sqm_step"]
+        seeds = secret_seeds(fn, ("ebit",))
+        assert seeds == {fn.param_vregs["ebit"]}
+        tainted = tainted_vregs(fn, seeds)
+        assert seeds <= tainted
+
+    def test_pointer_bases_track_globals_and_params(self):
+        program = lower_program(parse(sources.LOOKUP_161))
+        fn = program.functions["lookup"]
+        bases = pointer_bases(fn)
+        global_based = [
+            instruction for block in fn.blocks.values()
+            for instruction in block.instructions
+            if isinstance(instruction, LoadOp)
+            and "global:b2i3" in bases.get(instruction.addr, ())
+        ]
+        assert global_based  # the table load is recognized
+
+    def test_secret_branch_detection(self):
+        program = lower_program(parse(sources.LOOKUP_161))
+        fn = program.functions["lookup"]
+        tainted = tainted_vregs(fn, secret_seeds(fn, ("e0",)))
+        assert len(secret_branches(fn, tainted)) == 1
+        # Public loop guards are not secret branches.
+        program = lower_program(parse(sources.NAIVE_GATHER))
+        fn = program.functions["naive_gather"]
+        tainted = tainted_vregs(fn, secret_seeds(fn, ("k",)))
+        assert secret_branches(fn, tainted) == []
+
+
+class TestBranchBalance:
+    def test_removes_every_secret_branch(self):
+        unit = lookup_unit()
+        apply_pipeline(unit, BALANCE)
+        fn = unit.entry_function()
+        tainted = tainted_vregs(fn, secret_seeds(fn, unit.secret_params))
+        assert secret_branches(fn, tainted) == []
+        # The arm blocks are gone, not just unreachable.
+        assert not any(
+            isinstance(block.terminator, CondBranch)
+            for block in fn.blocks.values())
+
+    def test_errors_without_secret_branch(self):
+        unit = build_unit(sources.NAIVE_GATHER, "naive_gather",
+                          secret_args=(2,))
+        with pytest.raises(TransformError, match="no secret-dependent branch"):
+            apply_pipeline(unit, BALANCE)
+
+    def test_refuses_storing_arms(self):
+        source = """
+        u32 f(u32 p, u32 s) {
+            if (s != 0) {
+                store(p, 1);
+            }
+            return s;
+        }
+        """
+        unit = build_unit(source, "f", secret_args=(1,))
+        with pytest.raises(TransformError, match="stores to memory"):
+            apply_pipeline(unit, BALANCE)
+
+    def test_refuses_calls_when_disallowed(self):
+        unit = build_unit(sources.SQM_STEP, "sqm_step", secret_args=(3,))
+        with pytest.raises(TransformError, match="allow_calls"):
+            apply_pipeline(
+                unit, (TransformSpec.make("balance-branches",
+                                          allow_calls=False),))
+
+
+class TestPreload:
+    def test_rewrites_table_loads(self):
+        unit = lookup_unit()
+        before = sum(
+            isinstance(instruction, LoadOp)
+            for block in unit.entry_function().blocks.values()
+            for instruction in block.instructions)
+        apply_pipeline(unit, LOOKUP_PRELOAD)
+        after = sum(
+            isinstance(instruction, LoadOp)
+            for block in unit.entry_function().blocks.values()
+            for instruction in block.instructions)
+        # Each of the two loads became 7 entry touches.
+        assert after == before - 2 + 14
+        assert len(unit.notes) == 2
+
+    def test_unknown_table_rejected(self):
+        unit = lookup_unit()
+        with pytest.raises(TransformError, match="no global table"):
+            apply_pipeline(unit, (TransformSpec.make(
+                "preload", table="nope", entries=7, stride=4),))
+
+    def test_no_secret_load_rejected(self):
+        # sqm has no table at all, so preloading anything must fail loudly.
+        unit = build_unit(sources.SQM_STEP, "sqm_step", secret_args=(3,))
+        with pytest.raises(TransformError, match="no global table"):
+            apply_pipeline(unit, (TransformSpec.make(
+                "preload", table="b2i3", entries=7, stride=4),))
+
+    def test_stride_must_be_power_of_two(self):
+        with pytest.raises(TransformError, match="power of two"):
+            TransformSpec_ = TransformSpec.make(
+                "preload", table="b2i3", entries=7, stride=6)
+            apply_pipeline(lookup_unit(), (TransformSpec_,))
+
+
+class TestScatterGather:
+    SG = (TransformSpec.make("scatter-gather", table_param="p", entries=8,
+                             entry_bytes=16, spacing=8),)
+
+    def unit(self):
+        return build_unit(sources.NAIVE_GATHER, "naive_gather",
+                          secret_args=(2,), function_align=64)
+
+    def test_adds_aligned_scratch_global(self):
+        unit = self.unit()
+        apply_pipeline(unit, self.SG)
+        assert "__sg_scratch" in unit.global_names()
+        assert unit.layout["data_align"]["__sg_scratch"] == 64
+        scratch = [decl for decl in unit.program.globals_
+                   if decl.name == "__sg_scratch"]
+        assert scratch[0].size == 16 * 8
+
+    def test_prologue_touches_every_entry(self):
+        unit = self.unit()
+        apply_pipeline(unit, self.SG)
+        entry = unit.entry_function().blocks[unit.entry_function().entry]
+        stores = [instruction for instruction in entry.instructions
+                  if isinstance(instruction, StoreOp)]
+        assert len(stores) == 8 * 16  # entries x entry_bytes scatter copies
+
+    def test_missing_param_rejected(self):
+        unit = self.unit()
+        with pytest.raises(TransformError, match="no parameter"):
+            apply_pipeline(unit, (TransformSpec.make(
+                "scatter-gather", table_param="zzz", entries=8,
+                entry_bytes=16),))
+
+    def test_requires_entries_within_spacing(self):
+        with pytest.raises(TransformError, match="entries <= spacing"):
+            apply_pipeline(self.unit(), (TransformSpec.make(
+                "scatter-gather", table_param="p", entries=9, entry_bytes=16,
+                spacing=8),))
+
+    def test_refuses_wide_secret_loads(self):
+        """Word-sized secret loads cannot be left behind half-hardened."""
+        source = """
+        u32 f(u32 p, u32 k, u32 n) {
+            u32 wide = load(p + k * n);
+            return wide + load8(p + k * n);
+        }
+        """
+        unit = build_unit(source, "f", secret_args=(1,))
+        with pytest.raises(TransformError, match="4-byte"):
+            apply_pipeline(unit, (TransformSpec.make(
+                "scatter-gather", table_param="p", entries=8,
+                entry_bytes=16),))
+
+    def test_refuses_written_tables(self):
+        source = """
+        u32 f(u32 p, u32 k, u32 n) {
+            store8(p, 5);
+            return load8(p + k * n);
+        }
+        """
+        unit = build_unit(source, "f", secret_args=(1,))
+        with pytest.raises(TransformError, match="stores through"):
+            apply_pipeline(unit, (TransformSpec.make(
+                "scatter-gather", table_param="p", entries=8,
+                entry_bytes=16),))
+
+
+class TestAlignTables:
+    def test_sets_layout_and_clears_pad(self):
+        unit = lookup_unit(data_pad={"b2i3": 48, "b2i3size": 36})
+        apply_pipeline(unit, (TransformSpec.make(
+            "align-tables", tables=("b2i3", "b2i3size"), line_bytes=64),))
+        assert unit.layout["data_align"] == {"b2i3": 64, "b2i3size": 64}
+        assert unit.layout["data_pad"] == {}
+
+    def test_unknown_table_rejected(self):
+        with pytest.raises(TransformError, match="no global table"):
+            apply_pipeline(lookup_unit(), (TransformSpec.make(
+                "align-tables", tables=("missing",)),))
+
+
+class TestUnit:
+    def test_unknown_entry_rejected(self):
+        with pytest.raises(TransformError, match="no function"):
+            build_unit(sources.SQM_STEP, "nope")
+
+    def test_secret_index_out_of_range(self):
+        with pytest.raises(TransformError, match="out of range"):
+            build_unit(sources.SQM_STEP, "sqm_step", secret_args=(9,))

@@ -1,0 +1,149 @@
+"""TransformSpec / pipeline plumbing: fingerprints, registry, scenarios."""
+
+import json
+
+import pytest
+
+from repro.casestudy.scenarios import (
+    all_scenarios,
+    lookup_scenario,
+    naive_gather_scenario,
+    sqm_scenario,
+    transform_scenarios,
+    transformed_scenario,
+)
+from repro.sweep import Scenario, ScenarioError, SweepResult, SweepRunner
+from repro.transform import (
+    PASS_REGISTRY,
+    TransformError,
+    TransformSpec,
+    as_specs,
+    build_passes,
+    targeted_observers,
+)
+
+
+class TestTransformSpec:
+    def test_params_sorted_and_frozen(self):
+        a = TransformSpec.make("preload", table="t", entries=7, stride=4)
+        b = TransformSpec(name="preload",
+                          params=(("stride", 4), ("entries", 7), ("table", "t")))
+        assert a == b
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_fingerprint_sensitive_to_params(self):
+        a = TransformSpec.make("preload", table="t", entries=7, stride=4)
+        b = TransformSpec.make("preload", table="t", entries=8, stride=4)
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_payload_roundtrip_with_nested_tuples(self):
+        spec = TransformSpec.make("align-tables", tables=("a", "b"),
+                                  line_bytes=64)
+        clone = TransformSpec.from_payload(
+            json.loads(json.dumps(spec.to_payload())))
+        assert clone == spec
+        assert clone.params_dict()["tables"] == ("a", "b")
+
+    def test_as_specs_accepts_all_forms(self):
+        specs = as_specs(["balance-branches",
+                          TransformSpec.make("align-tables", tables=("t",)),
+                          ("preload", (("entries", 7), ("stride", 4),
+                                       ("table", "t")))])
+        assert [spec.name for spec in specs] == [
+            "balance-branches", "align-tables", "preload"]
+
+    def test_describe(self):
+        spec = TransformSpec.make("preload", table="t", entries=7, stride=4)
+        assert spec.describe() == "preload(entries=7,stride=4,table=t)"
+        assert TransformSpec.make("balance-branches").describe() == \
+            "balance-branches"
+
+
+class TestRegistry:
+    def test_all_four_passes_registered(self):
+        assert set(PASS_REGISTRY) == {
+            "preload", "scatter-gather", "align-tables", "balance-branches"}
+
+    def test_unknown_pass_rejected(self):
+        with pytest.raises(TransformError, match="unknown transform pass"):
+            build_passes([TransformSpec.make("no-such-pass")])
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(TransformError, match="bad parameters"):
+            build_passes([TransformSpec.make("preload", bogus=1)])
+
+    def test_targeted_observers_union(self):
+        targeted = targeted_observers([
+            TransformSpec.make("balance-branches"),
+            TransformSpec.make("preload", table="t", entries=7, stride=4),
+        ])
+        assert targeted == ("address", "bank", "block")
+
+
+class TestScenarioThreading:
+    def test_transforms_key_the_fingerprint(self):
+        base = lookup_scenario(opt_level=2, line_bytes=64)
+        hardened = transformed_scenario(
+            base, ("preload", "balance-branches"), suffix="hardened")
+        assert hardened.fingerprint() != base.fingerprint()
+        # Same pipeline under another name: same analysis, same cache entry.
+        alias = transformed_scenario(
+            base, ("preload", "balance-branches"), suffix="alias")
+        assert alias.fingerprint() == hardened.fingerprint()
+
+    def test_scenario_payload_roundtrip_preserves_transforms(self):
+        hardened = transformed_scenario(
+            lookup_scenario(opt_level=2, line_bytes=64),
+            ("preload", "balance-branches"))
+        clone = Scenario.from_payload(
+            json.loads(json.dumps(hardened.to_payload())))
+        assert clone == hardened
+        assert clone.fingerprint() == hardened.fingerprint()
+
+    def test_transforms_rejected_on_kernel_scenarios(self):
+        with pytest.raises(ScenarioError):
+            Scenario(name="x", target="a.b:c", kind="kernel",
+                     transforms=(("balance-branches", ()),))
+
+    def test_default_transforms_unknown_pass(self):
+        with pytest.raises(ScenarioError, match="no default parameters"):
+            transformed_scenario(sqm_scenario(), ("scatter-gather",))
+
+    def test_default_transforms_rejects_non_pow2_entry(self):
+        with pytest.raises(ScenarioError, match="power-of-two"):
+            transformed_scenario(naive_gather_scenario(nbytes=24),
+                                 ("scatter-gather",))
+
+
+class TestTransformGrid:
+    def test_grid_size_and_membership(self):
+        grid = transform_scenarios(entry_bytes=16)
+        assert len(grid) >= 12
+        catalogue = all_scenarios(entry_bytes=16)
+        for name in grid:
+            assert name in catalogue
+
+    def test_grid_fingerprints_are_stable(self):
+        first = transform_scenarios(entry_bytes=16)
+        second = transform_scenarios(entry_bytes=16)
+        assert {name: scenario.fingerprint()
+                for name, scenario in first.items()} == \
+               {name: scenario.fingerprint()
+                for name, scenario in second.items()}
+
+    def test_resweep_hits_the_cache(self, tmp_path):
+        store = str(tmp_path / "store.json")
+        scenario = transform_scenarios(entry_bytes=16)["sqm-O2-64B-balanced"]
+        first = SweepRunner(store=store).run_one(scenario)
+        assert not first.cached
+        second = SweepRunner(store=store).run_one(scenario)
+        assert second.cached
+        assert second.rows == first.rows
+        assert second.transforms == ("balance-branches",)
+
+    def test_result_payload_carries_transforms(self):
+        scenario = transform_scenarios(entry_bytes=16)["sqm-O2-64B-balanced"]
+        result = SweepRunner().run_one(scenario)
+        clone = SweepResult.from_payload(
+            json.loads(json.dumps(result.to_payload())))
+        assert clone.transforms == ("balance-branches",)
