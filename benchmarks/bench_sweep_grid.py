@@ -47,16 +47,25 @@ def test_grid_sweep_parallel(once):
     assert _bits(by_name["figure15-O1"], I, "block", stuttering=True) == 0.0
 
     # Kernel scenarios carry VM metrics and preserve the paper's ordering —
-    # 3 variants × 3 replacement policies since the policy grid landed.
+    # 3 variants × 3 replacement policies since the policy grid landed,
+    # plus the four AES timing points of the cache-size study.
     kernels = {name: result for name, result in by_name.items()
                if result.kind == "kernel"}
-    assert len(kernels) == 9
+    timing = {name for name in kernels if name.startswith("aes-timing-")}
+    assert len(timing) == 4
+    assert len(kernels) == 9 + len(timing)
     instructions = {name: result.metrics["instructions"]
                     for name, result in kernels.items()}
     for suffix in ("", "-fifo", "-plru"):
         assert (instructions[f"kernel-scatter_102f-32B{suffix}"]
                 < instructions[f"kernel-secure_163-32B{suffix}"]
                 < instructions[f"kernel-defensive_102g-32B{suffix}"])
+
+    # The AES cache-size condition survives the pooled run: preloaded and
+    # fitting → one timing class; too small or cold → more.
+    assert by_name["aes-timing-2KB"].metrics["timing_classes"] == 1
+    assert by_name["aes-timing-1KB"].metrics["timing_classes"] > 1
+    assert by_name["aes-timing-2KB-cold"].metrics["timing_classes"] > 1
 
     # The leakage rows of the policy axis agree policy-for-policy: the
     # analysis must never consult the recorded policy (the concrete

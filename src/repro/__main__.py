@@ -5,7 +5,7 @@ Subcommands
 - ``list``                      — the scenario catalogue and figure names
   (``--filter SUBSTR`` narrows it, ``--policies`` shows the policy axis)
 - ``figure NAME... | --all``    — regenerate paper figures (paper-style tables)
-- ``sweep [NAME...]``           — run scenarios through the SweepRunner,
+- ``run`` / ``sweep [NAME...]`` — run scenarios through the SweepRunner,
   optionally pool-parallel (``--jobs``), persisted (``--store``), and with
   per-scenario wall-clock timings appended to a benchmark log
   (``--bench-out``)
@@ -15,17 +15,19 @@ Subcommands
   semantic equivalence on the VM (``--validate``)
 
 The catalogue includes the policy × adversary grid (``lookup-O2-64B-plru``,
-``kernel-scatter_102f-32B-fifo``, …) and the generated countermeasure grid
-(``lookup-O2-64B-hardened``, ``sqm-O2-64B-balanced``, ``naive-32B-sg``, …).
+``kernel-scatter_102f-32B-fifo``, …), the generated countermeasure grid
+(``lookup-O2-64B-hardened``, ``sqm-O2-64B-balanced``, ``naive-32B-sg``, …),
+and the AES T-table case study (``aes-O2-64B``,
+``aes-O2-64B-preload-aligned``, ``aes-timing-2KB``, …).
 
 Examples::
 
     python -m repro list --filter hardened
     python -m repro figure figure7a figure7b
     python -m repro sweep --all --jobs 4 --store sweep_results.json
-    python -m repro sweep lookup-O2-64B-hardened naive-32B-sg
-    python -m repro transform lookup-O2-64B \\
-        --passes preload,balance-branches --validate
+    python -m repro run aes-O2-64B aes-O2-64B-preload-aligned
+    python -m repro transform aes-O2-64B \\
+        --passes preload,align-tables --validate
 """
 
 from __future__ import annotations
@@ -73,7 +75,8 @@ def _build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--nlimbs", type=int, default=None,
                         help="limb count for 14b (default: 24)")
 
-    sweep = commands.add_parser("sweep", help="run scenarios via SweepRunner")
+    sweep = commands.add_parser("sweep", aliases=["run"],
+                                help="run scenarios via SweepRunner")
     sweep.add_argument("names", nargs="*", help="scenario names (see list)")
     sweep.add_argument("--all", action="store_true", help="run the whole catalogue")
     sweep.add_argument("--jobs", type=int, default=1,

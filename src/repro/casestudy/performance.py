@@ -26,7 +26,7 @@ from repro.vm.perf import CostModel
 
 __all__ = [
     "KernelMeasurement", "VariantMeasurement",
-    "figure16b", "figure16a", "PAPER_16B", "PAPER_16A",
+    "figure16b", "figure16a", "measure_aes", "PAPER_16B", "PAPER_16A",
 ]
 
 # Paper Figure 16b rows (OpenSSL 1.0.2f / libgcrypt 1.6.3 / OpenSSL 1.0.2g).
@@ -134,6 +134,85 @@ def measure_kernel(variant: str, nbytes: int,
         "instructions": measured.instructions,
         "cycles": measured.cycles,
         "memory_accesses": measured.memory_accesses,
+    }
+
+
+# The second plaintext column of the timing study (the next four bytes of
+# the FIPS-197 Appendix A plaintext, rotated so the leading byte gives a
+# *mixed* collision pattern over the key sample).  Two columns under one
+# key are what give the time-based adversary a signal: the last-round
+# table lines the two columns touch collide — or not — depending on the
+# key, through the S-box nonlinearity.
+AES_SECOND_COLUMN = (0x5A, 0x30, 0x8D, 0x88)
+
+
+def measure_aes(entries: int = 64, line_bytes: int = 64, num_sets: int = 4,
+                associativity: int = 8, warm: bool = True,
+                policy: str = "lru") -> dict[str, int]:
+    """The AES preloading-vs-cache-size experiment (time-based adversary).
+
+    Encrypts two columns back to back on one cache — with the five tables
+    preloaded by the in-kernel warming sweep (``warm=True``, the classic
+    preloading countermeasure) or cold — once per sampled key pair, and
+    counts the distinct (hits, misses) outcomes over the secret
+    enumeration.  ``timing_classes == 1`` means the time-based adversary
+    learns nothing.  The paper's AES claim is the shape this measures:
+
+    - tables fit in cache (``fits == 1``) and are preloaded → every table
+      access hits, one timing class;
+    - cache too small → the warming sweep cannot keep all lines resident
+      and the second column's last-round lookup hits exactly when its line
+      collides with the first column's — a key-dependent event, so timing
+      classes multiply;
+    - no preloading → the same collision signal exists at *every* cache
+      size.
+
+    Returns a plain metrics dict (sweep-layer serializable).
+    """
+    from itertools import product
+
+    from repro.casestudy.targets import (
+        AES_PLAINTEXT, AES_ROUND_KEY, aes_key_sample)
+    from repro.vm.cache import CacheConfig, SetAssociativeCache
+
+    source = sources.aes_t_round_source(entries)
+    image = compile_program(source, opt_level=2, function_align=line_bytes,
+                            data_align={"aes_te0": line_bytes})
+    entry = "aes_t_round_warm" if warm else "aes_t_round"
+    out_buf = 0x0900_0000
+    config = CacheConfig(line_bytes=line_bytes, num_sets=num_sets,
+                         associativity=associativity,
+                         banks=min(16, line_bytes))
+    # Two secret bytes sweep the candidate grid (the other two stay at the
+    # first candidate): enough to cover the collision structure the timing
+    # depends on, without enumerating the full 4-byte product.
+    sample = aes_key_sample(entries)
+    timings: set[tuple[int, int]] = set()
+    instructions = cycles = 0
+    for k0, k1 in product(sample, repeat=2):
+        perf = CostModel(
+            icache=SetAssociativeCache(config, policy=policy),
+            dcache=SetAssociativeCache(config, policy=policy))
+        memory = FlatMemory()
+        keys = (k0, k1, sample[0], sample[0])
+        runs = ((entry, AES_PLAINTEXT), ("aes_t_round", AES_SECOND_COLUMN))
+        for index, (entry_name, column) in enumerate(runs):
+            cpu = CPU(image, memory=memory, perf=perf)
+            args = [out_buf + 16 * index, *column, *keys, AES_ROUND_KEY]
+            for arg in reversed(args):
+                cpu.push(arg)
+            cpu.run(entry_name)
+        counters = perf.counters
+        timings.add((counters.cache_hits, counters.cache_misses))
+        instructions, cycles = counters.instructions, counters.cycles
+    table_bytes = 5 * entries * 4
+    return {
+        "timing_classes": len(timings),
+        "table_bytes": table_bytes,
+        "capacity_bytes": config.capacity_bytes,
+        "fits": int(config.capacity_bytes >= table_bytes),
+        "instructions": instructions,
+        "cycles": cycles,
     }
 
 

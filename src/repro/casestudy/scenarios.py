@@ -17,6 +17,7 @@ from dataclasses import replace as _replace
 
 from repro.casestudy import targets
 from repro.casestudy.performance import KERNEL_VARIANTS
+from repro.crypto.sources import AES_TABLE_NAMES
 from repro.sweep import Scenario
 from repro.sweep.scenario import ScenarioError
 from repro.vm.cache import POLICIES
@@ -26,6 +27,7 @@ __all__ = [
     "grid_scenarios",
     "policy_adversary_scenarios",
     "transform_scenarios",
+    "aes_scenarios",
     "all_scenarios",
     "sqm_scenario",
     "sqam_scenario",
@@ -35,6 +37,8 @@ __all__ = [
     "scatter_scenario",
     "defensive_gather_scenario",
     "naive_gather_scenario",
+    "aes_scenario",
+    "aes_timing_scenario",
     "kernel_scenario",
     "adversary_scenario",
     "default_transforms",
@@ -47,6 +51,7 @@ POLICY_NAMES = tuple(POLICIES)
 
 _TARGETS = "repro.casestudy.targets:"
 _KERNELS = "repro.casestudy.performance:measure_kernel"
+_KERNELS_AES = "repro.casestudy.performance:measure_aes"
 
 
 # ----------------------------------------------------------------------
@@ -121,6 +126,45 @@ def naive_gather_scenario(nbytes: int = 32, **overrides) -> Scenario:
         nbytes=nbytes, **overrides)
 
 
+def aes_scenario(opt_level: int = 2, line_bytes: int = 64, entries: int = 16,
+                 **overrides) -> Scenario:
+    """AES T-table round (the paper's AES case study).
+
+    The base scenario carries the natural *unaligned* table layout; the
+    hardened variants are derived through the transform pipeline
+    (``align-tables``, ``preload``).  ``entries`` scales the tables and is
+    part of the name when it departs from the fast-test default.
+    """
+    suffix = "" if entries == 16 else f"-{entries}e"
+    return Scenario.make(
+        f"aes-O{opt_level}-{line_bytes}B{suffix}", _TARGETS + "aes_target",
+        description="AES T-table round (first-round column + last round)",
+        opt_level=opt_level, line_bytes=line_bytes, entries=entries,
+        **overrides)
+
+
+def aes_timing_scenario(num_sets: int, entries: int = 64,
+                        line_bytes: int = 64, associativity: int = 8,
+                        warm: bool = True, policy: str = "lru") -> Scenario:
+    """One cache-size point of the AES preloading timing study.
+
+    A kernel scenario measuring two warmed (or cold) AES columns on the VM
+    across every sampled key pair, reporting the number of distinct (hits,
+    misses) outcomes — the view of the paper's time-based adversary.  The
+    scenario is named by cache capacity: preloading yields exactly one
+    timing class from the first capacity at which the tables fit.
+    """
+    capacity = line_bytes * num_sets * associativity
+    label = f"{capacity // 1024}KB" if capacity % 1024 == 0 else f"{capacity}B"
+    suffix = "" if warm else "-cold"
+    return Scenario.make(
+        f"aes-timing-{label}{suffix}", _KERNELS_AES, kind="kernel",
+        description=f"AES timing classes, {label} {policy} cache "
+                    f"({'preloaded' if warm else 'cold'} tables)",
+        entries=entries, line_bytes=line_bytes, num_sets=num_sets,
+        associativity=associativity, warm=warm, policy=policy)
+
+
 def kernel_scenario(variant: str, nbytes: int, policy: str = "lru") -> Scenario:
     """VM cost measurement of one retrieval kernel (Figure 16b rows).
 
@@ -162,6 +206,7 @@ _TARGET_KERNEL = {
     "sqam_target": "sqam",
     "lookup_target": "lookup",
     "naive_gather_target": "naive",
+    "aes_target": "aes",
 }
 
 
@@ -184,10 +229,19 @@ def default_transforms(scenario: Scenario,
             for table in ("b2i3", "b2i3size"):
                 specs.append(("preload", (("entries", 7), ("stride", 4),
                                           ("table", table))))
+        elif name == "preload" and kernel == "aes":
+            entries = params.get("entries", 16)
+            for table in AES_TABLE_NAMES:
+                specs.append(("preload", (("entries", entries),
+                                          ("stride", 4), ("table", table))))
         elif name == "align-tables" and kernel == "lookup":
             line_bytes = params.get("line_bytes", 64)
             specs.append(("align-tables", (("line_bytes", line_bytes),
                                            ("tables", ("b2i3", "b2i3size")))))
+        elif name == "align-tables" and kernel == "aes":
+            line_bytes = params.get("line_bytes", 64)
+            specs.append(("align-tables", (("line_bytes", line_bytes),
+                                           ("tables", AES_TABLE_NAMES))))
         elif name == "scatter-gather" and kernel == "naive":
             nbytes = params.get("nbytes", 32)
             if nbytes & (nbytes - 1):
@@ -267,6 +321,59 @@ def transform_scenarios(entry_bytes: int = 32) -> dict[str, Scenario]:
     for policy in ("fifo", "plru"):
         add(adversary_scenario(hardened, policy))
         add(adversary_scenario(sqm_balanced, policy))
+    return grid
+
+
+def aes_scenarios(entries: int = 16) -> dict[str, Scenario]:
+    """The AES T-table case-study grid (paper's AES case study).
+
+    Four axes around the flagship result — *preloaded and aligned tables
+    leak nothing, and the guarantee erodes with misalignment, smaller
+    lines, and smaller caches*:
+
+    - **countermeasures** (transform pipeline): the unaligned base versus
+      ``-aligned`` (layout only), ``-preload`` (access-all-entries), and
+      ``-preload-aligned`` (both — the zero-leakage point);
+    - **line size**: the same pipeline at 32-byte lines, where the aligned
+      tables span multiple lines and the block observer still learns the
+      line index — only full preloading closes the gap;
+    - **policy × adversary**: the base and the zero-leakage point
+      revalidated under FIFO/PLRU replacement with derived trace-/time-
+      adversary bounds;
+    - **cache size** (VM timing): ``aes-timing-*`` kernel scenarios count
+      distinct (hits, misses) outcomes of the *warmed* round across every
+      sampled key — one timing class exactly from the capacity at which
+      the five tables fit in cache, plus a ``-cold`` ablation.
+    """
+    grid: dict[str, Scenario] = {}
+
+    def add(scenario: Scenario) -> Scenario:
+        grid[scenario.name] = scenario
+        return scenario
+
+    base = add(aes_scenario(opt_level=2, line_bytes=64, entries=entries))
+    add(aes_scenario(opt_level=0, line_bytes=64, entries=entries))
+    base32 = add(aes_scenario(opt_level=2, line_bytes=32, entries=entries))
+
+    add(transformed_scenario(base, ("align-tables",), suffix="aligned"))
+    add(transformed_scenario(base, ("preload",), suffix="preload"))
+    hardened = add(transformed_scenario(
+        base, ("preload", "align-tables"), suffix="preload-aligned"))
+    add(transformed_scenario(base32, ("align-tables",), suffix="aligned"))
+    add(transformed_scenario(
+        base32, ("preload", "align-tables"), suffix="preload-aligned"))
+
+    for policy in ("fifo", "plru"):
+        add(adversary_scenario(base, policy))
+        add(adversary_scenario(hardened, policy))
+
+    # Cache-size sweep at the timing geometry (64-entry tables = 1280
+    # bytes): 1KB is too small, 1536B just fits, 2KB fits comfortably —
+    # plus a cold (no-preloading) ablation at the fitting size.
+    add(aes_timing_scenario(num_sets=2))
+    add(aes_timing_scenario(num_sets=4, associativity=6))
+    add(aes_timing_scenario(num_sets=4))
+    add(aes_timing_scenario(num_sets=4, warm=False))
     return grid
 
 
@@ -361,10 +468,13 @@ def all_scenarios(entry_bytes: int = 32, nlimbs: int = 8) -> dict[str, Scenario]
 
     The kernel scenarios come in via the policy grid, whose LRU points keep
     the historical un-suffixed ``kernel-*`` names; the countermeasure grid
-    contributes the transformed variants (``lookup-O2-64B-hardened``, …).
+    contributes the transformed variants (``lookup-O2-64B-hardened``, …);
+    the AES case study contributes the ``aes-*`` leakage grid and the
+    ``aes-timing-*`` cache-size sweep.
     """
     catalogue = figure_scenarios(entry_bytes=entry_bytes, nlimbs=nlimbs)
     catalogue.update(grid_scenarios(entry_bytes=entry_bytes))
     catalogue.update(policy_adversary_scenarios(entry_bytes=entry_bytes))
     catalogue.update(transform_scenarios(entry_bytes=entry_bytes))
+    catalogue.update(aes_scenarios())
     return catalogue

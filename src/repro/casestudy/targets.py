@@ -30,8 +30,10 @@ from repro.transform import transformed_image
 __all__ = [
     "Target", "sqm_target", "sqam_target", "lookup_target",
     "secure_retrieve_target", "gather_target", "scatter_target",
-    "defensive_gather_target", "naive_gather_target", "default_layouts",
-    "PAPER_ENTRY_BYTES", "PAPER_LIMBS",
+    "defensive_gather_target", "naive_gather_target", "aes_target",
+    "aes_key_sample", "default_layouts",
+    "PAPER_ENTRY_BYTES", "PAPER_LIMBS", "AES_PLAINTEXT", "AES_ROUND_KEY",
+    "AES_MISALIGN_PAD",
 ]
 
 PAPER_ENTRY_BYTES = 384  # 3072-bit pre-computed values
@@ -43,6 +45,15 @@ SPACING = 8
 # across 64-byte line boundaries (4+3 entries per block, giving the paper's
 # 2.3-bit block-level bound).
 LOOKUP_TABLE_PADS = {"b2i3": 48, "b2i3size": 36}
+
+# The AES case study's public inputs: the first plaintext column of the
+# FIPS-197 Appendix A vector and the matching first round-key word.
+AES_PLAINTEXT = (0x32, 0x43, 0xF6, 0xA8)
+AES_ROUND_KEY = 0xA0FAFE17
+# Shifting the first table by half a bank group pushes every T-table off
+# its line boundary — the natural (unaligned) layout the paper's AES
+# misalignment sweep degrades through.
+AES_MISALIGN_PAD = 8
 
 
 @dataclass(frozen=True)
@@ -216,6 +227,65 @@ def defensive_gather_target(opt_level: int = 2,
                   transforms=transforms)
 
 
+def aes_key_sample(entries: int, candidates: int = 4) -> tuple[int, ...]:
+    """Sampled secret values for one AES key byte.
+
+    Full key bytes range over ``[0, entries)``; enumerating 256^4 secrets
+    concretely is out of reach, so the case study follows the paper's
+    known-candidate-set treatment (Example 2): each key byte is a secret
+    with ``candidates`` known candidates, spread evenly so that — at the
+    paper geometry — every candidate falls in a different cache line of
+    its table.
+    """
+    if candidates < 2 or candidates > entries:
+        raise ValueError(
+            f"need 2 <= candidates <= {entries}, got {candidates}")
+    return tuple((2 * index + 1) * entries // (2 * candidates)
+                 for index in range(candidates))
+
+
+def aes_target(opt_level: int = 2, line_bytes: int = 64, entries: int = 16,
+               candidates: int = 4, cache_policy: str = "lru",
+               transforms: tuple = ()) -> Target:
+    """AES T-table round (the paper's AES case study).
+
+    The kernel is one first-round T-table column plus a last-round table
+    lookup (:func:`repro.crypto.sources.aes_t_round_source`); the four key
+    bytes are the secrets, each a :func:`aes_key_sample` candidate set.
+    The five tables sit at the *unaligned* layout (``AES_MISALIGN_PAD``
+    bytes off their line boundaries) — the ``align-tables`` and ``preload``
+    passes are how scenarios harden it.  ``entries`` scales the tables
+    (paper geometry: 256 entries = 1 KB per table; tests default to 16 for
+    speed).
+    """
+    sample = aes_key_sample(entries, candidates)
+    spec = InputSpec(
+        entry="aes_t_round",
+        args=(ArgInit.pointer("out"),
+              ArgInit.of(AES_PLAINTEXT[0]), ArgInit.of(AES_PLAINTEXT[1]),
+              ArgInit.of(AES_PLAINTEXT[2]), ArgInit.of(AES_PLAINTEXT[3]),
+              ArgInit.high(sample), ArgInit.high(sample),
+              ArgInit.high(sample), ArgInit.high(sample),
+              ArgInit.of(AES_ROUND_KEY)),
+        description="AES T-table round (first-round column + last round)",
+    )
+    image = _compile(
+        sources.aes_t_round_source(entries), spec, opt_level, transforms,
+        function_align=line_bytes,
+        data_pad={"aes_te0": AES_MISALIGN_PAD})
+    config = AnalysisConfig(
+        geometry=CacheGeometry(line_bytes=line_bytes),
+        observer_names=("address", "bank", "block"),
+        cache_policy=cache_policy,
+        # The column combine xors four loaded table words: 4 candidate
+        # loads per table make 4^4 value-set elements, all of which must
+        # survive for the stores to stay precise.
+        value_set_cap=max(64, len(sample) ** 4),
+    )
+    return Target("aes_ttable", image, spec, config, opt_level,
+                  transforms=transforms)
+
+
 def naive_gather_target(opt_level: int = 2, nbytes: int = 32,
                         cache_policy: str = "lru",
                         transforms: tuple = ()) -> Target:
@@ -276,6 +346,10 @@ _VALIDATION_LAYOUTS: dict[str, tuple[dict[str, int], ...]] = {
     "naive_gather": (
         {"r": 0x9000000, "p": 0x9010000},
         {"r": 0x9000040, "p": 0x9010040},
+    ),
+    "aes_ttable": (
+        {"out": 0x9000000},
+        {"out": 0x9000044},
     ),
 }
 

@@ -315,24 +315,41 @@ class MaskedOps:
         return result, FlagBits(zf=self._zf_from_mask(mask), sf=self._sf_from_mask(mask))
 
     def _add_mask(self, xm: Mask, ym: Mask) -> tuple[Mask, int | None, bool]:
-        """Bitwise ADD on masks.
+        """Bitwise-parallel ADD on masks (three-valued ripple carry).
 
         Returns ``(mask, carry_at_stop, neutral_suffix_possible)`` where
         ``carry_at_stop`` is the carry into the first symbolic position (or
         None if the whole word was known).
+
+        A result bit is known where both operand bits *and* the incoming
+        carry are known.  The carry into a position is pinned by comparing
+        the two extreme sums — every symbolic bit taken as 0 (the Mask
+        invariant ``value ⊆ known`` makes that the minimum) versus taken as
+        1: where a known-zero ripple and a known-one ripple agree, the carry
+        cannot depend on the symbolic choices below.  This is what keeps
+        ``table + (unknown & 0x3C)`` inside its cache line: the symbolic
+        window spans bits 2..5 of an aligned base, no carry can leave it,
+        and every bit from 6 up stays known.
         """
+        width_mask = mask_of(self.width)
         both_known = xm.known & ym.known
-        unknown = ~both_known & mask_of(self.width)
+        unknown = ~both_known & width_mask
         if unknown == 0:
-            # Fully known: plain addition, final carry discarded as the
-            # per-bit loop this replaces did.
-            value = (xm.value + ym.value) & mask_of(self.width)
+            # Fully known: plain addition, final carry discarded.
+            value = (xm.value + ym.value) & width_mask
             return Mask.constant(value, self.width), None, False
         prefix = (unknown & -unknown).bit_length() - 1  # first symbolic bit
         low = low_ones(prefix)
-        total = (xm.value & low) + (ym.value & low)
-        stop_carry = total >> prefix
-        mask = Mask(known=low, value=total & low, width=self.width)
+        stop_carry = ((xm.value & low) + (ym.value & low)) >> prefix
+        min_sum = (xm.value + ym.value) & width_mask
+        max_sum = ((xm.value | (~xm.known & width_mask))
+                   + (ym.value | (~ym.known & width_mask))) & width_mask
+        zero_x = xm.known & ~xm.value
+        zero_y = ym.known & ~ym.value
+        carry_known = ((~(max_sum ^ zero_x ^ zero_y)
+                        | (min_sum ^ xm.value ^ ym.value)) & width_mask)
+        known = both_known & carry_known
+        mask = Mask(known=known, value=min_sum & known, width=self.width)
         return mask, stop_carry, stop_carry == 0
 
     def _add_symbol_constant(

@@ -1,5 +1,6 @@
-"""Cryptographic workload substrate: MPI, modexp variants, ElGamal."""
+"""Cryptographic workload substrate: MPI, modexp variants, ElGamal, AES."""
 
+from repro.crypto.aes import SBOX, encrypt_block, expand_key, te_tables
 from repro.crypto.countermeasures import (
     align,
     defensive_gather,
@@ -13,6 +14,7 @@ from repro.crypto.mpi import MPI, OpCounter
 
 __all__ = [
     "MODEXP_VARIANTS", "MPI", "ModExpStats", "OpCounter", "ElGamalKey",
-    "align", "decrypt", "defensive_gather", "encrypt", "gather",
-    "generate_key", "modexp", "scatter", "secure_retrieve",
+    "SBOX", "align", "decrypt", "defensive_gather", "encrypt",
+    "encrypt_block", "expand_key", "gather", "generate_key", "modexp",
+    "scatter", "secure_retrieve", "te_tables",
 ]

@@ -9,16 +9,20 @@ summarized by the analysis exactly as the paper excludes them.
 Each kernel is written so that the compiled code reproduces the library's
 memory behavior: conditional multiply (1.5.2), conditional pointer swap
 (1.5.3), pointer-table lookup (1.6.1), access-all-entries masking (1.6.3),
-scatter/gather with block alignment (OpenSSL 1.0.2f), and branch-free
-defensive gather (1.0.2g).
+scatter/gather with block alignment (OpenSSL 1.0.2f), branch-free
+defensive gather (1.0.2g), and the T-table AES round of the paper's AES
+case study (:func:`aes_t_round_source`, tables generated from
+:mod:`repro.crypto.aes`).
 """
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 __all__ = [
     "SQM_STEP", "SQAM_STEP", "LOOKUP_161", "SECURE_RETRIEVE_163",
     "SCATTER_GATHER_102F", "DEFENSIVE_GATHER_102G", "ALIGN_ONLY",
-    "NAIVE_GATHER",
+    "NAIVE_GATHER", "AES_TABLE_NAMES", "aes_t_round_source",
 ]
 
 # One-line models of the multi-precision routines.  The paper excludes the
@@ -189,4 +193,75 @@ ALIGN_ONLY = """
 u32 align_buf(u32 buf) {
     return buf - (buf & 63) + 64;
 }
+"""
+
+# ----------------------------------------------------------------------
+# AES T-tables (the paper's flagship case study).  The five tables are
+# generated from the reference model so the kernel's initialized globals
+# and the Python oracle provably share one data source; ``entries``
+# truncates the paper's 256-entry geometry for fast tests — exactly the
+# reduced-geometry discipline of ``secure_retrieve``'s ``nlimbs``.
+# ----------------------------------------------------------------------
+
+AES_TABLE_NAMES = ("aes_te0", "aes_te1", "aes_te2", "aes_te3", "aes_te4")
+
+
+@lru_cache(maxsize=None)
+def aes_t_round_source(entries: int = 16) -> str:
+    """The AES T-table kernel: one first-round column + last-round lookup.
+
+    ``aes_t_round`` is the analyzed region: four T-table loads indexed by
+    ``plaintext ^ key`` (the classic first-round cache-attack target), the
+    column combine ``s0^s1^s2^s3^rk``, and one last-round table load whose
+    index derives from *loaded* data — the second-round leakage mechanism,
+    where the analysis must track an address of the form
+    ``table + (unknown & mask)``.  Both result words are stored through the
+    output pointer so semantic-equivalence replay covers every lookup.
+
+    ``aes_t_round_warm`` prefixes the same round with a sweep over all
+    five tables (they are laid out contiguously): the *preloading*
+    countermeasure in its original form, used by the VM timing study to
+    show the paper's cache-size condition — secret-indexed loads hit, and
+    timing stops varying, exactly when the tables fit in cache.  The sweep
+    runs from the last word down to the first so the last-round table is
+    the sweep's *oldest* touch: when the cache is too small it is what an
+    LRU-like policy has evicted by the time the round runs, which is
+    exactly where the secret-dependent timing resurfaces.
+
+    ``entries`` must be a power of two (indices are masked with
+    ``entries - 1``), at least 16 so every table spans whole 64-byte lines.
+    """
+    if entries < 16 or entries & (entries - 1):
+        raise ValueError(
+            f"AES tables need a power-of-two entry count >= 16, got {entries}")
+    from repro.crypto.aes import te_tables
+
+    mask = entries - 1
+    tables = "\n".join(
+        f"global {name}[] = {{{', '.join(str(word) for word in table[:entries])}}};"
+        for name, table in zip(AES_TABLE_NAMES, te_tables())
+    )
+    return tables + f"""
+u32 aes_t_round(u32 out, u32 p0, u32 p1, u32 p2, u32 p3,
+                u32 k0, u32 k1, u32 k2, u32 k3, u32 rk) {{
+    u32 s0 = load(aes_te0 + ((p0 ^ k0) & {mask}) * 4);
+    u32 s1 = load(aes_te1 + ((p1 ^ k1) & {mask}) * 4);
+    u32 s2 = load(aes_te2 + ((p2 ^ k2) & {mask}) * 4);
+    u32 s3 = load(aes_te3 + ((p3 ^ k3) & {mask}) * 4);
+    u32 c = s0 ^ s1 ^ s2 ^ s3 ^ rk;
+    store(out, c);
+    u32 t = load(aes_te4 + (((s0 >> 8) & {mask}) << 2));
+    store(out + 4, t ^ rk);
+    return c;
+}}
+
+u32 aes_t_round_warm(u32 out, u32 p0, u32 p1, u32 p2, u32 p3,
+                     u32 k0, u32 k1, u32 k2, u32 k3, u32 rk) {{
+    u32 warm = 0;
+    for (u32 i = {5 * entries}; i > 0; i = i - 1) {{
+        warm = warm | load(aes_te0 + (i - 1) * 4);
+    }}
+    store(out + 8, warm);
+    return aes_t_round(out, p0, p1, p2, p3, k0, k1, k2, k3, rk);
+}}
 """

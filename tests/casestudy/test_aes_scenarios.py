@@ -1,0 +1,159 @@
+"""The AES T-table case study: the paper's flagship shape, executable.
+
+Pins the three claims of the AES case study end to end:
+
+1. **zero leakage when hardened**: preloaded-and-aligned AES reports bound
+   1 (0 bits) for *every* observer and both derived adversaries, and the
+   unhardened bounds strictly dominate it;
+2. **misalignment leaks through the block observer**, and smaller lines
+   degrade the aligned bound predictably;
+3. **cache size**: on the VM, the preloaded round has exactly one timing
+   class from the first capacity at which the tables fit — and the cold
+   round leaks timing even when they fit.
+"""
+
+import pytest
+
+from repro.analysis.validation import ConcreteValidator
+from repro.casestudy import targets
+from repro.casestudy.scenarios import (
+    aes_scenario,
+    aes_scenarios,
+    all_scenarios,
+    default_transforms,
+)
+from repro.sweep import SweepRunner
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return SweepRunner()
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return aes_scenarios()
+
+
+class TestCatalogue:
+    def test_grid_is_registered(self, grid):
+        catalogue = all_scenarios()
+        for name in grid:
+            assert name in catalogue
+
+    def test_flagship_points_exist(self, grid):
+        for name in ("aes-O2-64B", "aes-O2-64B-aligned",
+                     "aes-O2-64B-preload", "aes-O2-64B-preload-aligned",
+                     "aes-O2-32B", "aes-timing-1KB", "aes-timing-2KB",
+                     "aes-timing-2KB-cold", "aes-O2-64B-plru",
+                     "aes-O2-64B-preload-aligned-fifo"):
+            assert name in grid, name
+
+    def test_entries_depart_from_default_in_the_name(self):
+        assert aes_scenario(entries=64).name == "aes-O2-64B-64e"
+
+
+class TestLeakageShape:
+    def test_misaligned_tables_leak_through_the_block_observer(self, runner, grid):
+        (base,) = runner.run([grid["aes-O2-64B"]])
+        rows = {(row.kind, row.observer): row.count for row in base.rows}
+        assert rows[("DATA", "block")] > 1
+        assert rows[("DATA", "address")] > 1
+
+    def test_alignment_closes_the_block_leak_but_not_the_rest(self, runner, grid):
+        (aligned,) = runner.run([grid["aes-O2-64B-aligned"]])
+        rows = {(row.kind, row.observer): row.count for row in aligned.rows}
+        assert rows[("DATA", "block")] == 1   # every table fits one line
+        assert rows[("DATA", "address")] > 1  # within-line offsets still leak
+        assert rows[("DATA", "bank")] > 1
+
+    def test_smaller_lines_degrade_the_aligned_bound(self, runner, grid):
+        results = runner.run([grid["aes-O2-64B-aligned"],
+                              grid["aes-O2-32B-aligned"]])
+        by_line = [{(row.kind, row.observer): row.count for row in result.rows}
+                   for result in results]
+        assert by_line[1][("DATA", "block")] > by_line[0][("DATA", "block")]
+
+    def test_preload_aligned_reaches_zero_leakage_everywhere(self, runner, grid):
+        """The acceptance bar: bound 1 for all observers, strictly dominated
+        by the unhardened variant, with the derived adversaries at 1 too."""
+        base, hardened = runner.run(
+            [grid["aes-O2-64B"], grid["aes-O2-64B-preload-aligned"]])
+        hardened_rows = {(row.kind, row.observer): row.count
+                         for row in hardened.rows}
+        assert all(count == 1 for count in hardened_rows.values())
+        assert all(row.count == 1 for row in hardened.adversary_rows)
+        base_rows = {(row.kind, row.observer): row.count for row in base.rows}
+        assert all(base_rows[key] >= count
+                   for key, count in hardened_rows.items())
+        assert any(base_rows[key] > count
+                   for key, count in hardened_rows.items())
+
+    def test_preload_alone_is_trace_silent_even_misaligned(self, runner, grid):
+        (preloaded,) = runner.run([grid["aes-O2-64B-preload"]])
+        rows = {(row.kind, row.observer): row.count for row in preloaded.rows}
+        assert all(count == 1 for count in rows.values())
+
+    def test_policy_axis_agrees_on_the_bounds(self, runner, grid):
+        results = runner.run([grid["aes-O2-64B"], grid["aes-O2-64B-fifo"],
+                              grid["aes-O2-64B-plru"]])
+        tables = [{(row.kind, row.observer): row.count for row in result.rows}
+                  for result in results]
+        assert tables[0] == tables[1] == tables[2]
+
+
+class TestTimingStudy:
+    """The cache-size condition of the paper's preloading claim."""
+
+    def test_preloaded_and_fitting_means_one_timing_class(self, runner, grid):
+        (fits,) = runner.run([grid["aes-timing-2KB"]])
+        assert fits.metrics["fits"] == 1
+        assert fits.metrics["timing_classes"] == 1
+
+    def test_just_fitting_capacity_still_suffices(self, runner, grid):
+        (fits,) = runner.run([grid["aes-timing-1536B"]])
+        assert fits.metrics["fits"] == 1
+        assert fits.metrics["timing_classes"] == 1
+
+    def test_too_small_a_cache_leaks_timing(self, runner, grid):
+        (small,) = runner.run([grid["aes-timing-1KB"]])
+        assert small.metrics["fits"] == 0
+        assert small.metrics["timing_classes"] > 1
+
+    def test_cold_tables_leak_timing_even_when_they_fit(self, runner, grid):
+        (cold,) = runner.run([grid["aes-timing-2KB-cold"]])
+        assert cold.metrics["fits"] == 1
+        assert cold.metrics["timing_classes"] > 1
+
+
+class TestSoundness:
+    """Theorem 1, concretely, for the new workload."""
+
+    def test_bounds_dominate_concrete_views(self):
+        target = targets.aes_target()
+        result = target.analyze()
+        validator = ConcreteValidator(target.image, target.spec)
+        outcome = validator.check(result, targets.default_layouts(target.name))
+        assert outcome.ok, outcome.violations
+
+    def test_adversary_bounds_hold_for_every_policy(self):
+        target = targets.aes_target()
+        result = target.analyze()
+        validator = ConcreteValidator(target.image, target.spec)
+        outcome = validator.check_adversaries(
+            result, targets.default_layouts(target.name),
+            policies=("lru", "fifo", "plru"))
+        assert outcome.ok, outcome.violations
+
+    def test_key_sample_is_spread_and_validated(self):
+        assert targets.aes_key_sample(16) == (2, 6, 10, 14)
+        assert targets.aes_key_sample(256) == (32, 96, 160, 224)
+        with pytest.raises(ValueError, match="candidates"):
+            targets.aes_key_sample(16, candidates=1)
+
+    def test_hardened_transforms_key_the_fingerprint(self, grid):
+        base = grid["aes-O2-64B"]
+        hardened = grid["aes-O2-64B-preload-aligned"]
+        assert base.fingerprint() != hardened.fingerprint()
+        assert hardened.transforms == default_transforms(
+            base, ("preload", "align-tables"))

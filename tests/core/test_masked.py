@@ -91,6 +91,50 @@ class TestAlignIdiom:
         assert flags.cf == 0
 
 
+class TestKnownBitsAdd:
+    """The bitwise-parallel ADD: known bits survive above a bounded
+    symbolic window when no carry can escape it (what keeps the aligned
+    AES tables' ``base + (secret & 0x3C)`` addresses inside one line)."""
+
+    def test_disjoint_window_keeps_high_bits(self, table, ops):
+        # x: symbolic only in bits 2..4, zero elsewhere; +0b0100000 cannot
+        # ripple a carry, so every bit above the window stays known.
+        x = make_symbolic(table, known=0b11100011, value=0)
+        windowed, _ = ops.and_(x, MaskedSymbol.constant(0b00011100, WIDTH))
+        moved, _ = ops.add(windowed, MaskedSymbol.constant(0b00100000, WIDTH))
+        assert str(moved.mask) == "001TTT00"
+
+    def test_possible_carry_tops_the_tail(self, table, ops):
+        # Adding a constant with a bit inside the window can carry out of
+        # it: bits above the window become unknown until the next known
+        # absorber, never below it.
+        x = make_symbolic(table, known=0b11100011, value=0)
+        windowed, _ = ops.and_(x, MaskedSymbol.constant(0b00011100, WIDTH))
+        moved, _ = ops.add(windowed, MaskedSymbol.constant(0b00000100, WIDTH))
+        assert str(moved.mask).endswith("TTT00")
+        assert not moved.mask.is_known(5)
+
+    @given(xk=WORDS, xv=WORDS, yk=WORDS, yv=WORDS)
+    @settings(max_examples=300, deadline=None)
+    def test_add_mask_is_sound_exhaustively(self, xk, xv, yk, yv):
+        """Every concretization of both operands lands in the result mask."""
+        local_ops = MaskedOps(SymbolTable(width=WIDTH))
+        xm = Mask(known=xk, value=xv & xk, width=WIDTH)
+        ym = Mask(known=yk, value=yv & yk, width=WIDTH)
+        mask, _stop_carry, _neutral = local_ops._add_mask(xm, ym)
+        unknown_x = [i for i in range(WIDTH) if not xm.is_known(i)]
+        unknown_y = [i for i in range(WIDTH) if not ym.is_known(i)]
+        free = unknown_x + unknown_y
+        for bits in range(1 << min(len(free), 8)):
+            x_val, y_val = xm.value, ym.value
+            for position, bit_index in enumerate(unknown_x):
+                x_val |= ((bits >> position) & 1) << bit_index
+            for position, bit_index in enumerate(unknown_y):
+                y_val |= ((bits >> (len(unknown_x) + position)) & 1) << bit_index
+            total = (x_val + y_val) & ((1 << WIDTH) - 1)
+            assert mask.matches(total), (str(xm), str(ym), str(mask), total)
+
+
 class TestOffsets:
     """§5.4.2: origins, offsets, and the succ memo-table."""
 

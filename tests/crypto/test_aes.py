@@ -1,0 +1,122 @@
+"""The AES reference model and the compiled T-table kernel.
+
+Three layers of oracle checks anchor the AES case study:
+
+1. the pure-Python model is pinned to FIPS-197 (S-box values, Appendix B
+   key expansion, both published encryption vectors);
+2. the generated T-tables satisfy their algebraic relations (byte
+   rotations of Te0, replicated S-box in Te4);
+3. the compiled mini-C kernel, executed on the concrete VM, agrees with
+   the model's ``t_round`` for every sampled key — so the analyzed binary
+   provably computes AES, not something AES-shaped.
+"""
+
+from itertools import product
+
+import pytest
+
+from repro.crypto import aes
+from repro.crypto.sources import aes_t_round_source
+from repro.isa.registers import EAX
+from repro.lang.driver import compile_program
+from repro.vm.cpu import CPU
+from repro.vm.memory import FlatMemory
+
+
+class TestSbox:
+    def test_fips_values(self):
+        # FIPS-197 Figure 7 spot checks, including both fixed points of
+        # the affine constant.
+        assert aes.SBOX[0x00] == 0x63
+        assert aes.SBOX[0x01] == 0x7C
+        assert aes.SBOX[0x53] == 0xED
+        assert aes.SBOX[0xCA] == 0x74
+        assert aes.SBOX[0xFF] == 0x16
+
+    def test_is_a_permutation(self):
+        assert sorted(aes.SBOX) == list(range(256))
+
+
+class TestTeTables:
+    def test_rotation_structure(self):
+        te0, te1, te2, te3, te4 = aes.te_tables()
+        for x in (0, 1, 0x53, 0xAA, 0xFF):
+            word = te0[x]
+            rotr = lambda w, n: ((w >> n) | (w << (32 - n))) & 0xFFFFFFFF  # noqa: E731
+            assert te1[x] == rotr(word, 8)
+            assert te2[x] == rotr(word, 16)
+            assert te3[x] == rotr(word, 24)
+            assert te4[x] == aes.SBOX[x] * 0x01010101
+
+    def test_te0_packs_mixcolumns(self):
+        te0 = aes.te_tables()[0]
+        s = aes.SBOX[0x53]
+        s2 = aes.xtime(s)
+        assert te0[0x53] == (s2 << 24) | (s << 16) | (s << 8) | (s2 ^ s)
+
+
+class TestEncryptBlock:
+    def test_fips_appendix_b(self):
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        plaintext = bytes.fromhex("3243f6a8885a308d313198a2e0370734")
+        assert aes.encrypt_block(plaintext, key).hex() == \
+            "3925841d02dc09fbdc118597196a0b32"
+
+    def test_fips_appendix_c(self):
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        plaintext = bytes.fromhex("00112233445566778899aabbccddeeff")
+        assert aes.encrypt_block(plaintext, key).hex() == \
+            "69c4e0d86a7b0430d8cdb78070b4c55a"
+
+    def test_key_expansion_appendix_a(self):
+        words = aes.expand_key(bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c"))
+        assert words[4] == 0xA0FAFE17  # the case study's AES_ROUND_KEY
+        assert words[43] == 0xB6630CA6
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError, match="16 bytes"):
+            aes.expand_key(b"short")
+        with pytest.raises(ValueError, match="16 bytes"):
+            aes.encrypt_block(b"short", bytes(16))
+
+
+class TestKernelMatchesModel:
+    """The compiled kernel on the VM == the Python reference, word for word."""
+
+    ENTRIES = 16
+    PLAINTEXT = (0x32, 0x43, 0xF6, 0xA8)
+    ROUND_KEY = 0xA0FAFE17
+
+    def _run_kernel(self, entry: str, keys: tuple[int, ...]):
+        image = compile_program(aes_t_round_source(self.ENTRIES),
+                                opt_level=2, function_align=64,
+                                data_align={"aes_te0": 64})
+        out = 0x0900_0000
+        memory = FlatMemory()
+        cpu = CPU(image, memory=memory)
+        for arg in reversed([out, *self.PLAINTEXT, *keys, self.ROUND_KEY]):
+            cpu.push(arg)
+        cpu.run(entry)
+        return (cpu.get_reg(EAX), memory.read(out, 4), memory.read(out + 4, 4))
+
+    @pytest.mark.parametrize("keys", list(product((2, 9), repeat=4)))
+    def test_t_round_agrees(self, keys):
+        returned, column, last = self._run_kernel("aes_t_round", keys)
+        want_column, want_last = aes.t_round(
+            self.PLAINTEXT, keys, self.ROUND_KEY, entries=self.ENTRIES)
+        assert returned == want_column
+        assert column == want_column
+        assert last == want_last
+
+    def test_warm_wrapper_preserves_the_round(self):
+        keys = (2, 9, 5, 14)
+        want_column, want_last = aes.t_round(
+            self.PLAINTEXT, keys, self.ROUND_KEY, entries=self.ENTRIES)
+        returned, column, last = self._run_kernel("aes_t_round_warm", keys)
+        assert (returned, column, last) == (want_column, want_column, want_last)
+
+    def test_source_rejects_bad_entry_counts(self):
+        with pytest.raises(ValueError, match="power-of-two"):
+            aes_t_round_source(24)
+        with pytest.raises(ValueError, match=">= 16"):
+            aes_t_round_source(8)

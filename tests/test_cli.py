@@ -29,6 +29,13 @@ class TestList:
         out = capsys.readouterr().out
         assert "lru" in out and "fifo" in out and "plru" in out
 
+    def test_lists_the_aes_grid(self, capsys):
+        assert main(["list", "--filter", "aes"]) == 0
+        out = capsys.readouterr().out
+        assert "aes-O2-64B" in out
+        assert "aes-O2-64B-preload-aligned" in out
+        assert "aes-timing-2KB-cold" in out
+
 
 class TestTransform:
     def test_balance_sqm_with_validation(self, capsys):
@@ -96,3 +103,16 @@ class TestSweep:
         assert code == 0
         payload = json.loads(bench.read_text())
         assert "cli/sweep/kernel-scatter_102f-16B" in payload["timings"]
+
+    def test_run_is_an_alias_for_sweep(self, capsys):
+        code = main(["run", "aes-timing-2KB"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "aes-timing-2KB [kernel]" in out
+        assert "timing_classes=1" in out
+
+    def test_aes_transform_cli(self, capsys):
+        code = main(["transform", "aes-O2-64B", "--passes",
+                     "preload,align-tables"])
+        assert code == 0
+        assert "leakage ordering holds" in capsys.readouterr().out

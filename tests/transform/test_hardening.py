@@ -16,6 +16,7 @@ import pytest
 from repro.analysis.validation import DEFAULT_FILL, ConcreteValidator
 from repro.casestudy import targets
 from repro.casestudy.scenarios import (
+    aes_scenario,
     default_transforms,
     lookup_scenario,
     naive_gather_scenario,
@@ -159,6 +160,43 @@ class TestScatterGather:
         golden = counts(targets.gather_target(nbytes=nbytes).analyze().report)
         for observer in ("address", "bank", "block"):
             assert counts(after)[(D, observer)] == golden[(D, observer)]
+
+
+class TestAESHardening:
+    """The AES case study's acceptance bar: preload+align reaches the
+    paper's zero-leakage point, equivalence replayed over every sampled
+    key x layout (4 key bytes x 4 candidates x 2 layouts = 512 runs)."""
+
+    def test_preload_aligned_reaches_zero_leakage(self):
+        before, after, outcome = check_pair(
+            aes_scenario(opt_level=2, line_bytes=64),
+            ("preload", "align-tables"))
+        assert outcome.checked == 512
+        assert all(count == 1 for count in counts(after).values())
+        # Strict domination: never worse, strictly better somewhere.
+        assert all(counts(after)[key] <= count
+                   for key, count in counts(before).items())
+        assert counts(before)[(D, "block")] > 1
+        assert counts(before)[(D, "address")] > counts(after)[(D, "address")]
+
+    def test_align_tables_only_closes_the_block_leak(self):
+        before, after, _ = check_pair(
+            aes_scenario(opt_level=2, line_bytes=64), ("align-tables",))
+        assert counts(before)[(D, "block")] > 1
+        assert counts(after)[(D, "block")] == 1
+        # Layout-only: the instruction side is untouched.
+        assert counts(after)[(I, "block")] == counts(before)[(I, "block")]
+
+    def test_preload_matches_the_handwritten_access_all_entries_golden(self):
+        """The generated access-all-entries AES matches the hand-written
+        ``secure_retrieve`` idiom: exactly one observation everywhere."""
+        hardened = targets.aes_target(transforms=default_transforms(
+            aes_scenario(), ("preload", "align-tables")))
+        golden = targets.secure_retrieve_target(nlimbs=4)
+        hardened_counts = counts(hardened.analyze().report)
+        golden_counts = counts(golden.analyze().report)
+        for key in ((I, "address"), (I, "block"), (D, "address"), (D, "block")):
+            assert hardened_counts[key] == golden_counts[key] == 1
 
 
 class TestEquivalenceHarness:
