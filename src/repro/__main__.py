@@ -6,13 +6,19 @@ Subcommands
   (``--filter SUBSTR`` narrows it, ``--policies`` shows the policy axis)
 - ``figure NAME... | --all``    — regenerate paper figures (paper-style tables)
 - ``run`` / ``sweep [NAME...]`` — run scenarios through the SweepRunner,
-  optionally pool-parallel (``--jobs``), persisted (``--store``), and with
-  per-scenario wall-clock timings appended to a benchmark log
-  (``--bench-out``)
+  optionally pool-parallel (``--jobs``, warm-started workers with chunked
+  scheduling), persisted (``--store``), with per-scenario wall-clock
+  timings appended to a benchmark log (``--bench-out``), and optionally
+  profiled (``--profile OUT`` dumps cProfile stats of the sweep; profiles
+  the parent process, so use ``--jobs 1`` to capture the analysis itself)
 - ``transform NAME --passes P[,P...]`` — apply countermeasure passes to a
   base scenario, analyze original vs. transformed side by side, enforce the
   leakage ordering on the passes' targeted observers, and optionally replay
   semantic equivalence on the VM (``--validate``)
+- ``bench-compare`` — gate freshly measured benchmark timings
+  (``--current``) against a committed baseline (``--baseline``), failing
+  only when a slow entry (``--min-seconds``) regresses beyond
+  ``--max-ratio``
 
 The catalogue includes the policy × adversary grid (``lookup-O2-64B-plru``,
 ``kernel-scatter_102f-32B-fifo``, …), the generated countermeasure grid
@@ -90,6 +96,27 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--bench-out", default=None,
                        help="append per-scenario wall-clock timings to this "
                             "JSON log (BENCH_sweep.json format)")
+    sweep.add_argument("--profile", default=None, metavar="OUT",
+                       help="profile the sweep with cProfile and dump the "
+                            "stats to this file (inspect with pstats or "
+                            "snakeviz); a top-function summary is printed")
+
+    bench = commands.add_parser(
+        "bench-compare",
+        help="compare a fresh benchmark timing log against a baseline")
+    bench.add_argument("--baseline", default="BENCH_sweep.json",
+                       help="committed baseline timings (default: "
+                            "BENCH_sweep.json)")
+    bench.add_argument("--current", default=".bench/BENCH_sweep.json",
+                       help="freshly measured timings (default: "
+                            ".bench/BENCH_sweep.json)")
+    bench.add_argument("--max-ratio", type=float, default=2.0,
+                       help="fail when current/baseline exceeds this ratio "
+                            "(default 2.0)")
+    bench.add_argument("--min-seconds", type=float, default=0.5,
+                       help="only gate entries at least this slow in the "
+                            "baseline (default 0.5s); faster entries are "
+                            "reported but never fail the comparison")
 
     transform = commands.add_parser(
         "transform", help="apply countermeasure passes and compare leakage")
@@ -205,9 +232,21 @@ def _command_sweep(args) -> int:
 
     runner = SweepRunner(processes=args.jobs, store=args.store,
                          use_cache=not args.no_cache)
+    profiler = None
+    if args.profile:
+        import cProfile
+        profiler = cProfile.Profile()
+        profiler.enable()
     started = time.perf_counter()
     results = runner.run(selected)
     elapsed = time.perf_counter() - started
+    if profiler is not None:
+        import pstats
+        profiler.disable()
+        profiler.dump_stats(args.profile)
+        stats = pstats.Stats(profiler).sort_stats("cumulative")
+        print(f"profile written to {args.profile}; hottest functions:")
+        stats.print_stats(12)
     for result in results:
         print(_render_sweep_result(result))
         print()
@@ -219,6 +258,58 @@ def _command_sweep(args) -> int:
     if args.bench_out:
         written = _append_bench_log(args.bench_out, results)
         print(f"{written} timings appended to {args.bench_out}")
+    return 0
+
+
+def _command_bench_compare(args) -> int:
+    """Gate benchmark timings against a committed baseline.
+
+    Entries present in both logs are compared as ``current / baseline``;
+    only entries at least ``--min-seconds`` slow in the baseline can fail
+    (fast entries are pure noise), and only when the ratio exceeds
+    ``--max-ratio``.  Entries missing from either side are reported but
+    never fail — partial benchmark runs stay usable.
+    """
+    from repro.sweep.results import load_bench_log
+
+    baseline = load_bench_log(args.baseline)
+    if not baseline:
+        print(f"no baseline timings in {args.baseline}", file=sys.stderr)
+        return 2
+    current = load_bench_log(args.current)
+    if not current:
+        print(f"no current timings in {args.current}", file=sys.stderr)
+        return 2
+
+    shared = sorted(set(baseline) & set(current))
+    regressions = []
+    print(f"{'entry':<72}{'base':>9}{'now':>9}{'ratio':>8}")
+    for key in shared:
+        base, now = baseline[key], current[key]
+        ratio = now / base if base > 0 else float("inf")
+        gated = base >= args.min_seconds
+        flag = ""
+        if gated and ratio > args.max_ratio:
+            regressions.append((key, base, now, ratio))
+            flag = "  <- REGRESSION"
+        marker = "*" if gated else " "
+        name = key.split("::")[-1]
+        print(f"{marker}{name:<71}{base:>9.3f}{now:>9.3f}{ratio:>8.2f}{flag}")
+    skipped = sorted((set(baseline) | set(current)) - set(shared))
+    if skipped:
+        print(f"({len(skipped)} entries present in only one log, ignored)")
+    if regressions:
+        print(f"\n{len(regressions)} benchmark regression(s) beyond "
+              f"{args.max_ratio:.1f}x on gated (>= {args.min_seconds:.1f}s) "
+              f"entries:", file=sys.stderr)
+        for key, base, now, ratio in regressions:
+            print(f"  {key}: {base:.3f}s -> {now:.3f}s ({ratio:.2f}x)",
+                  file=sys.stderr)
+        return 1
+    gated_count = sum(1 for key in shared
+                      if baseline[key] >= args.min_seconds)
+    print(f"\nno regressions beyond {args.max_ratio:.1f}x "
+          f"({gated_count} gated entries, marked *)")
     return 0
 
 
@@ -317,6 +408,8 @@ def main(argv: list[str] | None = None) -> int:
         return _command_figure(args)
     if args.command == "transform":
         return _command_transform(args)
+    if args.command == "bench-compare":
+        return _command_bench_compare(args)
     return _command_sweep(args)
 
 

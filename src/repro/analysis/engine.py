@@ -29,17 +29,19 @@ wrong result.
 
 from __future__ import annotations
 
+import gc
 import heapq
 from dataclasses import dataclass, field
-from functools import partial
 from itertools import count as _count
 
 from repro.analysis.config import AnalysisConfig, AnalysisError
 from repro.analysis.state import AbsState, AnalysisContext
 from repro.analysis.transfer import SENTINEL_RETURN, Transfer
+from repro.core.masked import intern_counters as masked_intern_counters
 from repro.core.observers import AccessKind, Observer, ProjectedLabel, project_value_set
 from repro.core.tracedag import EMPTY_ENDS, Cursor, EndSet, TraceDAG
 from repro.core.valueset import ValueSet
+from repro.core.valueset import intern_counters as valueset_intern_counters
 from repro.isa.image import Image
 
 __all__ = ["Engine", "DagKey", "EngineResult", "SchedulerStats"]
@@ -47,22 +49,19 @@ __all__ = ["Engine", "DagKey", "EngineResult", "SchedulerStats"]
 DagKey = tuple[AccessKind, str]  # (cache kind, observer name)
 
 
-@dataclass(slots=True)
 class _Config:
     """One in-flight execution path (or merged bundle of paths)."""
 
-    frames: tuple[int, ...]
-    pc: int
-    state: AbsState
-    cursors: list[Cursor]  # positional, one slot per (kind, observer) DAG
+    __slots__ = ("frames", "pc", "state", "cursors", "order_key", "merge_key")
 
-    @property
-    def order_key(self) -> tuple:
-        return self.frames + (self.pc,)
-
-    @property
-    def merge_key(self) -> tuple:
-        return (self.frames, self.pc)
+    def __init__(self, frames: tuple[int, ...], pc: int, state: AbsState,
+                 cursors: list[Cursor]) -> None:
+        self.frames = frames
+        self.pc = pc
+        self.state = state
+        self.cursors = cursors  # positional, one slot per (kind, observer) DAG
+        self.order_key = frames + (pc,)
+        self.merge_key = (frames, pc)
 
 
 @dataclass(slots=True)
@@ -72,6 +71,12 @@ class SchedulerStats:
     ``full_sorts`` counts full-worklist sorts; the heapq scheduler never
     performs one, so the field exists to let regression tests assert it
     stays zero if a fallback path is ever (re)introduced.
+
+    The ``*_intern_*`` counters are per-run deltas of the abstract domain's
+    hash-consing tables (value sets and masked symbols): because
+    :class:`~repro.analysis.state.AnalysisContext` clears those tables when
+    it is built, the counters are deterministic per scenario and quantify
+    how much sharing the interning layer achieves.
     """
 
     peak_heap_size: int = 0
@@ -82,6 +87,10 @@ class SchedulerStats:
     projection_misses: int = 0
     lift_memo_hits: int = 0
     lift_memo_misses: int = 0
+    vs_intern_hits: int = 0
+    vs_intern_misses: int = 0
+    sym_intern_hits: int = 0
+    sym_intern_misses: int = 0
 
     @property
     def decode_cache_hit_rate(self) -> float:
@@ -97,6 +106,16 @@ class SchedulerStats:
     def lift_memo_hit_rate(self) -> float:
         total = self.lift_memo_hits + self.lift_memo_misses
         return self.lift_memo_hits / total if total else 0.0
+
+    @property
+    def vs_intern_hit_rate(self) -> float:
+        total = self.vs_intern_hits + self.vs_intern_misses
+        return self.vs_intern_hits / total if total else 0.0
+
+    @property
+    def sym_intern_hit_rate(self) -> float:
+        total = self.sym_intern_hits + self.sym_intern_misses
+        return self.sym_intern_hits / total if total else 0.0
 
 
 @dataclass(slots=True)
@@ -129,8 +148,11 @@ class Engine:
         config: AnalysisConfig = context.config
         self.observers = observers if observers is not None else config.observers()
         self.kinds = kinds if kinds is not None else config.kinds
+        # Engine-owned DAGs skip commit-key deduplication until the first
+        # fork: a never-duplicated cursor chain cannot repeat a key, and the
+        # run loop flips the flag the moment a step forks.
         self.dags: dict[DagKey, TraceDAG] = {
-            (kind, observer.name): TraceDAG()
+            (kind, observer.name): TraceDAG(dedupe=False)
             for kind in self.kinds
             for observer in self.observers
         }
@@ -139,20 +161,12 @@ class Engine:
         # (AccessKind, name) tuples.
         self._dag_keys: list[DagKey] = list(self.dags)
         self._dag_slots: list[TraceDAG] = [self.dags[key] for key in self._dag_keys]
+        self._has_run = False
         slot_of = {key: slot for slot, key in enumerate(self._dag_keys)}
-        # Stats and the decode/projection caches are per-run; run() resets
-        # them so a reused Engine cannot accumulate one run's counters into
-        # an earlier run's EngineResult.
-        self.stats = SchedulerStats()
-        # Decoded instructions per pc.  Image.decode_at has its own
-        # per-address cache; this front dict only skips the method-call
-        # overhead on the hot loop and gives the run its hit/miss counters.
-        self._decode_cache: dict[int, object] = {}
-        # Projected labels per (address set, offset bits): the projection of
-        # an address depends only on the observer's blinding, so one access
-        # re-observed by several (kind, observer) DAGs — and the same address
-        # re-accessed by later loop iterations — projects exactly once.
-        self._projection_cache: dict[tuple[ValueSet, int], ProjectedLabel] = {}
+        # Stats and the caches below are per-run (one shared reset, used by
+        # __init__ and again at the top of every run() so a reused Engine
+        # cannot accumulate one run's counters into an earlier EngineResult).
+        self._reset_run_state()
         # Emit plan: for each access kind ("I"/"D"), every observer paired
         # with the (dag, slot) pairs its projection feeds.  Built once so
         # _emit does no per-access set algebra.
@@ -167,36 +181,61 @@ class Engine:
                 for observer in self.observers
             ]
 
+    def _reset_run_state(self) -> None:
+        """Fresh per-run stats and caches (the single list of both sites)."""
+        self.stats = SchedulerStats()
+        # Decoded instructions per pc.  Image.decode_at has its own
+        # per-address cache; this front dict only skips the method-call
+        # overhead on the hot loop and gives the run its hit/miss counters.
+        self._decode_cache: dict[int, object] = {}
+        # Projected labels per (address set, offset bits): the projection of
+        # an address depends only on the observer's blinding, so one access
+        # re-observed by several (kind, observer) DAGs — and the same address
+        # re-accessed by later loop iterations — projects exactly once.
+        # Keyed by the address set's interned id: equal sets are the same
+        # canonical object within a run, so the int pair behaves exactly like
+        # the old (ValueSet, bits) key without re-hashing element sets.
+        self._projection_cache: dict[tuple[int, int], ProjectedLabel] = {}
+        # Canonical label per distinct projection: different addresses often
+        # project to *equal* labels (every address in one block), and handing
+        # the DAGs one shared object makes their registry-key comparisons
+        # identity hits.
+        self._label_intern: dict[ProjectedLabel, ProjectedLabel] = {}
+        # The active configuration's cursor list, set per step by run().
+        self._emit_cursors: list[Cursor] | None = None
+
     # ------------------------------------------------------------------
     # Access routing
     # ------------------------------------------------------------------
-    def _project(self, address: ValueSet, observer: Observer) -> ProjectedLabel:
-        """The observer's projection of an address set, cached per run."""
-        cache_key = (address, observer.offset_bits)
-        label = self._projection_cache.get(cache_key)
-        if label is not None:
-            self.stats.projection_hits += 1
-            return label
-        self.stats.projection_misses += 1
-        label = project_value_set(
-            address, observer.offset_bits, self.context.table,
-            self.context.config.projection_policy,
-        )
-        self._projection_cache[cache_key] = label
-        return label
-
-    def _emit(self, cursors: list[Cursor], access_kind: str,
-              address: ValueSet, size: int) -> None:
+    def _emit(self, access_kind: str, address: ValueSet, size: int) -> None:
         """Record one access in every (kind, observer) DAG it is visible to.
 
         Each (observer, kind) pair receives the label projected for *that*
         observer's ``offset_bits`` — the projection cache (not cross-kind
         label reuse inside the loop) is what deduplicates the computation,
         so a kind can never observe a label projected for a different
-        blinding.
+        blinding.  The cache probe is inlined and the active configuration's
+        cursor list is read from ``_emit_cursors`` (set per step by the main
+        loop, avoiding a ``partial`` allocation per instruction) — this is
+        the single hottest call site of the engine.
         """
+        cursors = self._emit_cursors
+        cache = self._projection_cache
+        stats = self.stats
+        address_id = address._id
         for observer, slots in self._emit_plan[access_kind]:
-            label = self._project(address, observer)
+            cache_key = (address_id, observer.offset_bits)
+            label = cache.get(cache_key)
+            if label is not None:
+                stats.projection_hits += 1
+            else:
+                stats.projection_misses += 1
+                label = project_value_set(
+                    address, observer.offset_bits, self.context.table,
+                    self.context.config.projection_policy,
+                )
+                label = self._label_intern.setdefault(label, label)
+                cache[cache_key] = label
             for dag, slot in slots:
                 cursors[slot] = dag.access(cursors[slot], label)
 
@@ -222,9 +261,14 @@ class Engine:
         # Fresh per-run state: earlier EngineResults keep their own stats
         # objects, and the per-run caches' counters stay consistent with the
         # step count of *this* run.
-        self.stats = SchedulerStats()
-        self._decode_cache = {}
-        self._projection_cache = {}
+        self._reset_run_state()
+        if self._has_run:
+            # A re-run walks the shared DAGs from the root again and may
+            # repeat keys the (dedupe-off) first run never registered, so
+            # restore full registry dedupe before exploring.
+            for dag in self._dag_slots:
+                dag.enable_dedupe(backfill=True)
+        self._has_run = True
         result = EngineResult(dags=self.dags, final_vertices={},
                               scheduler=self.stats)
         cursors = [dag.root_cursor() for dag in self._dag_slots]
@@ -232,18 +276,51 @@ class Engine:
 
         # Worklist: a heap of (order_key, seq, config) plus an index of the
         # pending configurations by merge key.  The seq tiebreaker keeps the
-        # heap from ever comparing _Config objects.
-        seq = _count()
+        # heap from ever comparing _Config objects.  Peak-size bookkeeping
+        # happens at push/insert time (sizes only grow there), keeping the
+        # hot pop loop free of per-iteration max() calls.
         heap: list[tuple[tuple, int, _Config]] = []
         pending: dict[tuple, _Config] = {root.merge_key: root}
-        heapq.heappush(heap, (root.order_key, next(seq), root))
+        heapq.heappush(heap, (root.order_key, 0, root))
+        self.stats.peak_heap_size = 1
+        result.max_configs = 1
 
         finished: list[_Config] = []
         fuel = self.context.config.fuel
+        vs_base = valueset_intern_counters()
+        sym_base = masked_intern_counters()
+        emit = self._emit  # bound once; cursors are threaded via attribute
+
+        # The exploration loop allocates strictly acyclic objects (masks,
+        # masked symbols, value sets, DAG vertices, cursor tuples), so the
+        # cyclic collector can never reclaim anything here — but its
+        # generation sweeps scan the whole heap many times per run (measured:
+        # every gen-2 pass collecting 0 objects).  Pause it for the loop;
+        # reference counting frees the run's garbage as usual.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            self._explore(heap, pending, finished, fuel, result, emit)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+
+        self._sync_lift_stats(vs_base, sym_base)
+        # Finalize all cursors per DAG.
+        for slot, key in enumerate(self._dag_keys):
+            dag = self._dag_slots[slot]
+            ends = EMPTY_ENDS
+            for config in finished:
+                ends = ends.union(dag.finalize(config.cursors[slot]))
+            result.final_vertices[key] = ends
+        return result
+
+    def _explore(self, heap, pending, finished, fuel, result, emit) -> None:
+        """The scheduler loop, split out so run() can bracket it (GC pause)."""
+        seq = _count(1)
 
         while heap:
-            self.stats.peak_heap_size = max(self.stats.peak_heap_size, len(heap))
-            result.max_configs = max(result.max_configs, len(pending))
             _, _, config = heapq.heappop(heap)
             del pending[config.merge_key]
             if config.pc == SENTINEL_RETURN:
@@ -257,11 +334,13 @@ class Engine:
             result.steps += 1
 
             instruction = self._decode(config.pc)
-            emit = partial(self._emit, config.cursors)
+            self._emit_cursors = config.cursors
             successors = self.transfer.step(config.state, instruction, emit)
 
             if len(successors) > 1:
                 result.forks += 1
+                for dag in self._dag_slots:
+                    dag.enable_dedupe()
             for position, successor in enumerate(successors):
                 frames = config.frames
                 if successor.frame_op == "push":
@@ -280,19 +359,13 @@ class Engine:
                 existing = pending.get(candidate.merge_key)
                 if existing is None:
                     pending[candidate.merge_key] = candidate
+                    if len(pending) > result.max_configs:
+                        result.max_configs = len(pending)
                     heapq.heappush(heap, (candidate.order_key, next(seq), candidate))
+                    if len(heap) > self.stats.peak_heap_size:
+                        self.stats.peak_heap_size = len(heap)
                 else:
                     self._merge_into(existing, candidate, result)
-
-        self._sync_lift_stats()
-        # Finalize all cursors per DAG.
-        for slot, key in enumerate(self._dag_keys):
-            dag = self._dag_slots[slot]
-            ends = EMPTY_ENDS
-            for config in finished:
-                ends = ends.union(dag.finalize(config.cursors[slot]))
-            result.final_vertices[key] = ends
-        return result
 
     def _merge_into(self, existing: _Config, incoming: _Config,
                     result: EngineResult) -> None:
@@ -308,8 +381,19 @@ class Engine:
                 existing.cursors[slot], incoming.cursors[slot]
             )
 
-    def _sync_lift_stats(self) -> None:
-        """Copy the value-set lifting memo counters into the run stats."""
+    def _sync_lift_stats(self, vs_base: tuple[int, int],
+                         sym_base: tuple[int, int]) -> None:
+        """Copy the lifting-memo and interning counters into the run stats.
+
+        Intern counters are global and monotonic; the run's share is the
+        delta against the snapshot taken when the run started.
+        """
         ops = self.context.ops
         self.stats.lift_memo_hits = ops.memo_hits
         self.stats.lift_memo_misses = ops.memo_misses
+        vs_hits, vs_misses = valueset_intern_counters()
+        self.stats.vs_intern_hits = vs_hits - vs_base[0]
+        self.stats.vs_intern_misses = vs_misses - vs_base[1]
+        sym_hits, sym_misses = masked_intern_counters()
+        self.stats.sym_intern_hits = sym_hits - sym_base[0]
+        self.stats.sym_intern_misses = sym_misses - sym_base[1]

@@ -24,14 +24,31 @@ FlagTuple = tuple[int, int, int, int]  # (zf, cf, sf, of)
 
 _ALL_TUPLES = frozenset(product((0, 1), repeat=4))
 
+# FlagBits are interned (≤ 3⁴ distinct instances) and FlagState is immutable,
+# so both expansions memoize losslessly on their inputs.  ``_EXPAND_CACHE``
+# is bounded by the FlagBits value space; ``_FROM_FLAGBITS_CACHE`` is keyed
+# by outcome *sets* and is cleared per analysis run alongside the domain's
+# intern tables (see AnalysisContext) so it cannot grow across long sweeps.
+_EXPAND_CACHE: dict[FlagBits, frozenset] = {}
+_FROM_FLAGBITS_CACHE: dict[frozenset, "FlagState"] = {}
+
+
+def clear_caches() -> None:
+    """Drop the unbounded flag-state memo (called per analysis run)."""
+    _FROM_FLAGBITS_CACHE.clear()
+
 
 def expand_flagbits(bits: FlagBits) -> frozenset[FlagTuple]:
     """Expand partially known flag bits into all compatible concrete tuples."""
-    choices = [
-        (bit,) if bit is not None else (0, 1)
-        for bit in (bits.zf, bits.cf, bits.sf, bits.of)
-    ]
-    return frozenset(product(*choices))
+    cached = _EXPAND_CACHE.get(bits)
+    if cached is None:
+        choices = [
+            (bit,) if bit is not None else (0, 1)
+            for bit in (bits.zf, bits.cf, bits.sf, bits.of)
+        ]
+        cached = frozenset(product(*choices))
+        _EXPAND_CACHE[bits] = cached
+    return cached
 
 
 class FlagState:
@@ -55,10 +72,17 @@ class FlagState:
     @classmethod
     def from_flagbits(cls, outcomes) -> "FlagState":
         """Build from the set of FlagBits produced by a lifted operation."""
+        if isinstance(outcomes, frozenset):
+            cached = _FROM_FLAGBITS_CACHE.get(outcomes)
+            if cached is not None:
+                return cached
         tuples: set[FlagTuple] = set()
         for bits in outcomes:
             tuples |= expand_flagbits(bits)
-        return cls(frozenset(tuples))
+        state = cls(frozenset(tuples))
+        if isinstance(outcomes, frozenset):
+            _FROM_FLAGBITS_CACHE[outcomes] = state
+        return state
 
     # ------------------------------------------------------------------
     # Queries

@@ -26,11 +26,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analysis.config import AnalysisConfig
-from repro.analysis.flags import TOP_FLAGS, FlagState
+from repro.analysis.flags import TOP_FLAGS, FlagState, clear_caches as clear_flag_caches
 from repro.core.bitvec import low_ones
 from repro.core.masked import MaskedOps, MaskedSymbol
 from repro.core.symbols import SymbolTable
-from repro.core.valueset import PrecisionLoss, ValueSet, ValueSetOps
+from repro.core.valueset import PrecisionLoss, ValueSet, ValueSetOps, intern_clear
 
 __all__ = ["AnalysisContext", "AbsMemory", "AbsState", "FlagSource"]
 
@@ -44,9 +44,17 @@ class AnalysisContext:
     cache of unknown-read symbols, and diagnostics.  Everything here is
     *global* to the run — forked paths share it, which is what makes fresh
     symbols and the succ table consistent across paths.
+
+    Construction clears the domain's hash-consing tables: interning memory
+    stays bounded across long sweeps, and the per-run intern hit counters
+    (surfaced on :class:`~repro.analysis.engine.SchedulerStats`) become a
+    deterministic function of the analyzed scenario rather than of whatever
+    ran earlier in the process.
     """
 
     def __init__(self, config: AnalysisConfig | None = None):
+        intern_clear()
+        clear_flag_caches()
         self.config = config or AnalysisConfig()
         self.table = SymbolTable(width=WIDTH)
         self.masked_ops = MaskedOps(self.table, track_offsets=self.config.track_offsets)
@@ -242,16 +250,42 @@ class AbsMemory:
     # Join
     # ------------------------------------------------------------------
     def join(self, other: "AbsMemory", context: AnalysisContext) -> "AbsMemory":
-        """Pointwise join; one-sided entries become maybe-unwritten."""
+        """Pointwise join; one-sided entries become maybe-unwritten.
+
+        At merge points the overwhelming majority of entries are the *same
+        immutable tuple* on both sides (clone shares them); identical entries
+        are reused without any per-key join work, and when every slot is
+        shared the untouched side's dict is reused outright — safe because
+        the engine's merge discards both operand states, leaving the joined
+        state as the dict's only owner.
+        """
+        cap = context.config.value_set_cap
+        mine_slots = self._slots
+        their_slots = other._slots
+        if len(mine_slots) == len(their_slots):
+            # The identity scan also re-checks the cap: joining an over-cap
+            # value with itself widened it on the slow path, and the fast
+            # path must not silently keep it precise.
+            for key, entry in mine_slots.items():
+                if (their_slots.get(key) is not entry
+                        or len(entry[1].elements) > cap):
+                    break
+            else:
+                return self
         merged: dict[tuple, Entry] = {}
-        for key in self._slots.keys() | other._slots.keys():
-            mine = self._slots.get(key)
-            theirs = other._slots.get(key)
+        for key in mine_slots.keys() | their_slots.keys():
+            mine = mine_slots.get(key)
+            theirs = their_slots.get(key)
             if mine is None or theirs is None:
                 present = mine or theirs
-                merged[key] = (present[0], present[1], False)
+                merged[key] = present if not present[2] else (present[0], present[1], False)
+            elif (mine is theirs and len(mine[1].elements) <= cap):
+                merged[key] = mine
             elif mine[0] == theirs[0]:
-                value = self._join_values(mine[1], theirs[1], context)
+                if mine[1] is theirs[1] and len(mine[1].elements) <= cap:
+                    value = mine[1]
+                else:
+                    value = self._join_values(mine[1], theirs[1], context)
                 merged[key] = (mine[0], value, mine[2] and theirs[2])
             # Mismatched sizes: drop the slot; reads become unknown (sound).
         return AbsMemory(merged)
@@ -292,23 +326,31 @@ class AbsState:
 
     def invalidate_copy(self, reg: int) -> None:
         """Drop equalities involving ``reg`` after it was overwritten."""
-        if any(reg in pair for pair in self.copies):
+        copies = self.copies
+        if copies and any(reg in pair for pair in copies):
             self.copies = frozenset(
-                pair for pair in self.copies if reg not in pair)
+                pair for pair in copies if reg not in pair)
 
     def equal_registers(self, reg: int) -> set[int]:
-        """Transitive closure of registers provably equal to ``reg``."""
+        """Transitive closure of registers provably equal to ``reg``.
+
+        A single BFS over the copy adjacency (built once per query) replaces
+        the former repeat-until-stable rescan of every pair.
+        """
         group = {reg}
-        changed = True
-        while changed:
-            changed = False
-            for a, b in self.copies:
-                if a in group and b not in group:
-                    group.add(b)
-                    changed = True
-                elif b in group and a not in group:
-                    group.add(a)
-                    changed = True
+        if not self.copies:
+            return group
+        neighbours: dict[int, list[int]] = {}
+        for a, b in self.copies:
+            neighbours.setdefault(a, []).append(b)
+            neighbours.setdefault(b, []).append(a)
+        frontier = [reg]
+        while frontier:
+            node = frontier.pop()
+            for peer in neighbours.get(node, ()):
+                if peer not in group:
+                    group.add(peer)
+                    frontier.append(peer)
         return group
 
     @classmethod
@@ -331,18 +373,36 @@ class AbsState:
         )
 
     def join(self, other: "AbsState", context: AnalysisContext) -> "AbsState":
-        """Control-flow merge."""
-        regs = []
-        for mine, theirs in zip(self.regs, other.regs):
-            try:
-                regs.append(mine.join(theirs, cap=context.config.value_set_cap))
-            except PrecisionLoss as loss:
-                regs.append(context.widened(str(loss)))
+        """Control-flow merge.
+
+        Registers holding the identical ValueSet on both sides (the common
+        case: forks clone the register list by reference) skip the join; if
+        *every* register is shared, the untouched list itself is reused —
+        sound for the same ownership reason as the memory-dict reuse.
+        """
+        cap = context.config.value_set_cap
+        mine_regs = self.regs
+        their_regs = other.regs
+        if all(mine is theirs and len(mine.elements) <= cap
+               for mine, theirs in zip(mine_regs, their_regs)):
+            regs = mine_regs
+        else:
+            regs = []
+            for mine, theirs in zip(mine_regs, their_regs):
+                if mine is theirs and len(mine.elements) <= cap:
+                    regs.append(mine)
+                    continue
+                try:
+                    regs.append(mine.join(theirs, cap=cap))
+                except PrecisionLoss as loss:
+                    regs.append(context.widened(str(loss)))
         flag_source = self.flag_source if self.flag_source == other.flag_source else None
+        flags = self.flags if self.flags is other.flags else self.flags.join(other.flags)
+        copies = self.copies if self.copies is other.copies else self.copies & other.copies
         return AbsState(
             regs=regs,
-            flags=self.flags.join(other.flags),
+            flags=flags,
             memory=self.memory.join(other.memory, context),
             flag_source=flag_source,
-            copies=self.copies & other.copies,
+            copies=copies,
         )

@@ -9,33 +9,72 @@ A mask records, for each bit position of an ``n``-bit word, whether the bit is
 
 The all-symbolic mask ``(⊤, …, ⊤)`` is ``Mask.top(n)``; a fully known mask is
 a plain bitvector, ``Mask.constant(v, n)``.
+
+Masks are *hash-consed*: construction returns the canonical instance for each
+``(known, value, width)`` triple, with the hash (identical to the historical
+``hash((known, value, width))`` so set iteration orders are unchanged) and the
+``is_constant`` flag precomputed.  Equality keeps a value-comparison fallback,
+so clearing the intern table (one analysis run ending) can never affect
+correctness — only sharing.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 from repro.core.bitvec import bit, low_ones, mask_of, truncate
 
-__all__ = ["Mask", "TOP_CHAR"]
+__all__ = ["Mask", "TOP_CHAR", "intern_clear"]
 
 TOP_CHAR = "T"
 
+_INTERN: dict = {}
 
-@dataclass(frozen=True, slots=True)
+
+def intern_clear() -> None:
+    """Drop the canonical-instance table (called per analysis run)."""
+    _INTERN.clear()
+
+
 class Mask:
     """A pattern of known and symbolic bits for an ``width``-bit word."""
 
-    known: int
-    value: int
-    width: int
+    __slots__ = ("known", "value", "width", "is_constant", "_hash")
 
-    def __post_init__(self) -> None:
-        full = mask_of(self.width)
-        if self.known & ~full:
+    def __new__(cls, known: int, value: int, width: int) -> "Mask":
+        key = (known, value, width)
+        cached = _INTERN.get(key)
+        if cached is not None:
+            return cached
+        full = mask_of(width)
+        if known & ~full:
             raise ValueError("known bits exceed mask width")
-        if self.value & ~self.known:
+        if value & ~known:
             raise ValueError("value bits set on symbolic positions")
+        self = object.__new__(cls)
+        self.known = known
+        self.value = value
+        self.width = width
+        self.is_constant = known == full
+        self._hash = hash(key)
+        _INTERN[key] = self
+        return self
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        return (
+            isinstance(other, Mask)
+            and self.known == other.known
+            and self.value == other.value
+            and self.width == other.width
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __reduce__(self):
+        # Interned classes pickle by value and reconstruct through the
+        # constructor, re-interning in the receiving process.
+        return (Mask, (self.known, self.value, self.width))
 
     # ------------------------------------------------------------------
     # Constructors
@@ -69,11 +108,6 @@ class Mask:
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
-    @property
-    def is_constant(self) -> bool:
-        """True iff every bit is known, i.e. the mask is a bitvector."""
-        return self.known == mask_of(self.width)
-
     @property
     def is_top(self) -> bool:
         """True iff every bit is symbolic."""

@@ -22,11 +22,8 @@ Design notes
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 from repro.core.bitvec import (
     add_with_carry,
-    bit,
     low_ones,
     mask_of,
     sign_bit,
@@ -34,37 +31,110 @@ from repro.core.bitvec import (
     to_signed,
     truncate,
 )
+from repro.core import mask as mask_mod
 from repro.core.mask import Mask
 from repro.core.symbols import SymbolKind, SymbolTable
 
-__all__ = ["MaskedSymbol", "FlagBits", "MaskedOps", "concrete_op"]
+__all__ = ["MaskedSymbol", "FlagBits", "MaskedOps", "concrete_op",
+           "intern_clear", "intern_counters"]
+
+# Hash-consing tables: one canonical MaskedSymbol per (sym, mask), plus a
+# dedicated shortcut for fully known constants (the most common lookup on the
+# abstract-transfer hot path).  Hashes are precomputed and identical to the
+# historical frozen-dataclass formula ``hash((sym, mask))`` — frozenset
+# iteration orders (and hence fresh-symbol allocation order and every figure
+# count) are bit-for-bit unchanged.  Equality keeps a value fallback, so
+# clearing the tables between analysis runs is always sound.
+_INTERN: dict = {}
+_CONSTANTS: dict = {}
+_hits = 0
+_misses = 0
 
 
-@dataclass(frozen=True, slots=True)
+def intern_clear() -> None:
+    """Drop the canonical-instance tables (called per analysis run)."""
+    _INTERN.clear()
+    _CONSTANTS.clear()
+    mask_mod.intern_clear()
+
+
+def intern_counters() -> tuple[int, int]:
+    """Global (hits, misses) of masked-symbol interning (monotonic)."""
+    return _hits, _misses
+
+
 class MaskedSymbol:
     """A masked symbol ``(s, m)``; ``sym is None`` means a pure constant."""
 
-    sym: int | None
-    mask: Mask
+    __slots__ = ("sym", "mask", "is_constant", "_hash")
 
-    def __post_init__(self) -> None:
-        if self.sym is None and not self.mask.is_constant:
+    def __new__(cls, sym: int | None = None, mask: Mask | None = None) -> "MaskedSymbol":
+        global _hits, _misses
+        key = (sym, mask)
+        cached = _INTERN.get(key)
+        if cached is not None:
+            _hits += 1
+            return cached
+        _misses += 1
+        if sym is None and not mask.is_constant:
             raise ValueError("constant masked symbol must have a fully known mask")
+        self = object.__new__(cls)
+        self.sym = sym
+        self.mask = mask
+        self.is_constant = mask.is_constant
+        self._hash = hash(key)
+        _INTERN[key] = self
+        return self
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        return (
+            isinstance(other, MaskedSymbol)
+            and self.sym == other.sym
+            and self.mask == other.mask
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __reduce__(self):
+        # Pickle by value; unpickling re-interns in the receiving process.
+        return (MaskedSymbol, (self.sym, self.mask))
 
     @classmethod
     def constant(cls, value: int, width: int) -> "MaskedSymbol":
         """A fully known bitvector."""
-        return cls(sym=None, mask=Mask.constant(value, width))
+        global _hits
+        key = (value, width)
+        cached = _CONSTANTS.get(key)
+        if cached is None:
+            cached = cls(sym=None, mask=Mask.constant(value, width))
+            _CONSTANTS[key] = cached
+        else:
+            _hits += 1
+        return cached
 
     @classmethod
     def symbol(cls, sym: int, width: int) -> "MaskedSymbol":
         """A fully unknown value ``(s, ⊤)``."""
         return cls(sym=sym, mask=Mask.top(width))
 
-    @property
-    def is_constant(self) -> bool:
-        """True iff the value is fully known at analysis time."""
-        return self.mask.is_constant
+    @classmethod
+    def fresh_derived(cls, sym: int, mask: Mask) -> "MaskedSymbol":
+        """Build a masked symbol around a *freshly allocated* symbol id.
+
+        A fresh id can never already be interned, so the table lookup and
+        insertion are skipped — this keeps the intern table free of the
+        never-looked-up-again derived results of big pairwise products.  The
+        hash is the same formula as interned construction.
+        """
+        self = object.__new__(cls)
+        self.sym = sym
+        self.mask = mask
+        self.is_constant = mask.is_constant
+        self._hash = hash((sym, mask))
+        return self
 
     @property
     def value(self) -> int:
@@ -89,18 +159,53 @@ class MaskedSymbol:
         return self.describe()
 
 
-@dataclass(frozen=True, slots=True)
+_FLAG_INTERN: dict = {}
+
+
 class FlagBits:
     """Partially known CPU flags produced by one abstract operation.
 
     Each field is 0, 1, or None (unknown).  The analysis-side flag domain
     (:mod:`repro.analysis.flags`) expands ``None`` into both possibilities.
+    Instances are interned (at most 3⁴ distinct values exist), so the hot
+    set-insertions of the pairwise lifting hash a cached value and compare
+    by identity.
     """
 
-    zf: int | None = None
-    cf: int | None = None
-    sf: int | None = None
-    of: int | None = None
+    __slots__ = ("zf", "cf", "sf", "of", "_hash")
+
+    def __new__(cls, zf: int | None = None, cf: int | None = None,
+                sf: int | None = None, of: int | None = None) -> "FlagBits":
+        key = (zf, cf, sf, of)
+        cached = _FLAG_INTERN.get(key)
+        if cached is not None:
+            return cached
+        self = object.__new__(cls)
+        self.zf = zf
+        self.cf = cf
+        self.sf = sf
+        self.of = of
+        self._hash = hash(key)
+        _FLAG_INTERN[key] = self
+        return self
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        return (
+            isinstance(other, FlagBits)
+            and self.zf == other.zf and self.cf == other.cf
+            and self.sf == other.sf and self.of == other.of
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __reduce__(self):
+        return (FlagBits, (self.zf, self.cf, self.sf, self.of))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FlagBits(zf={self.zf}, cf={self.cf}, sf={self.sf}, of={self.of})"
 
     @classmethod
     def exact(cls, result: int, carry: int, overflow: int, width: int) -> "FlagBits":
@@ -153,6 +258,16 @@ class MaskedOps:
         self.table = table
         self.width = table.width
         self.track_offsets = track_offsets
+        self._full = mask_of(self.width)
+        self._sign_shift = self.width - 1
+        self._dispatch = {
+            "AND": self.and_,
+            "OR": self.or_,
+            "XOR": self.xor,
+            "ADD": self.add,
+            "SUB": self.sub,
+            "MUL": self.mul,
+        }
 
     # ------------------------------------------------------------------
     # Helpers
@@ -164,7 +279,7 @@ class MaskedOps:
         ident = self.table.fresh(
             kind=SymbolKind.DERIVED, provenance=(op_name, x, y)
         )
-        return MaskedSymbol(sym=ident, mask=mask)
+        return MaskedSymbol.fresh_derived(ident, mask)
 
     @staticmethod
     def _zf_from_mask(mask: Mask) -> int | None:
@@ -176,8 +291,9 @@ class MaskedOps:
         return None
 
     def _sf_from_mask(self, mask: Mask) -> int | None:
-        if mask.is_known(self.width - 1):
-            return bit(mask.value, self.width - 1)
+        shift = self._sign_shift
+        if (mask.known >> shift) & 1:
+            return (mask.value >> shift) & 1
         return None
 
     # ------------------------------------------------------------------
@@ -205,20 +321,23 @@ class MaskedOps:
         # bit is known where both operand bits are known, or where either
         # operand pins it to the absorbing element (0 for AND, 1 for OR) —
         # the Mask invariant (value ⊆ known) makes the value formulas exact.
-        neutral = 1 if op_name == "AND" else 0
-        xk, xv = x.mask.known, x.mask.value
-        yk, yv = y.mask.known, y.mask.value
+        full = self._full
+        xm, ym = x.mask, y.mask
+        xk, xv = xm.known, xm.value
+        yk, yv = ym.known, ym.value
         if op_name == "AND":
-            known = (xk & yk) | (xk & ~xv) | (yk & ~yv)
+            neutral = 1
+            known = ((xk & yk) | (xk & ~xv) | (yk & ~yv)) & full
             value = xv & yv
         else:
-            known = (xk & yk) | (xk & xv) | (yk & yv)
+            neutral = 0
+            known = ((xk & yk) | (xk & xv) | (yk & yv)) & full
             value = xv | yv
-        mask = Mask(known=known & mask_of(self.width), value=value, width=self.width)
+        mask = Mask(known, value, self.width)
 
         result = self._boolean_symbol(op_name, x, y, mask, neutral)
-        flags = FlagBits(zf=self._zf_from_mask(result.mask), cf=0,
-                         sf=self._sf_from_mask(result.mask), of=0)
+        flags = FlagBits(zf=self._zf_from_mask(mask), cf=0,
+                         sf=self._sf_from_mask(mask), of=0)
         return result, flags
 
     def _boolean_symbol(
@@ -235,23 +354,73 @@ class MaskedOps:
         # the other operand (absorbed positions are known in the result, so
         # they impose no constraint).  This is what makes the paper's
         # Example 6 work: AND 0xFFFFFFC0 keeps the symbol.
+        symbolic = ~mask.known & self._full
         for sym_side, other in ((x, y), (y, x)):
             if sym_side.sym is None:
                 continue
-            if self._neutral_on_result_symbolic(sym_side, other, mask, neutral):
+            other_mask = other.mask
+            other_neutral = other_mask.known & (
+                other_mask.value if neutral else ~other_mask.value
+            )
+            if not (symbolic & (sym_side.mask.known | ~other_neutral)):
                 return MaskedSymbol(sym=sym_side.sym, mask=mask)
         return self._fresh_result(op_name, x, y, mask)
 
-    def _neutral_on_result_symbolic(
-        self, sym_side: MaskedSymbol, other: MaskedSymbol, result: Mask, neutral: int
-    ) -> bool:
-        # Every position symbolic in the result must be a symbolic bit of
-        # ``sym_side`` paired with a known-neutral bit of ``other``.
-        symbolic = ~result.known & mask_of(self.width)
-        other_neutral = other.mask.known & (
-            other.mask.value if neutral else ~other.mask.value
-        )
-        return not (symbolic & (sym_side.mask.known | ~other_neutral))
+    def xor_bulk(self, x_elements, y_elements) -> tuple[set, set]:
+        """The full pairwise XOR product, loop-inlined for the set lifting.
+
+        Semantically identical to calling :meth:`xor` on every pair in the
+        same (x outer, y inner) order — the per-pair call overhead and
+        repeated attribute loads are what this path removes; big symbolic
+        products (modexp's masked limb merges) are the hottest loop of the
+        whole analysis.
+        """
+        results: set = set()
+        flags: set = set()
+        width = self.width
+        full = self._full
+        sign_shift = self._sign_shift
+        fresh_result = self._fresh_result
+        add_result = results.add
+        add_flag = flags.add
+        for x in x_elements:
+            xm = x.mask
+            xk, xv = xm.known, xm.value
+            x_sym = x.sym
+            x_const = x.is_constant
+            for y in y_elements:
+                if x_const and y.is_constant:
+                    value = (xv ^ y.mask.value) & full
+                    add_result(MaskedSymbol.constant(value, width))
+                    add_flag(FlagBits(zf=1 if value == 0 else 0, cf=0,
+                                      sf=(value >> sign_shift) & 1, of=0))
+                    continue
+                ym = y.mask
+                yk, yv = ym.known, ym.value
+                y_sym = y.sym
+                known = xk & yk
+                if x_sym is not None and x_sym == y_sym:
+                    known |= ~xk & ~yk & full
+                value = (xv ^ yv) & known
+                mask = Mask(known, value, width)
+                if known == full:
+                    result = MaskedSymbol.constant(value, width)
+                    zf = 1 if value == 0 else 0
+                    sf = (value >> sign_shift) & 1
+                else:
+                    symbolic = ~known & full
+                    if x_sym is not None and not (symbolic & (xk | ~(yk & ~yv))):
+                        result = MaskedSymbol(sym=x_sym, mask=mask)
+                    elif y_sym is not None and not (symbolic & (yk | ~(xk & ~xv))):
+                        result = MaskedSymbol(sym=y_sym, mask=mask)
+                    else:
+                        result = fresh_result("XOR", x, y, mask)
+                    zf = 0 if value else None
+                    sf = ((value >> sign_shift) & 1
+                          if (known >> sign_shift) & 1 else None)
+                add_result(result)
+                add_flag(FlagBits(zf=zf, cf=0, sf=sf, of=0))
+        return results, flags
 
     def xor(self, x: MaskedSymbol, y: MaskedSymbol) -> tuple[MaskedSymbol, FlagBits]:
         """Abstract bitwise XOR (§5.4.1)."""
@@ -261,30 +430,32 @@ class MaskedOps:
                 MaskedSymbol.constant(result, self.width),
                 FlagBits(zf=1 if result == 0 else 0, cf=0, sf=sign_bit(result, self.width), of=0),
             )
-        same_symbol = x.sym is not None and x.sym == y.sym
-        xk, xv = x.mask.known, x.mask.value
-        yk, yv = y.mask.known, y.mask.value
+        full = self._full
+        xm, ym = x.mask, y.mask
+        xk, xv = xm.known, xm.value
+        yk, yv = ym.known, ym.value
+        x_sym, y_sym = x.sym, y.sym
         known = xk & yk
-        if same_symbol:
+        if x_sym is not None and x_sym == y_sym:
             # λ(s)_i ⊕ λ(s)_i = 0 on positions symbolic in both operands.
-            known |= ~xk & ~yk & mask_of(self.width)
+            known |= ~xk & ~yk & full
         value = (xv ^ yv) & known
-        mask = Mask(known=known, value=value, width=self.width)
+        mask = Mask(known, value, self.width)
 
         if mask.is_constant:
-            result = MaskedSymbol.constant(mask.value, self.width)
+            result = MaskedSymbol.constant(value, self.width)
         else:
-            result = None
-            for sym_side, other in ((x, y), (y, x)):
-                if sym_side.sym is None:
-                    continue
-                if self._neutral_on_result_symbolic(sym_side, other, mask, neutral=0):
-                    result = MaskedSymbol(sym=sym_side.sym, mask=mask)
-                    break
-            if result is None:
+            # Keep-the-symbol side conditions with neutral = 0 (XOR), the
+            # inlined form of the `_boolean_symbol` loop.
+            symbolic = ~known & full
+            if x_sym is not None and not (symbolic & (xk | ~(yk & ~yv))):
+                result = MaskedSymbol(sym=x_sym, mask=mask)
+            elif y_sym is not None and not (symbolic & (yk | ~(xk & ~xv))):
+                result = MaskedSymbol(sym=y_sym, mask=mask)
+            else:
                 result = self._fresh_result("XOR", x, y, mask)
-        flags = FlagBits(zf=self._zf_from_mask(result.mask), cf=0,
-                         sf=self._sf_from_mask(result.mask), of=0)
+        flags = FlagBits(zf=self._zf_from_mask(mask), cf=0,
+                        sf=self._sf_from_mask(mask), of=0)
         return result, flags
 
     def not_(self, x: MaskedSymbol) -> tuple[MaskedSymbol, FlagBits]:
@@ -564,16 +735,9 @@ class MaskedOps:
     # ------------------------------------------------------------------
     def apply(self, op_name: str, x: MaskedSymbol, y: MaskedSymbol | None):
         """Apply an operation by name (used by the abstract transfer function)."""
-        table = {
-            "AND": self.and_,
-            "OR": self.or_,
-            "XOR": self.xor,
-            "ADD": self.add,
-            "SUB": self.sub,
-            "MUL": self.mul,
-        }
-        if op_name in table:
-            return table[op_name](x, y)
+        binary = self._dispatch.get(op_name)
+        if binary is not None:
+            return binary(x, y)
         if op_name == "NOT":
             return self.not_(x)
         if op_name == "NEG":

@@ -127,25 +127,42 @@ def standard_observers(geometry: CacheGeometry) -> list[Observer]:
     ]
 
 
-@dataclass(frozen=True, slots=True)
 class ProjectedLabel:
     """The projection of one access: a set of keys plus a refined count.
 
     ``count`` is the bound on the number of distinct concrete observations;
     it equals ``len(keys)`` unless the spread refinement improved it.
+
+    Labels are hashed on every trace-DAG commit, so the hash (same value as
+    the historical ``hash((keys, count))``) and the ``is_single`` flag are
+    precomputed; the per-run projection cache makes equal labels usually be
+    the *same* object, which the equality fast path exploits.
     """
 
-    keys: frozenset
-    count: int
+    __slots__ = ("keys", "count", "is_single", "_hash")
 
-    def __post_init__(self) -> None:
-        if self.count < 1:
+    def __init__(self, keys: frozenset, count: int) -> None:
+        if count < 1:
             raise ValueError("a projected label represents at least one observation")
+        self.keys = keys
+        self.count = count
+        self.is_single = count == 1
+        self._hash = hash((keys, count))
 
-    @property
-    def is_single(self) -> bool:
-        """True iff the access is indistinguishable from a fixed observation."""
-        return self.count == 1
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        return (
+            isinstance(other, ProjectedLabel)
+            and self.count == other.count
+            and self.keys == other.keys
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ProjectedLabel(keys={self.keys!r}, count={self.count})"
 
 
 def project_element(

@@ -37,14 +37,30 @@ class SymbolKind:
     UNKNOWN = "unknown"  # introduced for reads of unmodeled memory
 
 
-@dataclass(slots=True)
 class SymbolInfo:
-    """Metadata attached to a symbol identifier."""
+    """Metadata attached to a symbol identifier.
 
-    ident: int
-    name: str
-    kind: str
-    provenance: tuple | None = None  # (op_name, operand_a, operand_b)
+    ``name`` is materialized lazily: derived symbols (the overwhelming
+    majority) are only ever named when rendered for a human, so the default
+    ``s<ident>`` string is not formatted on the allocation hot path.
+    """
+
+    __slots__ = ("ident", "_name", "kind", "provenance")
+
+    def __init__(self, ident: int, name: str | None, kind: str,
+                 provenance: tuple | None = None) -> None:
+        self.ident = ident
+        self._name = name
+        self.kind = kind
+        self.provenance = provenance  # (op_name, operand_a, operand_b)
+
+    @property
+    def name(self) -> str:
+        return self._name or f"s{self.ident}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"SymbolInfo(ident={self.ident}, name={self.name!r}, "
+                f"kind={self.kind!r})")
 
 
 @dataclass(slots=True)
@@ -75,13 +91,12 @@ class SymbolTable:
         """Allocate a new symbol and return its identifier."""
         ident = self._next
         self._next += 1
-        info = SymbolInfo(
+        self._infos[ident] = SymbolInfo(
             ident=ident,
-            name=name or f"s{ident}",
+            name=name,
             kind=kind,
             provenance=provenance,
         )
-        self._infos[ident] = info
         return ident
 
     def input_symbol(self, name: str) -> int:

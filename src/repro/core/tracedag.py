@@ -50,23 +50,44 @@ Entry = tuple[frozenset, frozenset, ProjectedLabel | None, int]
 Cursor = frozenset  # frozenset[Entry]
 
 
-@dataclass(frozen=True, slots=True)
 class Vertex:
-    """One committed access bundle in the exact DAG."""
+    """One committed access bundle in the exact DAG.
 
-    ident: int
-    label: ProjectedLabel
-    parents: frozenset[int]
-    run: int
+    ``count_value`` and ``min_span``/``max_span`` are filled in eagerly at
+    commit time: the DAG grows topologically (every parent is committed
+    before its children), so Proposition 2 and the path-length span are one
+    constant-time fold per vertex instead of a whole-DAG walk per query.
+    """
+
+    __slots__ = ("ident", "label", "parents", "run",
+                 "count_value", "min_span", "max_span")
+
+    def __init__(self, ident: int, label: ProjectedLabel,
+                 parents: frozenset, run: int) -> None:
+        self.ident = ident
+        self.label = label
+        self.parents = parents
+        self.run = run
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Vertex(ident={self.ident}, label={self.label!r}, "
+                f"parents={set(self.parents)}, run={self.run})")
 
 
-@dataclass(frozen=True, slots=True)
 class StutterVertex:
     """One committed access bundle in the stuttering-quotient DAG."""
 
-    ident: int
-    label: ProjectedLabel
-    parents: frozenset[int]
+    __slots__ = ("ident", "label", "parents", "count_value")
+
+    def __init__(self, ident: int, label: ProjectedLabel,
+                 parents: frozenset) -> None:
+        self.ident = ident
+        self.label = label
+        self.parents = parents
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"StutterVertex(ident={self.ident}, label={self.label!r}, "
+                f"parents={set(self.parents)})")
 
 
 @dataclass(frozen=True, slots=True)
@@ -86,34 +107,72 @@ EMPTY_ENDS = EndSet(frozenset(), frozenset())
 class TraceDAG:
     """A single-observer trace DAG with cursor-based updates."""
 
-    def __init__(self) -> None:
-        self._vertices: dict[int, Vertex] = {}
-        self._stutter_vertices: dict[int, StutterVertex] = {}
-        self._registry: dict[tuple, int] = {}
-        self._stutter_registry: dict[tuple, int] = {}
-        self._next = 1  # 0 is the root in both DAGs
-        self._stutter_next = 1
+    def __init__(self, dedupe: bool = True) -> None:
+        # Vertex ids are allocated densely from 1, so storage is a list
+        # indexed by ident (slot 0, the root, holds None) — parent lookups
+        # in the eager count/span folds are list indexing, not dict probes.
+        self._vertices: list[Vertex | None] = [None]
+        self._stutter_vertices: list[StutterVertex | None] = [None]
+        # Registries map commit keys to the *frozenset* {ident} handed to
+        # cursors, so repeat commits reuse one allocation.  While the cursor
+        # bundle is a single never-duplicated chain (an engine run before its
+        # first fork), every commit key is provably fresh and the registry
+        # probes are skipped entirely; the engine re-enables deduplication at
+        # the first fork (``dedupe=False`` is only sound under that
+        # discipline, so it is opt-out, not the default).
+        self._registry: dict[tuple, frozenset] = {}
+        self._stutter_registry: dict[tuple, frozenset] = {}
+        self._dedupe = dedupe
         self._access_count = 0
+
+    def enable_dedupe(self, backfill: bool = False) -> None:
+        """Start deduplicating commit keys (engine calls this at any fork).
+
+        Keys committed while deduplication was off cannot recur afterwards
+        *within the same exploration*: the pre-fork cursor is a single chain
+        whose every commit has the freshly created previous vertex as its
+        parent set, and post-fork commits descend from the open tail, whose
+        parent set never appeared in a committed key.  A *new* exploration
+        over the same DAG (an engine re-run) starts from the root again and
+        can legitimately repeat old keys — pass ``backfill=True`` there to
+        register every existing vertex first, restoring the full
+        idempotence of the always-deduping registry.
+        """
+        if backfill:
+            registry = self._registry
+            for vertex in self._vertices[1:]:
+                registry.setdefault(
+                    (vertex.parents, vertex.label, vertex.run),
+                    frozenset((vertex.ident,)))
+            stutter_registry = self._stutter_registry
+            for vertex in self._stutter_vertices[1:]:
+                stutter_registry.setdefault(
+                    (vertex.parents, vertex.label),
+                    frozenset((vertex.ident,)))
+        self._dedupe = True
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def vertex(self, ident: int) -> Vertex:
         """The exact-DAG vertex record (root has no record)."""
-        return self._vertices[ident]
+        record = self._vertices[ident]
+        if record is None:
+            raise KeyError(ident)
+        return record
 
     def vertices(self) -> list[Vertex]:
         """All committed exact vertices."""
-        return list(self._vertices.values())
+        return self._vertices[1:]
 
     def stutter_vertices(self) -> list[StutterVertex]:
         """All committed stuttering-quotient vertices."""
-        return list(self._stutter_vertices.values())
+        return self._stutter_vertices[1:]
 
     @property
     def size(self) -> int:
         """Number of committed exact vertices plus the root."""
-        return len(self._vertices) + 1
+        return len(self._vertices)
 
     @property
     def accesses_recorded(self) -> int:
@@ -128,14 +187,28 @@ class TraceDAG:
         return frozenset({(frozenset({ROOT_VERTEX}), frozenset({ROOT_VERTEX}), None, 0)})
 
     def access(self, cursor: Cursor, label: ProjectedLabel) -> Cursor:
-        """Extend every trace bundle in ``cursor`` with one access."""
+        """Extend every trace bundle in ``cursor`` with one access.
+
+        The single-entry cursor (any straight-line stretch of code) is the
+        overwhelmingly common case and skips the pending-set bookkeeping
+        entirely: one run extension or one commit, one frozenset built.
+        """
         self._access_count += 1
+        single = label.is_single
+        if len(cursor) == 1:
+            (entry,) = cursor
+            parents, stutter_parents, entry_label, run = entry
+            if single and (entry_label is label or entry_label == label):
+                return frozenset(((parents, stutter_parents, label, run + 1),))
+            exact_ids, stutter_ids = self._commit(
+                parents, stutter_parents, entry_label, run)
+            return frozenset(((exact_ids, stutter_ids, label, 1),))
         survivors: set[Entry] = set()
         pending_exact: set[int] = set()
         pending_stutter: set[int] = set()
         for parents, stutter_parents, entry_label, run in cursor:
-            if entry_label == label and label.is_single:
-                survivors.add((parents, stutter_parents, entry_label, run + 1))
+            if single and (entry_label is label or entry_label == label):
+                survivors.add((parents, stutter_parents, label, run + 1))
                 continue
             exact_ids, stutter_ids = self._commit(
                 parents, stutter_parents, entry_label, run)
@@ -148,7 +221,13 @@ class TraceDAG:
         return frozenset(survivors)
 
     def merge(self, first: Cursor, second: Cursor) -> Cursor:
-        """Join two cursors at a control-flow merge (joins stay lazy)."""
+        """Join two cursors at a control-flow merge (joins stay lazy).
+
+        Merged bundles can commit the same entry twice, so merging always
+        turns key deduplication on (for engine runs it already is: forks
+        precede merges).
+        """
+        self._dedupe = True
         return first | second
 
     def finalize(self, cursor: Cursor) -> EndSet:
@@ -164,26 +243,68 @@ class TraceDAG:
 
     def _commit(self, parents: frozenset, stutter_parents: frozenset,
                 label: ProjectedLabel | None, run: int):
-        """Turn a virtual entry into real vertices in both DAGs."""
+        """Turn a virtual entry into real vertices in both DAGs.
+
+        Returns *frozensets* of vertex ids (cached in the registries, so the
+        chain-building common case allocates them once per vertex).  The
+        registry probe uses ``setdefault``, hashing each key exactly once on
+        the dominant new-vertex path; the count/span folds happen here while
+        the parents are at hand.
+        """
         if label is None:  # root-virtual entry: nothing to commit
-            return set(parents), set(stutter_parents)
-        key = (parents, label, run)
-        ident = self._registry.get(key)
-        if ident is None:
-            ident = self._next
-            self._next += 1
-            self._vertices[ident] = Vertex(
-                ident=ident, label=label, parents=parents, run=run)
-            self._registry[key] = ident
-        stutter_key = (stutter_parents, label)
-        stutter_ident = self._stutter_registry.get(stutter_key)
-        if stutter_ident is None:
-            stutter_ident = self._stutter_next
-            self._stutter_next += 1
-            self._stutter_vertices[stutter_ident] = StutterVertex(
+            return parents, stutter_parents
+        dedupe = self._dedupe
+        vertices = self._vertices
+        ident = len(vertices)
+        exact_ids = frozenset((ident,))
+        if dedupe:
+            existing = self._registry.setdefault((parents, label, run), exact_ids)
+        else:
+            existing = exact_ids
+        if existing is exact_ids:
+            vertex = Vertex(ident=ident, label=label, parents=parents, run=run)
+            total = 0
+            low = high = None
+            for parent in parents:
+                if parent:
+                    record = vertices[parent]
+                    total += record.count_value
+                    parent_low, parent_high = record.min_span, record.max_span
+                else:  # the root: one empty trace of length 0
+                    total += 1
+                    parent_low = parent_high = 0
+                if low is None:
+                    low, high = parent_low, parent_high
+                else:
+                    if parent_low < low:
+                        low = parent_low
+                    if parent_high > high:
+                        high = parent_high
+            vertex.count_value = label.count * total
+            vertex.min_span = run + low
+            vertex.max_span = run + high
+            vertices.append(vertex)
+        else:
+            exact_ids = existing
+        stutter_vertices = self._stutter_vertices
+        stutter_ident = len(stutter_vertices)
+        stutter_ids = frozenset((stutter_ident,))
+        if dedupe:
+            existing = self._stutter_registry.setdefault(
+                (stutter_parents, label), stutter_ids)
+        else:
+            existing = stutter_ids
+        if existing is stutter_ids:
+            stutter_vertex = StutterVertex(
                 ident=stutter_ident, label=label, parents=stutter_parents)
-            self._stutter_registry[stutter_key] = stutter_ident
-        return {ident}, {stutter_ident}
+            total = 0
+            for parent in stutter_parents:
+                total += stutter_vertices[parent].count_value if parent else 1
+            stutter_vertex.count_value = label.count * total
+            stutter_vertices.append(stutter_vertex)
+        else:
+            stutter_ids = existing
+        return exact_ids, stutter_ids
 
     # ------------------------------------------------------------------
     # Counting (§6.3, Proposition 2)
@@ -193,30 +314,18 @@ class TraceDAG:
 
         ``stuttering=True`` bounds the observer that cannot distinguish
         repeated accesses to the same unit (the ``b-block`` columns).
+        Counts were folded at commit time (Proposition 2 over the
+        topological build order), so this is a sum over the final vertices.
         """
         if stuttering:
-            return self._count(ends.stutter, self._stutter_vertices)
-        return self._count(ends.exact, self._vertices)
-
-    def _count(self, final: frozenset[int], vertices: dict) -> int:
-        # Iterative post-order evaluation: trace DAGs of long loops are
-        # thousands of vertices deep, beyond Python's recursion limit.
-        memo: dict[int, int] = {ROOT_VERTEX: 1}
-        stack = list(final)
-        while stack:
-            ident = stack[-1]
-            if ident in memo:
-                stack.pop()
-                continue
-            vertex = vertices[ident]
-            missing = [p for p in vertex.parents if p not in memo]
-            if missing:
-                stack.extend(missing)
-                continue
-            stack.pop()
-            memo[ident] = vertex.label.count * sum(
-                memo[parent] for parent in vertex.parents)
-        return sum(memo[ident] for ident in final) or 1
+            vertices = self._stutter_vertices
+            final = ends.stutter
+        else:
+            vertices = self._vertices
+            final = ends.exact
+        return sum(
+            vertices[ident].count_value if ident else 1 for ident in final
+        ) or 1
 
     def path_length_span(self, ends: EndSet) -> tuple[int, int]:
         """Shortest and longest access count over all traces in the exact DAG.
@@ -228,23 +337,11 @@ class TraceDAG:
         final = ends.exact
         if not final:
             return (0, 0)
-        memo: dict[int, tuple[int, int]] = {ROOT_VERTEX: (0, 0)}
-        stack = list(final)
-        while stack:
-            ident = stack[-1]
-            if ident in memo:
-                stack.pop()
-                continue
-            vertex = self._vertices[ident]
-            missing = [p for p in vertex.parents if p not in memo]
-            if missing:
-                stack.extend(missing)
-                continue
-            stack.pop()
-            spans = [memo[parent] for parent in vertex.parents]
-            memo[ident] = (vertex.run + min(low for low, _ in spans),
-                          vertex.run + max(high for _, high in spans))
-        spans = [memo[ident] for ident in final]
+        spans = [
+            (self._vertices[ident].min_span, self._vertices[ident].max_span)
+            if ident else (0, 0)
+            for ident in final
+        ]
         return (min(low for low, _ in spans), max(high for _, high in spans))
 
     # ------------------------------------------------------------------
@@ -255,7 +352,7 @@ class TraceDAG:
         describe = describe or (lambda label: ",".join(sorted(map(str, label.keys))))
         lines = ["digraph trace {", '  v0 [label="r"];']
         vertices = self._stutter_vertices if stuttering else self._vertices
-        for vertex in vertices.values():
+        for vertex in vertices[1:]:
             run_text = "" if stuttering else f" x{vertex.run}"
             lines.append(
                 f'  v{vertex.ident} [label="{describe(vertex.label)}{run_text}"];')

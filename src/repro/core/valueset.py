@@ -17,11 +17,42 @@ from __future__ import annotations
 
 from typing import Callable, Iterable
 
+from repro.core import masked as masked_mod
 from repro.core.masked import FlagBits, MaskedOps, MaskedSymbol
 
-__all__ = ["ValueSet", "ValueSetOps", "PrecisionLoss", "DEFAULT_SET_CAP"]
+__all__ = ["ValueSet", "ValueSetOps", "PrecisionLoss", "DEFAULT_SET_CAP",
+           "intern_clear", "intern_counters"]
 
 DEFAULT_SET_CAP = 64
+
+# Hash-consing: one canonical ValueSet per element frozenset, carrying a
+# precomputed hash (same value as the historical ``hash(self.elements)``) and
+# a process-unique small-int ``_id``.  Memo tables and the engine projection
+# cache key on ``_id`` instead of re-hashing frozensets; the id counter is
+# never reset (stale ids in a long-lived cache can only miss, never collide).
+_INTERN: dict = {}
+_CONSTANTS: dict = {}
+_next_id = 0
+_hits = 0
+_misses = 0
+
+
+def intern_clear() -> None:
+    """Drop the canonical-instance tables (called per analysis run).
+
+    Also clears the masked-symbol and mask layers beneath, so one call at
+    :class:`~repro.analysis.state.AnalysisContext` construction bounds the
+    interning memory of a process and makes per-run hit counters a pure
+    function of the analyzed scenario.  The ``_id`` counter is *not* reset.
+    """
+    _INTERN.clear()
+    _CONSTANTS.clear()
+    masked_mod.intern_clear()
+
+
+def intern_counters() -> tuple[int, int]:
+    """Global (hits, misses) of value-set interning (monotonic)."""
+    return _hits, _misses
 
 
 class PrecisionLoss(Exception):
@@ -31,12 +62,27 @@ class PrecisionLoss(Exception):
 class ValueSet:
     """A non-empty finite set of masked symbols (one abstract machine word)."""
 
-    __slots__ = ("elements",)
+    __slots__ = ("elements", "is_singleton", "is_constant", "_id", "_hash")
 
-    def __init__(self, elements: Iterable[MaskedSymbol]):
-        self.elements: frozenset[MaskedSymbol] = frozenset(elements)
-        if not self.elements:
+    def __new__(cls, elements: Iterable[MaskedSymbol]) -> "ValueSet":
+        global _next_id, _hits, _misses
+        key = elements if type(elements) is frozenset else frozenset(elements)
+        cached = _INTERN.get(key)
+        if cached is not None:
+            _hits += 1
+            return cached
+        _misses += 1
+        if not key:
             raise ValueError("value set must be non-empty")
+        self = object.__new__(cls)
+        self.elements = key
+        self.is_singleton = len(key) == 1
+        self.is_constant = self.is_singleton and next(iter(key)).is_constant
+        self._hash = hash(key)
+        self._id = _next_id
+        _next_id += 1
+        _INTERN[key] = self
+        return self
 
     # ------------------------------------------------------------------
     # Constructors
@@ -44,7 +90,15 @@ class ValueSet:
     @classmethod
     def constant(cls, value: int, width: int) -> "ValueSet":
         """A known low value: singleton constant set."""
-        return cls([MaskedSymbol.constant(value, width)])
+        global _hits
+        key = (value, width)
+        cached = _CONSTANTS.get(key)
+        if cached is None:
+            cached = cls([MaskedSymbol.constant(value, width)])
+            _CONSTANTS[key] = cached
+        else:
+            _hits += 1
+        return cached
 
     @classmethod
     def constants(cls, values: Iterable[int], width: int) -> "ValueSet":
@@ -57,18 +111,8 @@ class ValueSet:
         return cls([MaskedSymbol.symbol(sym, width)])
 
     # ------------------------------------------------------------------
-    # Queries
+    # Queries (``is_singleton``/``is_constant`` are precomputed attributes)
     # ------------------------------------------------------------------
-    @property
-    def is_singleton(self) -> bool:
-        """True iff exactly one masked symbol is represented."""
-        return len(self.elements) == 1
-
-    @property
-    def is_constant(self) -> bool:
-        """True iff the set is a single fully known value."""
-        return self.is_singleton and next(iter(self.elements)).is_constant
-
     @property
     def value(self) -> int:
         """The unique concrete value (raises unless :attr:`is_constant`)."""
@@ -94,10 +138,16 @@ class ValueSet:
         return iter(self.elements)
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         return isinstance(other, ValueSet) and self.elements == other.elements
 
     def __hash__(self) -> int:
-        return hash(self.elements)
+        return self._hash
+
+    def __reduce__(self):
+        # Pickle by value; unpickling re-interns (with a fresh local _id).
+        return (ValueSet, (self.elements,))
 
     def describe(self, table=None) -> str:
         """Human-readable rendering of the set."""
@@ -111,27 +161,43 @@ class ValueSet:
     # Lattice
     # ------------------------------------------------------------------
     def join(self, other: "ValueSet", cap: int = DEFAULT_SET_CAP) -> "ValueSet":
-        """Set union (the join of the powerset lattice)."""
-        union = self.elements | other.elements
-        if len(union) > cap:
+        """Set union (the join of the powerset lattice).
+
+        Zero-copy fast paths: when one side subsumes the other (identity
+        being the common case at merge points) the existing canonical object
+        is returned instead of materializing the union — the cap is still
+        enforced on the result size, exactly as the rebuild would.
+        """
+        mine = self.elements
+        theirs = other.elements
+        if other is self or theirs <= mine:
+            result, size = self, len(mine)
+        elif mine <= theirs:
+            result, size = other, len(theirs)
+        else:
+            union = mine | theirs
+            result, size = None, len(union)
+        if size > cap:
             raise PrecisionLoss(
-                f"value set exceeded cap {cap} during join ({len(union)} elements)"
+                f"value set exceeded cap {cap} during join ({size} elements)"
             )
-        return ValueSet(union)
+        return ValueSet(union) if result is None else result
 
     def subsumes(self, other: "ValueSet") -> bool:
         """True iff ``other ⊆ self`` (used to detect state stabilization)."""
-        return other.elements <= self.elements
+        return other is self or other.elements <= self.elements
 
 
 class ValueSetOps:
     """Lifting of :class:`MaskedOps` from pairs to sets (paper §5.4).
 
-    Binary liftings are memoized per ``(operation, x, y)``.  A symbol denotes
-    the same concrete value under any fixed valuation λ wherever it appears,
-    so re-running an operation on the same operand sets must produce the same
-    abstract result — the memo returns the first run's result (including any
-    fresh symbols it allocated) instead of recomputing the pairwise product.
+    Liftings are memoized per ``(operation, operands)`` — keyed by the
+    operands' interned ids, so a lookup hashes a couple of ints instead of
+    two frozensets of masked symbols.  A symbol denotes the same concrete
+    value under any fixed valuation λ wherever it appears, so re-running an
+    operation on the same operand sets must produce the same abstract
+    result — the memo returns the first run's result (including any fresh
+    symbols it allocated) instead of recomputing the pairwise product.
     This is the set-level counterpart of the §5.4.2 succ-table reuse and is
     what keeps repeated loop bodies from recomputing identical products.
     """
@@ -143,6 +209,10 @@ class ValueSetOps:
         self._memo: dict[tuple, tuple[ValueSet, frozenset[FlagBits]]] = {}
         self.memo_hits = 0
         self.memo_misses = 0
+        self._dispatch = {
+            "AND": self.and_, "OR": self.or_, "XOR": self.xor,
+            "ADD": self.add, "SUB": self.sub, "MUL": self.mul,
+        }
 
     @property
     def memo_hit_rate(self) -> float:
@@ -157,12 +227,19 @@ class ValueSetOps:
         x: ValueSet,
         y: ValueSet,
     ) -> tuple[ValueSet, frozenset[FlagBits]]:
-        memo_key = (op_name, x.elements, y.elements)
+        memo_key = (op_name, x._id, y._id)
         cached = self._memo.get(memo_key)
         if cached is not None:
             self.memo_hits += 1
             return cached
         self.memo_misses += 1
+        if x.is_singleton and y.is_singleton:
+            # Degenerate 1×1 product: no set bookkeeping, no cap checks
+            # (a singleton result can never exceed the cap).
+            value, flag = op(next(iter(x.elements)), next(iter(y.elements)))
+            lifted = (ValueSet((value,)), frozenset((flag,)))
+            self._memo[memo_key] = lifted
+            return lifted
         results: set[MaskedSymbol] = set()
         flags: set[FlagBits] = set()
         if len(x) * len(y) > self.cap * self.cap:
@@ -174,6 +251,12 @@ class ValueSetOps:
                 value, flag = op(element_x, element_y)
                 results.add(value)
                 flags.add(flag)
+        return self._finalize_lift(memo_key, results, flags)
+
+    def _finalize_lift(
+        self, memo_key: tuple, results: set, flags: set
+    ) -> tuple[ValueSet, frozenset[FlagBits]]:
+        """Shared cap-check / canonicalize / memoize tail of every lifting."""
         if len(results) > self.cap:
             raise PrecisionLoss(
                 f"value set exceeded cap {self.cap} ({len(results)} elements)"
@@ -184,16 +267,25 @@ class ValueSetOps:
 
     def _lift_unary(
         self,
+        op_name: str,
         op: Callable[[MaskedSymbol], tuple[MaskedSymbol, FlagBits]],
         x: ValueSet,
     ) -> tuple[ValueSet, frozenset[FlagBits]]:
+        memo_key = (op_name, x._id)
+        cached = self._memo.get(memo_key)
+        if cached is not None:
+            self.memo_hits += 1
+            return cached
+        self.memo_misses += 1
         results: set[MaskedSymbol] = set()
         flags: set[FlagBits] = set()
         for element in x:
             value, flag = op(element)
             results.add(value)
             flags.add(flag)
-        return ValueSet(results), frozenset(flags)
+        lifted = (ValueSet(results), frozenset(flags))
+        self._memo[memo_key] = lifted
+        return lifted
 
     # ------------------------------------------------------------------
     # Lifted operations
@@ -207,8 +299,19 @@ class ValueSetOps:
         return self._lift_binary("OR", self.masked.or_, x, y)
 
     def xor(self, x: ValueSet, y: ValueSet):
-        """Lifted bitwise XOR."""
-        return self._lift_binary("XOR", self.masked.xor, x, y)
+        """Lifted bitwise XOR (bulk-inlined product, same memo/cap rules)."""
+        memo_key = ("XOR", x._id, y._id)
+        cached = self._memo.get(memo_key)
+        if cached is not None:
+            self.memo_hits += 1
+            return cached
+        self.memo_misses += 1
+        if len(x) * len(y) > self.cap * self.cap:
+            raise PrecisionLoss(
+                f"operand product too large: {len(x)} x {len(y)} masked symbols"
+            )
+        results, flags = self.masked.xor_bulk(x.elements, y.elements)
+        return self._finalize_lift(memo_key, results, flags)
 
     def add(self, x: ValueSet, y: ValueSet):
         """Lifted addition."""
@@ -232,17 +335,25 @@ class ValueSetOps:
 
     def not_(self, x: ValueSet):
         """Lifted bitwise NOT."""
-        return self._lift_unary(self.masked.not_, x)
+        return self._lift_unary("NOT", self.masked.not_, x)
 
     def neg(self, x: ValueSet):
         """Lifted negation."""
-        return self._lift_unary(self.masked.neg, x)
+        return self._lift_unary("NEG", self.masked.neg, x)
 
     def shift(self, op_name: str, x: ValueSet, amounts: ValueSet):
-        """Lifted SHL/SHR/SAR; the shift count must be fully known."""
+        """Lifted SHL/SHR/SAR; the shift count must be fully known.
+
+        Shares the id-keyed memo and the :meth:`_finalize_lift` tail with
+        the binary liftings; the product itself keeps the historical
+        iteration order (integer counts outer, shifted operand inner, count
+        reduced modulo the width as x86 masks the shift-count register) so
+        fresh-symbol allocation order — and with it every downstream count —
+        stays bit-identical.
+        """
         ops = {"SHL": self.masked.shl, "SHR": self.masked.shr, "SAR": self.masked.sar}
         shift_op = ops[op_name]
-        memo_key = (op_name, x.elements, amounts.elements)
+        memo_key = (op_name, amounts._id, x._id)
         cached = self._memo.get(memo_key)
         if cached is not None:
             self.memo_hits += 1
@@ -251,27 +362,18 @@ class ValueSetOps:
         results: set[MaskedSymbol] = set()
         flags: set[FlagBits] = set()
         for count in amounts.constant_values():
-            count %= self.width  # x86 masks the shift count
+            count %= self.width
             for element in x:
                 value, flag = shift_op(element, count)
                 results.add(value)
                 flags.add(flag)
-        if len(results) > self.cap:
-            raise PrecisionLoss(
-                f"value set exceeded cap {self.cap} ({len(results)} elements)"
-            )
-        lifted = (ValueSet(results), frozenset(flags))
-        self._memo[memo_key] = lifted
-        return lifted
+        return self._finalize_lift(memo_key, results, flags)
 
     def apply(self, op_name: str, x: ValueSet, y: ValueSet | None):
         """Apply a named operation (used by the abstract transfer function)."""
-        binary = {
-            "AND": self.and_, "OR": self.or_, "XOR": self.xor,
-            "ADD": self.add, "SUB": self.sub, "MUL": self.mul,
-        }
-        if op_name in binary:
-            return binary[op_name](x, y)
+        binary = self._dispatch.get(op_name)
+        if binary is not None:
+            return binary(x, y)
         if op_name in ("SHL", "SHR", "SAR"):
             return self.shift(op_name, x, y)
         if op_name == "NOT":

@@ -26,32 +26,41 @@ from repro.core.leakage import LeakageReport, ObservationBound
 from repro.core.observers import AccessKind
 
 __all__ = ["AdversaryRow", "BoundRow", "SweepResult", "ResultStore",
-           "update_bench_log"]
+           "load_bench_log", "update_bench_log"]
 
 STORE_VERSION = 1
+
+
+def load_bench_log(path: str | os.PathLike) -> dict[str, float]:
+    """Read the timings of a ``BENCH_sweep.json``-style log.
+
+    The one reader for every consumer of the log (the merging writer below
+    and the CLI's ``bench-compare``): anything that is not a well-shaped
+    ``{"version": 1, "timings": {...}}`` object — missing file, truncated
+    JSON, wrong type — reads as empty rather than raising.
+    """
+    try:
+        with open(os.fspath(path), encoding="utf-8") as handle:
+            loaded = json.load(handle)
+    except (OSError, ValueError):
+        return {}
+    if isinstance(loaded, dict) and isinstance(loaded.get("timings"), dict):
+        return dict(loaded["timings"])
+    return {}
 
 
 def update_bench_log(path: str | os.PathLike, timings: dict[str, float]) -> int:
     """Merge wall-clock timings into a ``BENCH_sweep.json``-style log.
 
     The one writer for every producer of the log (the benchmark harness and
-    the CLI's ``--bench-out``): loads the existing ``{"version": 1,
-    "timings": {...}}`` file if its shape is valid (anything else — missing,
-    truncated, non-object — starts fresh), merges, and rewrites atomically
+    the CLI's ``--bench-out``): loads the existing file if its shape is
+    valid (see :func:`load_bench_log`), merges, and rewrites atomically
     with sorted keys.  Returns the number of entries merged in.
     """
     if not timings:
         return 0
     path = os.fspath(path)
-    merged: dict[str, float] = {}
-    if os.path.exists(path):
-        try:
-            with open(path, encoding="utf-8") as handle:
-                loaded = json.load(handle)
-        except (OSError, ValueError):
-            loaded = None
-        if isinstance(loaded, dict) and isinstance(loaded.get("timings"), dict):
-            merged = loaded["timings"]
+    merged = load_bench_log(path)
     merged.update(timings)
     payload = {
         "version": 1,

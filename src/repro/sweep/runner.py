@@ -52,7 +52,12 @@ def _overridden_config(config, scenario: Scenario):
 
 
 def _engine_metrics(engine_result) -> dict:
-    """Deterministic engine counters recorded alongside the bounds."""
+    """Deterministic engine counters recorded alongside the bounds.
+
+    The intern counters are per-run deltas of the abstract domain's
+    hash-consing layer; `AnalysisContext` clears the tables per analysis, so
+    they are a pure function of the scenario (pool and inline runs agree).
+    """
     scheduler = engine_result.scheduler
     return {
         "steps": engine_result.steps,
@@ -67,6 +72,10 @@ def _engine_metrics(engine_result) -> dict:
         "projection_misses": scheduler.projection_misses,
         "lift_memo_hits": scheduler.lift_memo_hits,
         "lift_memo_misses": scheduler.lift_memo_misses,
+        "vs_intern_hits": scheduler.vs_intern_hits,
+        "vs_intern_misses": scheduler.vs_intern_misses,
+        "sym_intern_hits": scheduler.sym_intern_hits,
+        "sym_intern_misses": scheduler.sym_intern_misses,
     }
 
 
@@ -126,6 +135,21 @@ def _pool_worker(scenario: Scenario) -> dict:
     payload = result.to_payload()
     payload["_elapsed"] = result.elapsed
     return payload
+
+
+def _warm_worker() -> None:
+    """Pool initializer: warm-start a worker before its first task.
+
+    Pays the heavy imports (analyzer, engine, transfer, the kernel/target
+    catalogue with its compile caches, and the transform pipeline) during
+    pool spin-up — concurrently across workers — instead of inside the first
+    scenario's measured wall-clock.  ``execute_scenario`` defers these
+    imports precisely so that *inline* runners stay cheap to construct; the
+    initializer is where pool workers opt back in.
+    """
+    import repro.analysis.analyzer  # noqa: F401
+    import repro.casestudy.targets  # noqa: F401
+    import repro.transform.pipeline  # noqa: F401
 
 
 class SweepRunner:
@@ -232,8 +256,12 @@ class SweepRunner:
 
     def _run_pool(self, scenarios: list[Scenario]) -> list[SweepResult]:
         workers = min(self.processes, len(scenarios))
-        with multiprocessing.Pool(processes=workers) as pool:
-            payloads = pool.map(_pool_worker, scenarios)
+        # Chunked scheduling: one IPC round trip per chunk instead of per
+        # scenario, with ~4 chunks per worker so stragglers still balance.
+        chunksize = max(1, -(-len(scenarios) // (workers * 4)))
+        with multiprocessing.Pool(processes=workers,
+                                  initializer=_warm_worker) as pool:
+            payloads = pool.map(_pool_worker, scenarios, chunksize=chunksize)
         fresh = []
         for payload in payloads:
             elapsed = payload.pop("_elapsed", 0.0)

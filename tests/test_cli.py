@@ -116,3 +116,78 @@ class TestSweep:
                      "preload,align-tables"])
         assert code == 0
         assert "leakage ordering holds" in capsys.readouterr().out
+
+    def test_profile_dumps_cprofile_stats(self, tmp_path, capsys):
+        profile_path = tmp_path / "sweep.prof"
+        code = main(["sweep", "--entry-bytes", "16", "--no-cache",
+                     "figure7a", "--profile", str(profile_path)])
+        assert code == 0
+        assert "profile written to" in capsys.readouterr().out
+        import pstats
+        stats = pstats.Stats(str(profile_path))
+        assert stats.total_calls > 0
+
+
+class TestBenchCompare:
+    @staticmethod
+    def _log(path, timings):
+        path.write_text(json.dumps({"version": 1, "timings": timings}))
+
+    def test_no_regression_passes(self, tmp_path, capsys):
+        baseline = tmp_path / "base.json"
+        current = tmp_path / "now.json"
+        self._log(baseline, {"slow": 2.0, "fast": 0.01, "only_base": 1.0})
+        self._log(current, {"slow": 2.5, "fast": 0.05, "only_now": 1.0})
+        code = main(["bench-compare", "--baseline", str(baseline),
+                     "--current", str(current)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "no regressions" in out
+        assert "present in only one log" in out
+
+    def test_slow_entry_regression_fails(self, tmp_path, capsys):
+        baseline = tmp_path / "base.json"
+        current = tmp_path / "now.json"
+        self._log(baseline, {"slow": 2.0})
+        self._log(current, {"slow": 5.0})
+        code = main(["bench-compare", "--baseline", str(baseline),
+                     "--current", str(current)])
+        assert code == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_fast_entries_never_gate(self, tmp_path):
+        baseline = tmp_path / "base.json"
+        current = tmp_path / "now.json"
+        self._log(baseline, {"fast": 0.01})
+        self._log(current, {"fast": 0.49})  # 49x but under --min-seconds
+        assert main(["bench-compare", "--baseline", str(baseline),
+                     "--current", str(current)]) == 0
+
+    def test_ratio_and_threshold_flags(self, tmp_path):
+        baseline = tmp_path / "base.json"
+        current = tmp_path / "now.json"
+        self._log(baseline, {"slow": 1.0})
+        self._log(current, {"slow": 2.5})
+        assert main(["bench-compare", "--baseline", str(baseline),
+                     "--current", str(current), "--max-ratio", "3.0"]) == 0
+        assert main(["bench-compare", "--baseline", str(baseline),
+                     "--current", str(current), "--min-seconds", "1.5"]) == 0
+        assert main(["bench-compare", "--baseline", str(baseline),
+                     "--current", str(current)]) == 1
+
+    def test_missing_or_corrupt_logs_are_usage_errors(self, tmp_path):
+        baseline = tmp_path / "base.json"
+        self._log(baseline, {"slow": 1.0})
+        assert main(["bench-compare", "--baseline", str(baseline),
+                     "--current", str(tmp_path / "missing.json")]) == 2
+        corrupt = tmp_path / "corrupt.json"
+        corrupt.write_text("{nope")
+        assert main(["bench-compare", "--baseline", str(corrupt),
+                     "--current", str(baseline)]) == 2
+
+    def test_gates_the_committed_baseline_against_itself(self, capsys):
+        """The shipped BENCH_sweep.json trivially passes against itself —
+        the shape CI relies on."""
+        assert main(["bench-compare", "--baseline", "BENCH_sweep.json",
+                     "--current", "BENCH_sweep.json"]) == 0
+        assert "no regressions" in capsys.readouterr().out
