@@ -39,6 +39,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
@@ -96,10 +97,17 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--bench-out", default=None,
                        help="append per-scenario wall-clock timings to this "
                             "JSON log (BENCH_sweep.json format)")
+    sweep.add_argument("--no-specialize", action="store_true",
+                       help="disable the compile tier (block-specialized "
+                            "abstract transformers): sets REPRO_NO_SPECIALIZE "
+                            "so pool workers inherit it; results are "
+                            "bit-identical either way, only slower")
     sweep.add_argument("--profile", default=None, metavar="OUT",
                        help="profile the sweep with cProfile and dump the "
                             "stats to this file (inspect with pstats or "
-                            "snakeviz); a top-function summary is printed")
+                            "snakeviz); a top-function summary and the "
+                            "per-scenario specialization hit rates are "
+                            "printed")
 
     bench = commands.add_parser(
         "bench-compare",
@@ -215,7 +223,38 @@ def _append_bench_log(path: str, results: list[SweepResult]) -> int:
                for result in results if not result.cached})
 
 
+def _specialization_profile(results: list[SweepResult]) -> str | None:
+    """Per-scenario compile-tier lines for ``sweep --profile`` output.
+
+    Shows how much of each scenario's exploration ran through specialized
+    block functions (hit rate of ``spec_steps`` against total steps) and
+    how many blocks the tier compiled; scenarios without engine counters
+    (kernel scenarios, results cached from older stores) are skipped.
+    """
+    lines = []
+    for result in results:
+        metrics = result.metrics
+        if "spec_steps" not in metrics or "interp_steps" not in metrics:
+            continue
+        spec_steps = metrics["spec_steps"]
+        total = spec_steps + metrics["interp_steps"]
+        rate = spec_steps / total if total else 0.0
+        lines.append(
+            f"  {result.scenario:<44}"
+            f"blocks={metrics.get('spec_blocks', 0):>4}"
+            f"  spec_steps={spec_steps:>9,}"
+            f"  hit_rate={rate:>7.1%}")
+    if not lines:
+        return None
+    return "per-scenario specialization (compile tier):\n" + "\n".join(lines)
+
+
 def _command_sweep(args) -> int:
+    if args.no_specialize:
+        # The env var (not just a config flag) so fork/spawn pool workers
+        # and every library layer observe the same mode.
+        from repro.analysis.specialize import NO_SPECIALIZE_ENV
+        os.environ[NO_SPECIALIZE_ENV] = "1"
     catalogue = all_scenarios(entry_bytes=args.entry_bytes)
     if args.all:
         selected: list[Scenario] = list(catalogue.values())
@@ -247,6 +286,10 @@ def _command_sweep(args) -> int:
         stats = pstats.Stats(profiler).sort_stats("cumulative")
         print(f"profile written to {args.profile}; hottest functions:")
         stats.print_stats(12)
+        specialization = _specialization_profile(results)
+        if specialization:
+            print(specialization)
+            print()
     for result in results:
         print(_render_sweep_result(result))
         print()
@@ -268,9 +311,13 @@ def _command_bench_compare(args) -> int:
     only entries at least ``--min-seconds`` slow in the baseline can fail
     (fast entries are pure noise), and only when the ratio exceeds
     ``--max-ratio``.  Entries missing from either side are reported but
-    never fail — partial benchmark runs stay usable.
+    never fail — partial benchmark runs stay usable.  When the baseline
+    records a CPU count different from this machine's, regressions are
+    reported as warnings instead of failing: cross-machine timing ratios
+    (especially of parallel sweeps) say nothing about the code.  Baselines
+    without a recorded environment gate normally.
     """
-    from repro.sweep.results import load_bench_log
+    from repro.sweep.results import load_bench_environment, load_bench_log
 
     baseline = load_bench_log(args.baseline)
     if not baseline:
@@ -280,6 +327,13 @@ def _command_bench_compare(args) -> int:
     if not current:
         print(f"no current timings in {args.current}", file=sys.stderr)
         return 2
+    recorded_cpus = load_bench_environment(args.baseline).get("cpu_count")
+    cpu_mismatch = (recorded_cpus is not None
+                    and recorded_cpus != os.cpu_count())
+    if cpu_mismatch:
+        print(f"note: baseline recorded on a {recorded_cpus}-CPU machine, "
+              f"this one has {os.cpu_count()} — regressions below are "
+              f"warnings, not failures")
 
     shared = sorted(set(baseline) & set(current))
     regressions = []
@@ -299,12 +353,16 @@ def _command_bench_compare(args) -> int:
     if skipped:
         print(f"({len(skipped)} entries present in only one log, ignored)")
     if regressions:
-        print(f"\n{len(regressions)} benchmark regression(s) beyond "
+        severity = "warning" if cpu_mismatch else "regression"
+        print(f"\n{len(regressions)} benchmark {severity}(s) beyond "
               f"{args.max_ratio:.1f}x on gated (>= {args.min_seconds:.1f}s) "
               f"entries:", file=sys.stderr)
         for key, base, now, ratio in regressions:
             print(f"  {key}: {base:.3f}s -> {now:.3f}s ({ratio:.2f}x)",
                   file=sys.stderr)
+        if cpu_mismatch:
+            print("(not gating: baseline CPU count differs)", file=sys.stderr)
+            return 0
         return 1
     gated_count = sum(1 for key in shared
                       if baseline[key] >= args.min_seconds)

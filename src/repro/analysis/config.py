@@ -55,6 +55,11 @@ class AnalysisConfig:
     value_set_cap: int = 64
     fuel: int = 1_000_000
     stack_top: int = 0x0BFF_F000
+    # Compile tier (repro.analysis.specialize): execute straight-line code
+    # through per-block specialized functions.  Results are bit-identical
+    # with the interpreted path; the knob (and the REPRO_NO_SPECIALIZE env
+    # var, which overrides it) exists for ablation and as a rot guard.
+    specialize: bool = True
 
     def __post_init__(self) -> None:
         unknown = [model for model in self.adversary_models

@@ -35,6 +35,11 @@ from dataclasses import dataclass, field
 from itertools import count as _count
 
 from repro.analysis.config import AnalysisConfig, AnalysisError
+from repro.analysis.specialize import (
+    compile_tier_evictions,
+    specialization_enabled,
+    specialized_program,
+)
 from repro.analysis.state import AbsState, AnalysisContext
 from repro.analysis.transfer import SENTINEL_RETURN, Transfer
 from repro.core.masked import intern_counters as masked_intern_counters
@@ -91,6 +96,19 @@ class SchedulerStats:
     vs_intern_misses: int = 0
     sym_intern_hits: int = 0
     sym_intern_misses: int = 0
+    # Compile tier: how much of the run went through specialized block
+    # functions (repro.analysis.specialize) instead of Transfer.step, and
+    # how many compile-tier LRU cache evictions the run incurred.
+    spec_blocks: int = 0
+    spec_block_runs: int = 0
+    spec_steps: int = 0
+    interp_steps: int = 0
+    cache_evictions: int = 0
+
+    @property
+    def spec_step_rate(self) -> float:
+        total = self.spec_steps + self.interp_steps
+        return self.spec_steps / total if total else 0.0
 
     @property
     def decode_cache_hit_rate(self) -> float:
@@ -203,6 +221,11 @@ class Engine:
         self._label_intern: dict[ProjectedLabel, ProjectedLabel] = {}
         # The active configuration's cursor list, set per step by run().
         self._emit_cursors: list[Cursor] | None = None
+        # Specialized blocks already executed this run, by start pc: the
+        # first execution decodes the covered instructions (decode misses),
+        # later ones replay them from the compiled code (decode hits), so
+        # decode_hits + decode_misses == steps holds in every mode.
+        self._spec_seen: set[int] = set()
 
     # ------------------------------------------------------------------
     # Access routing
@@ -239,6 +262,87 @@ class Engine:
             for dag, slot in slots:
                 cursors[slot] = dag.access(cursors[slot], label)
 
+    def _emit_d_batch(self, addresses, cursors) -> None:
+        """Emit a specialized block's collected data accesses, batched.
+
+        ``addresses`` is the block body's data-access address sequence in
+        program order.  Per observer the addresses project through the same
+        cache (and counters) as the stepwise ``_emit``; consecutive equal
+        single labels collapse into run-length entries so each DAG advances
+        in one ``access_seq`` call per block execution instead of one
+        ``access`` per memory operand.  Per-kind access sequences are
+        unchanged — only the I/D interleaving differs, which no D-observing
+        DAG can see (the SHARED guard in ``run`` keeps mixed-kind DAGs on
+        the interpreter).
+        """
+        cache = self._projection_cache
+        stats = self.stats
+        table = self.context.table
+        policy = self.context.config.projection_policy
+        intern = self._label_intern
+        for observer, slots in self._emit_plan["D"]:
+            offset_bits = observer.offset_bits
+            runs: list[list] = []
+            last_label = None
+            for address in addresses:
+                cache_key = (address._id, offset_bits)
+                label = cache.get(cache_key)
+                if label is not None:
+                    stats.projection_hits += 1
+                else:
+                    stats.projection_misses += 1
+                    label = project_value_set(address, offset_bits, table,
+                                              policy)
+                    label = intern.setdefault(label, label)
+                    cache[cache_key] = label
+                if label is last_label and label.is_single:
+                    runs[-1][1] += 1
+                else:
+                    runs.append([label, 1])
+                    last_label = label
+            for dag, slot in slots:
+                cursors[slot] = dag.access_seq(cursors[slot], runs)
+
+    def _block_i_runs(self, block):
+        """Project a specialized block's fetch sequence, run-length batched.
+
+        A block's fetch addresses are constants, so per observer the label
+        sequence is fixed for the whole run: project it once (through the
+        normal projection cache, with the usual counters), compress
+        consecutive equal labels, and cache the result on the bound block.
+        Consecutive fetches overwhelmingly project to the same label for
+        coarse observers (same line, same page), so later executions extend
+        each DAG's run-length entry in one ``access_run`` call per label
+        instead of one ``access`` per instruction.
+        """
+        cache = self._projection_cache
+        stats = self.stats
+        table = self.context.table
+        policy = self.context.config.projection_policy
+        i_runs = []
+        for observer, slots in self._emit_plan["I"]:
+            offset_bits = observer.offset_bits
+            runs: list[list] = []
+            last_label = None
+            for address in block.fetches:
+                cache_key = (address._id, offset_bits)
+                label = cache.get(cache_key)
+                if label is not None:
+                    stats.projection_hits += 1
+                else:
+                    stats.projection_misses += 1
+                    label = project_value_set(address, offset_bits, table, policy)
+                    label = self._label_intern.setdefault(label, label)
+                    cache[cache_key] = label
+                if runs and label is last_label and label.is_single:
+                    runs[-1][1] += 1
+                else:
+                    runs.append([label, 1])
+                    last_label = label
+            i_runs.append((slots, [(label, length) for label, length in runs]))
+        block.i_runs = i_runs
+        return i_runs
+
     # ------------------------------------------------------------------
     # Instruction decode
     # ------------------------------------------------------------------
@@ -269,6 +373,24 @@ class Engine:
             for dag in self._dag_slots:
                 dag.enable_dedupe(backfill=True)
         self._has_run = True
+
+        # Compile tier: fetch (or build) the specialized blocks for this
+        # (image, entry) and bind them to this run's context.  Binding
+        # happens before the intern-counter snapshot below, so bind-time
+        # constant materialization does not perturb the per-run deltas.
+        evictions_base = compile_tier_evictions()
+        spec_blocks = None
+        if (specialization_enabled(self.context.config)
+                and AccessKind.SHARED not in self.kinds):
+            # A SHARED-kind DAG observes instruction and data accesses
+            # interleaved in program order; the compile tier emits a block's
+            # fetches batched ahead of its data accesses (identical per-kind
+            # sequences, different interleaving), so SHARED runs interpret.
+            program = specialized_program(self.image, entry)
+            if program.blocks:
+                spec_blocks = program.bind(self.context)
+                self.stats.spec_blocks = len(spec_blocks)
+
         result = EngineResult(dags=self.dags, final_vertices={},
                               scheduler=self.stats)
         cursors = [dag.root_cursor() for dag in self._dag_slots]
@@ -301,11 +423,13 @@ class Engine:
         if gc_was_enabled:
             gc.disable()
         try:
-            self._explore(heap, pending, finished, fuel, result, emit)
+            self._explore(heap, pending, finished, fuel, result, emit,
+                          spec_blocks)
         finally:
             if gc_was_enabled:
                 gc.enable()
 
+        self.stats.cache_evictions = compile_tier_evictions() - evictions_base
         self._sync_lift_stats(vs_base, sym_base)
         # Finalize all cursors per DAG.
         for slot, key in enumerate(self._dag_keys):
@@ -316,9 +440,16 @@ class Engine:
             result.final_vertices[key] = ends
         return result
 
-    def _explore(self, heap, pending, finished, fuel, result, emit) -> None:
+    def _explore(self, heap, pending, finished, fuel, result, emit,
+                 spec_blocks=None) -> None:
         """The scheduler loop, split out so run() can bracket it (GC pause)."""
         seq = _count(1)
+        stats = self.stats
+        spec_seen = self._spec_seen
+        # Data-address collector handed to specialized block functions; one
+        # list reused across block executions (cleared after each batch).
+        d_log: list = []
+        d_append = d_log.append
 
         while heap:
             _, _, config = heapq.heappop(heap)
@@ -326,12 +457,60 @@ class Engine:
             if config.pc == SENTINEL_RETURN:
                 finished.append(config)
                 continue
+
+            if spec_blocks is not None:
+                block = spec_blocks.get(config.pc)
+                # The fuel guard requires headroom for the whole prefix:
+                # without it the interpreted path below replays the block one
+                # instruction at a time and raises at the exact step the
+                # interpreter always did.  Interior prefix pcs are never CFG
+                # leaders, so no pending configuration can name them and
+                # atomic execution pops in the interpreted order.
+                if block is not None and result.steps + block.n_steps <= fuel:
+                    cursors = config.cursors
+                    i_runs = block.i_runs
+                    if i_runs is None:
+                        i_runs = self._block_i_runs(block)
+                    for slots, runs in i_runs:
+                        for dag, slot in slots:
+                            cursors[slot] = dag.access_seq(cursors[slot], runs)
+                    block.fn(config.state, d_append)
+                    if d_log:
+                        self._emit_d_batch(d_log, cursors)
+                        d_log.clear()
+                    n_steps = block.n_steps
+                    result.steps += n_steps
+                    stats.spec_block_runs += 1
+                    stats.spec_steps += n_steps
+                    if config.pc in spec_seen:
+                        stats.decode_hits += n_steps
+                    else:
+                        spec_seen.add(config.pc)
+                        stats.decode_misses += n_steps
+                    candidate = _Config(
+                        frames=config.frames, pc=block.end_pc,
+                        state=config.state, cursors=config.cursors,
+                    )
+                    existing = pending.get(candidate.merge_key)
+                    if existing is None:
+                        pending[candidate.merge_key] = candidate
+                        if len(pending) > result.max_configs:
+                            result.max_configs = len(pending)
+                        heapq.heappush(
+                            heap, (candidate.order_key, next(seq), candidate))
+                        if len(heap) > stats.peak_heap_size:
+                            stats.peak_heap_size = len(heap)
+                    else:
+                        self._merge_into(existing, candidate, result)
+                    continue
+
             if result.steps >= fuel:
                 raise AnalysisError(
                     f"fuel exhausted after {result.steps} abstract steps "
                     f"(diverging loop or bound too small)"
                 )
             result.steps += 1
+            stats.interp_steps += 1
 
             instruction = self._decode(config.pc)
             self._emit_cursors = config.cursors

@@ -33,7 +33,7 @@ from repro.core.bitvec import (
 )
 from repro.core import mask as mask_mod
 from repro.core.mask import Mask
-from repro.core.symbols import SymbolKind, SymbolTable
+from repro.core.symbols import SymbolInfo, SymbolKind, SymbolTable
 
 __all__ = ["MaskedSymbol", "FlagBits", "MaskedOps", "concrete_op",
            "intern_clear", "intern_counters"]
@@ -307,6 +307,88 @@ class MaskedOps:
         """Abstract bitwise OR."""
         return self._boolean("OR", x, y)
 
+    def boolean_bulk(self, op_name: str, x_elements, y_elements) -> tuple[set, set]:
+        """The full pairwise AND/OR product, loop-inlined for the set lifting.
+
+        Semantically identical to calling :meth:`and_`/:meth:`or_` on every
+        pair in the same (x outer, y inner) order — the per-pair dispatch and
+        repeated mask-attribute loads are hoisted, the same move
+        :meth:`xor_bulk` makes for XOR, and the keep-the-symbol side
+        conditions of :meth:`_boolean_symbol` are loop-inlined with the
+        neutral-bit masks specialized per direction.
+        """
+        results: set = set()
+        flags: set = set()
+        width = self.width
+        full = self._full
+        sign_shift = self._sign_shift
+        is_and = op_name == "AND"
+        # Fresh-symbol allocation inlined as in xor_bulk: identical
+        # allocation order and provenance, minus three call frames per
+        # allocated pair.
+        table = self.table
+        infos = table._infos
+        derived = SymbolKind.DERIVED
+        obj_new = object.__new__
+        add_result = results.add
+        add_flag = flags.add
+        for x in x_elements:
+            xm = x.mask
+            xk, xv = xm.known, xm.value
+            x_sym = x.sym
+            x_const = x.is_constant
+            for y in y_elements:
+                ym = y.mask
+                yk, yv = ym.known, ym.value
+                if x_const and y.is_constant:
+                    value = (xv & yv) if is_and else (xv | yv)
+                    add_result(MaskedSymbol.constant(value, width))
+                    add_flag(FlagBits(zf=1 if value == 0 else 0, cf=0,
+                                      sf=(value >> sign_shift) & 1, of=0))
+                    continue
+                if is_and:
+                    known = ((xk & yk) | (xk & ~xv) | (yk & ~yv)) & full
+                    value = xv & yv
+                else:
+                    known = ((xk & yk) | (xk & xv) | (yk & yv)) & full
+                    value = xv | yv
+                mask = Mask(known, value, width)
+                y_sym = y.sym
+                if known == full:
+                    result = MaskedSymbol.constant(value, width)
+                    zf = 1 if value == 0 else 0
+                    sf = (value >> sign_shift) & 1
+                else:
+                    # _boolean_symbol inlined: idempotent same-symbol case,
+                    # then the keep-the-symbol condition per side.  The
+                    # "other operand's neutral known bits" are known&value
+                    # for AND (neutral 1) and known&~value for OR.
+                    symbolic = ~known & full
+                    if x_sym is not None and x_sym == y_sym:
+                        result = MaskedSymbol(sym=x_sym, mask=mask)
+                    elif x_sym is not None and not (symbolic & (
+                            xk | ~(yk & (yv if is_and else ~yv)))):
+                        result = MaskedSymbol(sym=x_sym, mask=mask)
+                    elif y_sym is not None and not (symbolic & (
+                            yk | ~(xk & (xv if is_and else ~xv)))):
+                        result = MaskedSymbol(sym=y_sym, mask=mask)
+                    else:
+                        ident = table._next
+                        table._next = ident + 1
+                        infos[ident] = SymbolInfo(ident, None, derived,
+                                                  (op_name, x, y))
+                        result = obj_new(MaskedSymbol)
+                        result.sym = ident
+                        result.mask = mask
+                        result.is_constant = False
+                        result._hash = hash((ident, mask))
+                    zf = 0 if value else None
+                    sf = ((value >> sign_shift) & 1
+                          if (known >> sign_shift) & 1 else None)
+                add_result(result)
+                add_flag(FlagBits(zf=zf, cf=0, sf=sf, of=0))
+        return results, flags
+
     def _boolean(
         self, op_name: str, x: MaskedSymbol, y: MaskedSymbol
     ) -> tuple[MaskedSymbol, FlagBits]:
@@ -380,7 +462,14 @@ class MaskedOps:
         width = self.width
         full = self._full
         sign_shift = self._sign_shift
-        fresh_result = self._fresh_result
+        # Fresh-symbol allocation inlined (the _fresh_result/fresh_derived/
+        # SymbolTable.fresh call chain, with identical allocation order and
+        # provenance): big symbolic products allocate one derived symbol per
+        # pair, so the three call frames per allocation are pure overhead.
+        table = self.table
+        infos = table._infos
+        derived = SymbolKind.DERIVED
+        obj_new = object.__new__
         add_result = results.add
         add_flag = flags.add
         for x in x_elements:
@@ -414,7 +503,15 @@ class MaskedOps:
                     elif y_sym is not None and not (symbolic & (yk | ~(xk & ~xv))):
                         result = MaskedSymbol(sym=y_sym, mask=mask)
                     else:
-                        result = fresh_result("XOR", x, y, mask)
+                        ident = table._next
+                        table._next = ident + 1
+                        infos[ident] = SymbolInfo(ident, None, derived,
+                                                  ("XOR", x, y))
+                        result = obj_new(MaskedSymbol)
+                        result.sym = ident
+                        result.mask = mask
+                        result.is_constant = False
+                        result._hash = hash((ident, mask))
                     zf = 0 if value else None
                     sf = ((value >> sign_shift) & 1
                           if (known >> sign_shift) & 1 else None)

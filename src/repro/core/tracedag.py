@@ -45,6 +45,11 @@ __all__ = ["TraceDAG", "Cursor", "EndSet", "EMPTY_ENDS", "Vertex", "StutterVerte
 
 ROOT_VERTEX = 0
 
+# Vertex records on the commit hot path are built by direct slot assignment
+# (skipping the __init__ call frame); the named constructors stay for tests
+# and debugging call sites.
+_new = object.__new__
+
 # A cursor entry: (exact parent ids, stutter parent ids, label, run).
 Entry = tuple[frozenset, frozenset, ProjectedLabel | None, int]
 Cursor = frozenset  # frozenset[Entry]
@@ -220,6 +225,83 @@ class TraceDAG:
             ))
         return frozenset(survivors)
 
+    def access_run(self, cursor: Cursor, label: ProjectedLabel, count: int) -> Cursor:
+        """Extend ``cursor`` with ``count`` consecutive accesses of ``label``.
+
+        Exactly equivalent to calling :meth:`access` ``count`` times — the
+        batched form exists for the compile tier, whose specialized blocks
+        know their whole (constant) instruction-fetch sequence up front and
+        can therefore extend a run-length entry in one call instead of one
+        per fetch.  Only single labels extend runs; multi-labels take the
+        loop, which commits a vertex per access just as :meth:`access` does.
+        """
+        if count == 1 or not label.is_single:
+            while count > 1:
+                cursor = self.access(cursor, label)
+                count -= 1
+            return self.access(cursor, label)
+        self._access_count += count
+        if len(cursor) == 1:
+            (entry,) = cursor
+            parents, stutter_parents, entry_label, run = entry
+            if entry_label is label or entry_label == label:
+                return frozenset(((parents, stutter_parents, label, run + count),))
+            exact_ids, stutter_ids = self._commit(
+                parents, stutter_parents, entry_label, run)
+            return frozenset(((exact_ids, stutter_ids, label, count),))
+        survivors: set[Entry] = set()
+        pending_exact: set[int] = set()
+        pending_stutter: set[int] = set()
+        for parents, stutter_parents, entry_label, run in cursor:
+            if entry_label is label or entry_label == label:
+                survivors.add((parents, stutter_parents, label, run + count))
+                continue
+            exact_ids, stutter_ids = self._commit(
+                parents, stutter_parents, entry_label, run)
+            pending_exact |= exact_ids
+            pending_stutter |= stutter_ids
+        if pending_exact:
+            survivors.add((
+                frozenset(pending_exact), frozenset(pending_stutter), label, count,
+            ))
+        return frozenset(survivors)
+
+    def access_seq(self, cursor: Cursor, runs: list) -> Cursor:
+        """Extend ``cursor`` with a whole run-length-encoded access sequence.
+
+        ``runs`` is a list of ``(label, count)`` pairs; the result is exactly
+        ``access_run`` applied to each pair in order.  For the single-entry
+        cursor the loop keeps the entry unpacked and rebuilds the frozenset
+        once at the end — the compile tier pushes a specialized block's whole
+        fetch sequence through here in one call, so the per-access cursor
+        churn of the stepwise path is what this removes.
+        """
+        if len(cursor) != 1:
+            for label, count in runs:
+                cursor = self.access_run(cursor, label, count)
+            return cursor
+        ((parents, stutter_parents, entry_label, run),) = cursor
+        commit = self._commit
+        total = 0
+        for label, count in runs:
+            total += count
+            if label.is_single:
+                if entry_label is label or entry_label == label:
+                    run += count
+                    continue
+                parents, stutter_parents = commit(
+                    parents, stutter_parents, entry_label, run)
+                entry_label = label
+                run = count
+            else:
+                for _ in range(count):
+                    parents, stutter_parents = commit(
+                        parents, stutter_parents, entry_label, run)
+                    entry_label = label
+                    run = 1
+        self._access_count += total
+        return frozenset(((parents, stutter_parents, entry_label, run),))
+
     def merge(self, first: Cursor, second: Cursor) -> Cursor:
         """Join two cursors at a control-flow merge (joins stay lazy).
 
@@ -249,7 +331,10 @@ class TraceDAG:
         chain-building common case allocates them once per vertex).  The
         registry probe uses ``setdefault``, hashing each key exactly once on
         the dominant new-vertex path; the count/span folds happen here while
-        the parents are at hand.
+        the parents are at hand, with the singleton-parent chain (every
+        commit of a fork-free run) folding without the multi-parent
+        min/max loop, and vertex records built by direct slot assignment —
+        this is the hottest function of the whole DAG layer.
         """
         if label is None:  # root-virtual entry: nothing to commit
             return parents, stutter_parents
@@ -262,24 +347,39 @@ class TraceDAG:
         else:
             existing = exact_ids
         if existing is exact_ids:
-            vertex = Vertex(ident=ident, label=label, parents=parents, run=run)
-            total = 0
-            low = high = None
-            for parent in parents:
+            vertex = _new(Vertex)
+            vertex.ident = ident
+            vertex.label = label
+            vertex.parents = parents
+            vertex.run = run
+            if len(parents) == 1:
+                (parent,) = parents
                 if parent:
                     record = vertices[parent]
-                    total += record.count_value
-                    parent_low, parent_high = record.min_span, record.max_span
+                    total = record.count_value
+                    low = record.min_span
+                    high = record.max_span
                 else:  # the root: one empty trace of length 0
-                    total += 1
-                    parent_low = parent_high = 0
-                if low is None:
-                    low, high = parent_low, parent_high
-                else:
-                    if parent_low < low:
-                        low = parent_low
-                    if parent_high > high:
-                        high = parent_high
+                    total = 1
+                    low = high = 0
+            else:
+                total = 0
+                low = high = None
+                for parent in parents:
+                    if parent:
+                        record = vertices[parent]
+                        total += record.count_value
+                        parent_low, parent_high = record.min_span, record.max_span
+                    else:
+                        total += 1
+                        parent_low = parent_high = 0
+                    if low is None:
+                        low, high = parent_low, parent_high
+                    else:
+                        if parent_low < low:
+                            low = parent_low
+                        if parent_high > high:
+                            high = parent_high
             vertex.count_value = label.count * total
             vertex.min_span = run + low
             vertex.max_span = run + high
@@ -295,11 +395,17 @@ class TraceDAG:
         else:
             existing = stutter_ids
         if existing is stutter_ids:
-            stutter_vertex = StutterVertex(
-                ident=stutter_ident, label=label, parents=stutter_parents)
-            total = 0
-            for parent in stutter_parents:
-                total += stutter_vertices[parent].count_value if parent else 1
+            stutter_vertex = _new(StutterVertex)
+            stutter_vertex.ident = stutter_ident
+            stutter_vertex.label = label
+            stutter_vertex.parents = stutter_parents
+            if len(stutter_parents) == 1:
+                (parent,) = stutter_parents
+                total = stutter_vertices[parent].count_value if parent else 1
+            else:
+                total = 0
+                for parent in stutter_parents:
+                    total += stutter_vertices[parent].count_value if parent else 1
             stutter_vertex.count_value = label.count * total
             stutter_vertices.append(stutter_vertex)
         else:

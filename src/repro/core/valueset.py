@@ -291,12 +291,40 @@ class ValueSetOps:
     # Lifted operations
     # ------------------------------------------------------------------
     def and_(self, x: ValueSet, y: ValueSet):
-        """Lifted bitwise AND."""
-        return self._lift_binary("AND", self.masked.and_, x, y)
+        """Lifted bitwise AND (bulk-inlined product, same memo/cap rules)."""
+        return self._lift_boolean("AND", x, y)
 
     def or_(self, x: ValueSet, y: ValueSet):
-        """Lifted bitwise OR."""
-        return self._lift_binary("OR", self.masked.or_, x, y)
+        """Lifted bitwise OR (bulk-inlined product, same memo/cap rules)."""
+        return self._lift_boolean("OR", x, y)
+
+    def _lift_boolean(self, op_name: str, x: ValueSet, y: ValueSet):
+        """AND/OR through :meth:`MaskedOps.boolean_bulk` (the XOR treatment).
+
+        The masking-heavy paths — byte extraction (``movzx``/``movb``/Reg8
+        writes), address alignment, and the SETcc merge — all funnel through
+        AND/OR; the 1×1 fast path and the memo keys are identical to
+        :meth:`_lift_binary`, so counters and results are bit-for-bit
+        unchanged.
+        """
+        memo_key = (op_name, x._id, y._id)
+        cached = self._memo.get(memo_key)
+        if cached is not None:
+            self.memo_hits += 1
+            return cached
+        self.memo_misses += 1
+        if x.is_singleton and y.is_singleton:
+            op = self.masked.and_ if op_name == "AND" else self.masked.or_
+            value, flag = op(next(iter(x.elements)), next(iter(y.elements)))
+            lifted = (ValueSet((value,)), frozenset((flag,)))
+            self._memo[memo_key] = lifted
+            return lifted
+        if len(x) * len(y) > self.cap * self.cap:
+            raise PrecisionLoss(
+                f"operand product too large: {len(x)} x {len(y)} masked symbols"
+            )
+        results, flags = self.masked.boolean_bulk(op_name, x.elements, y.elements)
+        return self._finalize_lift(memo_key, results, flags)
 
     def xor(self, x: ValueSet, y: ValueSet):
         """Lifted bitwise XOR (bulk-inlined product, same memo/cap rules)."""

@@ -55,6 +55,30 @@ class Image:
         self.symbols = dict(symbols)
         self.functions = dict(functions or {})
         self._decode_cache: dict[int, Instruction] = {}
+        self._fingerprint: str | None = None
+
+    @property
+    def fingerprint(self) -> str:
+        """Content hash of the image (sections and symbols).
+
+        Two images assembled from the same program have the same fingerprint
+        in every process, so cross-process caches (the specialized-block
+        cache of :mod:`repro.analysis.specialize`) can key on it instead of
+        on object identity.
+        """
+        if self._fingerprint is None:
+            import hashlib
+
+            digest = hashlib.sha256()
+            for section in self.sections:
+                digest.update(section.name.encode())
+                digest.update(section.base.to_bytes(8, "little"))
+                digest.update(bytes(section.data))
+            for name in sorted(self.symbols):
+                digest.update(name.encode())
+                digest.update(self.symbols[name].to_bytes(8, "little"))
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
 
     # ------------------------------------------------------------------
     # Byte access

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from repro.core.lru import DEFAULT_CACHE_CAP, LRUCache
 from repro.isa.image import Assembler, DEFAULT_CODE_BASE, DEFAULT_DATA_BASE, Image
 from repro.lang.codegen import generate_program
 from repro.lang.ir import IRProgram
@@ -60,8 +61,13 @@ def compile_ir_program(
     ).assemble()
 
 
-_COMPILE_CACHE: dict[tuple, Image] = {}
-_COMPILE_CACHE_MAX = 256
+_COMPILE_CACHE_MAX = DEFAULT_CACHE_CAP
+_COMPILE_CACHE = LRUCache(_COMPILE_CACHE_MAX)
+
+
+def compile_cache_evictions() -> int:
+    """Monotonic eviction count of the compile memo (compile-tier stats)."""
+    return _COMPILE_CACHE.evictions
 
 
 def _cache_key(source: str, opt_level: int, kwargs: dict) -> tuple:
@@ -78,16 +84,14 @@ def compile_program(source: str, opt_level: int = 2, **kwargs) -> Image:
     Results are cached per (source, options): an :class:`Image` is immutable
     after assembly (the VM copies sections into its own memory; the analyzer
     only reads), so figure runners and sweeps that rebuild the same target
-    share one compiled image — and its decoded-instruction cache.
+    share one compiled image — and its decoded-instruction cache.  The memo
+    is a bounded :class:`~repro.core.lru.LRUCache`: a sweep over more than
+    ``_COMPILE_CACHE_MAX`` distinct sources keeps its most recently used
+    images instead of thrashing the whole cache to zero hits.
     """
     key = _cache_key(source, opt_level, kwargs)
     image = _COMPILE_CACHE.get(key)
     if image is None:
-        if len(_COMPILE_CACHE) >= _COMPILE_CACHE_MAX:
-            # FIFO, one entry at a time: a sweep over more than
-            # _COMPILE_CACHE_MAX distinct sources evicts only the oldest
-            # images instead of thrashing the whole cache to zero hits.
-            _COMPILE_CACHE.pop(next(iter(_COMPILE_CACHE)))
         image = compile_to_assembler(source, opt_level=opt_level, **kwargs).assemble()
-        _COMPILE_CACHE[key] = image
+        _COMPILE_CACHE.put(key, image)
     return image

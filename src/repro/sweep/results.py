@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import json
 import os
+import platform
 import tempfile
 from dataclasses import dataclass, field
 
@@ -26,9 +27,22 @@ from repro.core.leakage import LeakageReport, ObservationBound
 from repro.core.observers import AccessKind
 
 __all__ = ["AdversaryRow", "BoundRow", "SweepResult", "ResultStore",
-           "load_bench_log", "update_bench_log"]
+           "load_bench_log", "load_bench_environment", "update_bench_log"]
 
 STORE_VERSION = 1
+
+
+def _bench_environment() -> dict:
+    """The machine facts recorded alongside bench timings.
+
+    ``bench-compare`` uses the recorded CPU count to decide whether a
+    timing regression is comparable at all: parallel-sweep timings from a
+    16-core runner gate nothing on a 2-core laptop.
+    """
+    return {
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+    }
 
 
 def load_bench_log(path: str | os.PathLike) -> dict[str, float]:
@@ -49,13 +63,33 @@ def load_bench_log(path: str | os.PathLike) -> dict[str, float]:
     return {}
 
 
+def load_bench_environment(path: str | os.PathLike) -> dict:
+    """Read the recorded environment of a ``BENCH_sweep.json``-style log.
+
+    Returns ``{}`` for logs written before environment recording existed,
+    and for missing/corrupt files — callers treat an absent environment as
+    "comparable" (the pre-existing gating behavior).
+    """
+    try:
+        with open(os.fspath(path), encoding="utf-8") as handle:
+            loaded = json.load(handle)
+    except (OSError, ValueError):
+        return {}
+    if isinstance(loaded, dict) and isinstance(loaded.get("environment"), dict):
+        return dict(loaded["environment"])
+    return {}
+
+
 def update_bench_log(path: str | os.PathLike, timings: dict[str, float]) -> int:
     """Merge wall-clock timings into a ``BENCH_sweep.json``-style log.
 
     The one writer for every producer of the log (the benchmark harness and
     the CLI's ``--bench-out``): loads the existing file if its shape is
     valid (see :func:`load_bench_log`), merges, and rewrites atomically
-    with sorted keys.  Returns the number of entries merged in.
+    with sorted keys.  The writing machine's environment (CPU count,
+    Python version) is recorded alongside, replacing whatever the log
+    carried before — timings and environment always describe the same
+    machine.  Returns the number of entries merged in.
     """
     if not timings:
         return 0
@@ -64,6 +98,7 @@ def update_bench_log(path: str | os.PathLike, timings: dict[str, float]) -> int:
     merged.update(timings)
     payload = {
         "version": 1,
+        "environment": _bench_environment(),
         "timings": {key: merged[key] for key in sorted(merged)},
     }
     directory = os.path.dirname(os.path.abspath(path)) or "."

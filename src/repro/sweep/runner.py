@@ -57,6 +57,10 @@ def _engine_metrics(engine_result) -> dict:
     The intern counters are per-run deltas of the abstract domain's
     hash-consing layer; `AnalysisContext` clears the tables per analysis, so
     they are a pure function of the scenario (pool and inline runs agree).
+    The ``spec_*``/``interp_steps`` counters additionally depend on the
+    specialization mode (``--no-specialize`` zeroes ``spec_*``), and
+    ``cache_evictions`` on process history — it stays 0 until a process has
+    compiled more distinct programs than the compile-tier cache cap.
     """
     scheduler = engine_result.scheduler
     return {
@@ -66,6 +70,11 @@ def _engine_metrics(engine_result) -> dict:
         "forks": engine_result.forks,
         "peak_heap_size": scheduler.peak_heap_size,
         "full_sorts": scheduler.full_sorts,
+        "spec_blocks": scheduler.spec_blocks,
+        "spec_block_runs": scheduler.spec_block_runs,
+        "spec_steps": scheduler.spec_steps,
+        "interp_steps": scheduler.interp_steps,
+        "cache_evictions": scheduler.cache_evictions,
         "decode_hits": scheduler.decode_hits,
         "decode_misses": scheduler.decode_misses,
         "projection_hits": scheduler.projection_hits,
@@ -148,6 +157,7 @@ def _warm_worker() -> None:
     initializer is where pool workers opt back in.
     """
     import repro.analysis.analyzer  # noqa: F401
+    import repro.analysis.specialize  # noqa: F401
     import repro.casestudy.targets  # noqa: F401
     import repro.transform.pipeline  # noqa: F401
 

@@ -294,9 +294,10 @@ def test_expression_semantics_property(a, b, shift, opt):
 
 class TestCompileCacheEviction:
     """A sweep over more distinct sources than the cache holds must evict
-    FIFO, one entry at a time — not clear the whole cache to zero hits."""
+    least-recently-used, one entry at a time — not clear the whole cache to
+    zero hits."""
 
-    def test_fifo_eviction_keeps_recent_entries(self):
+    def test_lru_eviction_keeps_recent_entries(self):
         from repro.lang import driver
 
         driver._COMPILE_CACHE.clear()
