@@ -60,6 +60,12 @@ class AnalysisConfig:
     # with the interpreted path; the knob (and the REPRO_NO_SPECIALIZE env
     # var, which overrides it) exists for ablation and as a rot guard.
     specialize: bool = True
+    # Vector tier (repro.core.vectorize): run the lifted AND/OR/XOR/ADD/shift
+    # products as batched numpy kernels.  Results are bit-identical with the
+    # scalar lifting; the knob (and the REPRO_NO_VECTORIZE env var, which
+    # overrides it) exists for ablation and as a rot guard.  Auto-disables
+    # when numpy is unavailable.
+    vectorize: bool = True
 
     def __post_init__(self) -> None:
         unknown = [model for model in self.adversary_models

@@ -92,6 +92,7 @@ class SchedulerStats:
     projection_misses: int = 0
     lift_memo_hits: int = 0
     lift_memo_misses: int = 0
+    lift_memo_evictions: int = 0
     vs_intern_hits: int = 0
     vs_intern_misses: int = 0
     sym_intern_hits: int = 0
@@ -104,6 +105,20 @@ class SchedulerStats:
     spec_steps: int = 0
     interp_steps: int = 0
     cache_evictions: int = 0
+    # Vector tier: how many lifted products ran as batched numpy kernels
+    # (repro.core.vectorize), how many operand pairs they covered, and how
+    # many of those pairs still needed per-pair Python assembly (fresh
+    # symbols).  All zero when the tier is off or numpy is missing.
+    vec_ops: int = 0
+    vec_pairs: int = 0
+    vec_scalar_pairs: int = 0
+
+    @property
+    def vec_batch_rate(self) -> float:
+        """Fraction of vector-kernel pairs fully handled inside numpy."""
+        if not self.vec_pairs:
+            return 0.0
+        return 1.0 - self.vec_scalar_pairs / self.vec_pairs
 
     @property
     def spec_step_rate(self) -> float:
@@ -166,6 +181,9 @@ class Engine:
         config: AnalysisConfig = context.config
         self.observers = observers if observers is not None else config.observers()
         self.kinds = kinds if kinds is not None else config.kinds
+        # Vector tier handle (None when disabled): passed to the projection
+        # so all-constant address sets project in one numpy pass.
+        self._vec = context.ops.vec
         # Engine-owned DAGs skip commit-key deduplication until the first
         # fork: a never-duplicated cursor chain cannot repeat a key, and the
         # run loop flips the flag the moment a step forks.
@@ -210,10 +228,11 @@ class Engine:
         # an address depends only on the observer's blinding, so one access
         # re-observed by several (kind, observer) DAGs — and the same address
         # re-accessed by later loop iterations — projects exactly once.
-        # Keyed by the address set's interned id: equal sets are the same
-        # canonical object within a run, so the int pair behaves exactly like
-        # the old (ValueSet, bits) key without re-hashing element sets.
-        self._projection_cache: dict[tuple[int, int], ProjectedLabel] = {}
+        # Keyed by ``(address set's interned id << 8) | offset_bits``: equal
+        # sets are the same canonical object within a run, and offset bits
+        # fit 8 bits with room to spare, so the packed int is bijective with
+        # the old (ValueSet, bits) tuple while hashing a single small int.
+        self._projection_cache: dict[int, ProjectedLabel] = {}
         # Canonical label per distinct projection: different addresses often
         # project to *equal* labels (every address in one block), and handing
         # the DAGs one shared object makes their registry-key comparisons
@@ -245,9 +264,9 @@ class Engine:
         cursors = self._emit_cursors
         cache = self._projection_cache
         stats = self.stats
-        address_id = address._id
+        key_base = address._id << 8
         for observer, slots in self._emit_plan[access_kind]:
-            cache_key = (address_id, observer.offset_bits)
+            cache_key = key_base | observer.offset_bits
             label = cache.get(cache_key)
             if label is not None:
                 stats.projection_hits += 1
@@ -255,7 +274,7 @@ class Engine:
                 stats.projection_misses += 1
                 label = project_value_set(
                     address, observer.offset_bits, self.context.table,
-                    self.context.config.projection_policy,
+                    self.context.config.projection_policy, vec=self._vec,
                 )
                 label = self._label_intern.setdefault(label, label)
                 cache[cache_key] = label
@@ -285,14 +304,14 @@ class Engine:
             runs: list[list] = []
             last_label = None
             for address in addresses:
-                cache_key = (address._id, offset_bits)
+                cache_key = (address._id << 8) | offset_bits
                 label = cache.get(cache_key)
                 if label is not None:
                     stats.projection_hits += 1
                 else:
                     stats.projection_misses += 1
                     label = project_value_set(address, offset_bits, table,
-                                              policy)
+                                              policy, vec=self._vec)
                     label = intern.setdefault(label, label)
                     cache[cache_key] = label
                 if label is last_label and label.is_single:
@@ -325,13 +344,14 @@ class Engine:
             runs: list[list] = []
             last_label = None
             for address in block.fetches:
-                cache_key = (address._id, offset_bits)
+                cache_key = (address._id << 8) | offset_bits
                 label = cache.get(cache_key)
                 if label is not None:
                     stats.projection_hits += 1
                 else:
                     stats.projection_misses += 1
-                    label = project_value_set(address, offset_bits, table, policy)
+                    label = project_value_set(address, offset_bits, table,
+                                              policy, vec=self._vec)
                     label = self._label_intern.setdefault(label, label)
                     cache[cache_key] = label
                 if runs and label is last_label and label.is_single:
@@ -570,6 +590,12 @@ class Engine:
         ops = self.context.ops
         self.stats.lift_memo_hits = ops.memo_hits
         self.stats.lift_memo_misses = ops.memo_misses
+        self.stats.lift_memo_evictions = ops.memo_evictions
+        vec = ops.vec
+        if vec is not None:
+            self.stats.vec_ops = vec.ops
+            self.stats.vec_pairs = vec.pairs
+            self.stats.vec_scalar_pairs = vec.scalar_pairs
         vs_hits, vs_misses = valueset_intern_counters()
         self.stats.vs_intern_hits = vs_hits - vs_base[0]
         self.stats.vs_intern_misses = vs_misses - vs_base[1]

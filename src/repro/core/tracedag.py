@@ -281,6 +281,10 @@ class TraceDAG:
                 cursor = self.access_run(cursor, label, count)
             return cursor
         ((parents, stutter_parents, entry_label, run),) = cursor
+        if (not self._dedupe and len(parents) == 1
+                and len(stutter_parents) == 1):
+            return self._access_seq_chain(
+                parents, stutter_parents, entry_label, run, runs)
         commit = self._commit
         total = 0
         for label, count in runs:
@@ -299,6 +303,70 @@ class TraceDAG:
                         parents, stutter_parents, entry_label, run)
                     entry_label = label
                     run = 1
+        self._access_count += total
+        return frozenset(((parents, stutter_parents, entry_label, run),))
+
+    def _access_seq_chain(self, parents, stutter_parents, entry_label, run, runs):
+        """:meth:`access_seq` for the pre-fork chain (dedupe off).
+
+        Before the first fork the cursor is one never-duplicated chain: every
+        commit's parent is the vertex committed just before it, so the
+        count/span folds of :meth:`_commit` only ever consult the previous
+        vertex.  This loop keeps those folds in running locals — no registry
+        probes (dedupe is off), no list indexing back into the vertex store,
+        no singleton-frozenset unpacking per commit.  It is bit-identical to
+        the general path; the compile tier pushes every specialized block's
+        fetch sequence through here on fork-free prefixes (all of fig14b-d).
+        """
+        vertices = self._vertices
+        stutter_vertices = self._stutter_vertices
+        (parent,) = parents
+        if parent:
+            record = vertices[parent]
+            prev_total = record.count_value
+            prev_low = record.min_span
+            prev_high = record.max_span
+        else:
+            prev_total = 1
+            prev_low = prev_high = 0
+        (stutter_parent,) = stutter_parents
+        prev_stotal = (stutter_vertices[stutter_parent].count_value
+                       if stutter_parent else 1)
+        total = 0
+        for label, count in runs:
+            total += count
+            single = label.is_single
+            if single and (entry_label is label or entry_label == label):
+                run += count
+                continue
+            commits = 1 if single else count
+            for _ in range(commits):
+                if entry_label is not None:
+                    ident = len(vertices)
+                    vertex = _new(Vertex)
+                    vertex.ident = ident
+                    vertex.label = entry_label
+                    vertex.parents = parents
+                    vertex.run = run
+                    prev_total = entry_label.count * prev_total
+                    prev_low = run + prev_low
+                    prev_high = run + prev_high
+                    vertex.count_value = prev_total
+                    vertex.min_span = prev_low
+                    vertex.max_span = prev_high
+                    vertices.append(vertex)
+                    parents = frozenset((ident,))
+                    stutter_ident = len(stutter_vertices)
+                    stutter_vertex = _new(StutterVertex)
+                    stutter_vertex.ident = stutter_ident
+                    stutter_vertex.label = entry_label
+                    stutter_vertex.parents = stutter_parents
+                    prev_stotal = entry_label.count * prev_stotal
+                    stutter_vertex.count_value = prev_stotal
+                    stutter_vertices.append(stutter_vertex)
+                    stutter_parents = frozenset((stutter_ident,))
+                entry_label = label
+                run = count if single else 1
         self._access_count += total
         return frozenset(((parents, stutter_parents, entry_label, run),))
 

@@ -18,12 +18,25 @@ from __future__ import annotations
 from typing import Callable, Iterable
 
 from repro.core import masked as masked_mod
+from repro.core.lru import LRUCache
 from repro.core.masked import FlagBits, MaskedOps, MaskedSymbol
+from repro.core.vectorize import (
+    HAVE_NUMPY,
+    VEC_MAX_WIDTH,
+    VEC_MIN_PAIRS,
+    VectorKernels,
+)
 
 __all__ = ["ValueSet", "ValueSetOps", "PrecisionLoss", "DEFAULT_SET_CAP",
-           "intern_clear", "intern_counters"]
+           "LIFT_MEMO_CAP", "intern_clear", "intern_counters"]
 
 DEFAULT_SET_CAP = 64
+
+# Cap of the per-context lifting memo.  Sized an order of magnitude above the
+# distinct-lifting count of the heaviest catalogue scenario, so in practice
+# nothing evicts (the memo exists for sharing, the bound for long-lived
+# embedding processes); evictions are surfaced as ``lift_memo_evictions``.
+LIFT_MEMO_CAP = 1 << 18
 
 # Hash-consing: one canonical ValueSet per element frozenset, carrying a
 # precomputed hash (same value as the historical ``hash(self.elements)``) and
@@ -202,17 +215,38 @@ class ValueSetOps:
     what keeps repeated loop bodies from recomputing identical products.
     """
 
-    def __init__(self, masked_ops: MaskedOps, cap: int = DEFAULT_SET_CAP) -> None:
+    def __init__(self, masked_ops: MaskedOps, cap: int = DEFAULT_SET_CAP,
+                 vectorize: bool = False) -> None:
         self.masked = masked_ops
         self.cap = cap
         self.width = masked_ops.width
-        self._memo: dict[tuple, tuple[ValueSet, frozenset[FlagBits]]] = {}
-        self.memo_hits = 0
-        self.memo_misses = 0
+        self._memo: LRUCache = LRUCache(LIFT_MEMO_CAP)
+        # The vectorized kernel tier (core/vectorize.py): gated by the
+        # caller (AnalysisContext resolves config knob + env kill switch),
+        # and structurally limited to widths the packed views support.
+        self.vec = (
+            VectorKernels(masked_ops)
+            if vectorize and HAVE_NUMPY and masked_ops.width <= VEC_MAX_WIDTH
+            else None
+        )
         self._dispatch = {
             "AND": self.and_, "OR": self.or_, "XOR": self.xor,
             "ADD": self.add, "SUB": self.sub, "MUL": self.mul,
         }
+
+    # Memo counters live on the LRU (its get/put increments them); the
+    # historical attribute names stay as read-only views.
+    @property
+    def memo_hits(self) -> int:
+        return self._memo.hits
+
+    @property
+    def memo_misses(self) -> int:
+        return self._memo.misses
+
+    @property
+    def memo_evictions(self) -> int:
+        return self._memo.evictions
 
     @property
     def memo_hit_rate(self) -> float:
@@ -226,26 +260,29 @@ class ValueSetOps:
         op: Callable[[MaskedSymbol, MaskedSymbol], tuple[MaskedSymbol, FlagBits]],
         x: ValueSet,
         y: ValueSet,
+        kernel: Callable[[ValueSet, ValueSet], tuple[set, set] | None] | None = None,
     ) -> tuple[ValueSet, frozenset[FlagBits]]:
         memo_key = (op_name, x._id, y._id)
         cached = self._memo.get(memo_key)
         if cached is not None:
-            self.memo_hits += 1
             return cached
-        self.memo_misses += 1
         if x.is_singleton and y.is_singleton:
             # Degenerate 1×1 product: no set bookkeeping, no cap checks
             # (a singleton result can never exceed the cap).
             value, flag = op(next(iter(x.elements)), next(iter(y.elements)))
             lifted = (ValueSet((value,)), frozenset((flag,)))
-            self._memo[memo_key] = lifted
+            self._memo.put(memo_key, lifted)
             return lifted
-        results: set[MaskedSymbol] = set()
-        flags: set[FlagBits] = set()
         if len(x) * len(y) > self.cap * self.cap:
             raise PrecisionLoss(
                 f"operand product too large: {len(x)} x {len(y)} masked symbols"
             )
+        if kernel is not None and len(x) * len(y) >= VEC_MIN_PAIRS:
+            bulk = kernel(x, y)
+            if bulk is not None:
+                return self._finalize_lift(memo_key, *bulk)
+        results: set[MaskedSymbol] = set()
+        flags: set[FlagBits] = set()
         for element_x in x:
             for element_y in y:
                 value, flag = op(element_x, element_y)
@@ -262,7 +299,7 @@ class ValueSetOps:
                 f"value set exceeded cap {self.cap} ({len(results)} elements)"
             )
         lifted = (ValueSet(results), frozenset(flags))
-        self._memo[memo_key] = lifted
+        self._memo.put(memo_key, lifted)
         return lifted
 
     def _lift_unary(
@@ -274,9 +311,7 @@ class ValueSetOps:
         memo_key = (op_name, x._id)
         cached = self._memo.get(memo_key)
         if cached is not None:
-            self.memo_hits += 1
             return cached
-        self.memo_misses += 1
         results: set[MaskedSymbol] = set()
         flags: set[FlagBits] = set()
         for element in x:
@@ -284,7 +319,7 @@ class ValueSetOps:
             results.add(value)
             flags.add(flag)
         lifted = (ValueSet(results), frozenset(flags))
-        self._memo[memo_key] = lifted
+        self._memo.put(memo_key, lifted)
         return lifted
 
     # ------------------------------------------------------------------
@@ -310,40 +345,49 @@ class ValueSetOps:
         memo_key = (op_name, x._id, y._id)
         cached = self._memo.get(memo_key)
         if cached is not None:
-            self.memo_hits += 1
             return cached
-        self.memo_misses += 1
         if x.is_singleton and y.is_singleton:
             op = self.masked.and_ if op_name == "AND" else self.masked.or_
             value, flag = op(next(iter(x.elements)), next(iter(y.elements)))
             lifted = (ValueSet((value,)), frozenset((flag,)))
-            self._memo[memo_key] = lifted
+            self._memo.put(memo_key, lifted)
             return lifted
         if len(x) * len(y) > self.cap * self.cap:
             raise PrecisionLoss(
                 f"operand product too large: {len(x)} x {len(y)} masked symbols"
             )
-        results, flags = self.masked.boolean_bulk(op_name, x.elements, y.elements)
-        return self._finalize_lift(memo_key, results, flags)
+        vec = self.vec
+        bulk = None
+        if vec is not None and len(x) * len(y) >= VEC_MIN_PAIRS:
+            bulk = vec.lift_boolean(op_name, x, y)
+        if bulk is None:
+            bulk = self.masked.boolean_bulk(op_name, x.elements, y.elements)
+        return self._finalize_lift(memo_key, *bulk)
 
     def xor(self, x: ValueSet, y: ValueSet):
         """Lifted bitwise XOR (bulk-inlined product, same memo/cap rules)."""
         memo_key = ("XOR", x._id, y._id)
         cached = self._memo.get(memo_key)
         if cached is not None:
-            self.memo_hits += 1
             return cached
-        self.memo_misses += 1
         if len(x) * len(y) > self.cap * self.cap:
             raise PrecisionLoss(
                 f"operand product too large: {len(x)} x {len(y)} masked symbols"
             )
-        results, flags = self.masked.xor_bulk(x.elements, y.elements)
-        return self._finalize_lift(memo_key, results, flags)
+        vec = self.vec
+        bulk = None
+        if vec is not None and len(x) * len(y) >= VEC_MIN_PAIRS:
+            bulk = vec.lift_boolean("XOR", x, y)
+        if bulk is None:
+            bulk = self.masked.xor_bulk(x.elements, y.elements)
+        return self._finalize_lift(memo_key, *bulk)
 
     def add(self, x: ValueSet, y: ValueSet):
-        """Lifted addition."""
-        return self._lift_binary("ADD", self.masked.add, x, y)
+        """Lifted addition (all-constant products go through the vector
+        tier; symbolic ADD keeps the stateful §5.4.2 succ-table path)."""
+        vec = self.vec
+        kernel = vec.lift_add_const if vec is not None else None
+        return self._lift_binary("ADD", self.masked.add, x, y, kernel=kernel)
 
     def sub(self, x: ValueSet, y: ValueSet):
         """Lifted subtraction."""
@@ -384,12 +428,16 @@ class ValueSetOps:
         memo_key = (op_name, amounts._id, x._id)
         cached = self._memo.get(memo_key)
         if cached is not None:
-            self.memo_hits += 1
             return cached
-        self.memo_misses += 1
+        counts = amounts.constant_values()
+        vec = self.vec
+        if vec is not None and len(counts) * len(x) >= VEC_MIN_PAIRS:
+            bulk = vec.lift_shift_const(op_name, x, counts)
+            if bulk is not None:
+                return self._finalize_lift(memo_key, *bulk)
         results: set[MaskedSymbol] = set()
         flags: set[FlagBits] = set()
-        for count in amounts.constant_values():
+        for count in counts:
             count %= self.width
             for element in x:
                 value, flag = shift_op(element, count)

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from repro.core.adversary import AdversaryBound
 from repro.core.leakage import LeakageReport, ObservationBound
 from repro.core.observers import AccessKind
+from repro.core.vectorize import numpy_version
 
 __all__ = ["AdversaryRow", "BoundRow", "SweepResult", "ResultStore",
            "load_bench_log", "load_bench_environment", "update_bench_log"]
@@ -42,6 +43,7 @@ def _bench_environment() -> dict:
     return {
         "cpu_count": os.cpu_count(),
         "python": platform.python_version(),
+        "numpy": numpy_version(),
     }
 
 

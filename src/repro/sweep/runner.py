@@ -25,8 +25,15 @@ from dataclasses import replace as dataclass_replace
 from typing import Iterable
 
 from repro.core.observers import AccessKind, ProjectionPolicy
-from repro.sweep.results import AdversaryRow, BoundRow, ResultStore, SweepResult
+from repro.sweep.results import (
+    AdversaryRow,
+    BoundRow,
+    ResultStore,
+    SweepResult,
+    load_bench_log,
+)
 from repro.sweep.scenario import KERNEL, LEAKAGE, Scenario, ScenarioError
+from repro.sweep.sharding import calculate_shards, predict_costs
 
 __all__ = ["SweepRunner", "default_runner", "execute_scenario"]
 
@@ -58,9 +65,11 @@ def _engine_metrics(engine_result) -> dict:
     hash-consing layer; `AnalysisContext` clears the tables per analysis, so
     they are a pure function of the scenario (pool and inline runs agree).
     The ``spec_*``/``interp_steps`` counters additionally depend on the
-    specialization mode (``--no-specialize`` zeroes ``spec_*``), and
-    ``cache_evictions`` on process history — it stays 0 until a process has
-    compiled more distinct programs than the compile-tier cache cap.
+    specialization mode (``--no-specialize`` zeroes ``spec_*``), the
+    ``vec_*`` counters on the vectorization mode (``--no-vectorize`` or a
+    missing numpy zeroes them), and ``cache_evictions`` on process history —
+    it stays 0 until a process has compiled more distinct programs than the
+    compile-tier cache cap.
     """
     scheduler = engine_result.scheduler
     return {
@@ -81,6 +90,10 @@ def _engine_metrics(engine_result) -> dict:
         "projection_misses": scheduler.projection_misses,
         "lift_memo_hits": scheduler.lift_memo_hits,
         "lift_memo_misses": scheduler.lift_memo_misses,
+        "lift_memo_evictions": scheduler.lift_memo_evictions,
+        "vec_ops": scheduler.vec_ops,
+        "vec_pairs": scheduler.vec_pairs,
+        "vec_scalar_pairs": scheduler.vec_scalar_pairs,
         "vs_intern_hits": scheduler.vs_intern_hits,
         "vs_intern_misses": scheduler.vs_intern_misses,
         "sym_intern_hits": scheduler.sym_intern_hits,
@@ -146,6 +159,11 @@ def _pool_worker(scenario: Scenario) -> dict:
     return payload
 
 
+def _pool_shard_worker(scenarios: list[Scenario]) -> list[dict]:
+    """Run one pre-assigned shard of scenarios in a single pool task."""
+    return [_pool_worker(scenario) for scenario in scenarios]
+
+
 def _warm_worker() -> None:
     """Pool initializer: warm-start a worker before its first task.
 
@@ -170,12 +188,21 @@ class SweepRunner:
         processes: int = 1,
         store: ResultStore | str | os.PathLike | None = None,
         use_cache: bool = True,
+        bench_log: dict[str, float] | str | os.PathLike | None = None,
     ) -> None:
         self.processes = max(1, processes)
         if store is not None and not isinstance(store, ResultStore):
             store = ResultStore(store)
         self.store = store
         self.use_cache = use_cache
+        # Timings steering the cost-aware pool sharding: a {key: seconds}
+        # mapping, a path to a BENCH_sweep.json-style log, or None to probe
+        # the repo's checked-in log (missing file → heuristic costs only).
+        if bench_log is None:
+            bench_log = "BENCH_sweep.json"
+        if not isinstance(bench_log, dict):
+            bench_log = load_bench_log(bench_log)
+        self._timings: dict[str, float] = bench_log
         self._memory: dict[str, SweepResult] = {}
 
     # ------------------------------------------------------------------
@@ -266,14 +293,28 @@ class SweepRunner:
 
     def _run_pool(self, scenarios: list[Scenario]) -> list[SweepResult]:
         workers = min(self.processes, len(scenarios))
-        # Chunked scheduling: one IPC round trip per chunk instead of per
-        # scenario, with ~4 chunks per worker so stragglers still balance.
-        chunksize = max(1, -(-len(scenarios) // (workers * 4)))
+        # Cost-aware sharding: predict each scenario's runtime (recorded
+        # bench timings when available, size heuristic otherwise) and pack
+        # one duration-balanced shard per worker, so no worker is left
+        # holding every expensive full-geometry analysis while the others
+        # idle — the failure mode of count-based chunking.  One shard per
+        # worker also means one IPC round trip per worker.
+        costs = predict_costs(scenarios, self._timings)
+        shards = [shard for shard in calculate_shards(costs, workers) if shard]
         with multiprocessing.Pool(processes=workers,
                                   initializer=_warm_worker) as pool:
-            payloads = pool.map(_pool_worker, scenarios, chunksize=chunksize)
+            shard_payloads = pool.map(
+                _pool_shard_worker,
+                [[scenarios[index] for index in shard] for shard in shards],
+                chunksize=1)
+        # Reassemble into input order; sharding must never drop or reorder.
+        payloads: list[dict | None] = [None] * len(scenarios)
+        for shard, batch in zip(shards, shard_payloads):
+            for index, payload in zip(shard, batch):
+                payloads[index] = payload
         fresh = []
         for payload in payloads:
+            assert payload is not None  # every index lands in one shard
             elapsed = payload.pop("_elapsed", 0.0)
             result = SweepResult.from_payload(payload)
             result.elapsed = elapsed

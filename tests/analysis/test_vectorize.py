@@ -1,0 +1,236 @@
+"""Vector-tier fidelity: numpy-batched lifts match the scalar path, bit for bit.
+
+The same three layers of evidence as the compile tier's
+``test_specialize.py``:
+
+1. **Catalogue differential.**  Every scenario in the sweep catalogue runs
+   twice — vectorization on and off — and the full result payloads (figure
+   counts, leakage bounds, adversary rows, warnings, and the step/merge/fork
+   scheduler counters) must be identical.  Only the counters that *describe*
+   the execution mode (``vec_*`` and the other cache-hit counters) may
+   differ.
+2. **Random-operand differential.**  Hypothesis generates operand value
+   sets — all-constant and mixed constant/masked-symbol — large enough to
+   engage the numpy kernels, and each of the five vectorized liftings
+   (AND, OR, XOR, ADD, constant shifts) must produce the same result set,
+   the same flag set, and the same fresh-symbol allocations as the scalar
+   loop, starting from fresh, identical symbol tables.
+3. **Counter invariants and kill switches.**  The ``vec_*`` counters only
+   move when the tier is on, and the config knob, the
+   ``REPRO_NO_VECTORIZE`` env var, and a missing numpy each turn it off
+   (the last with a one-line warning, not an error).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.core.vectorize as vectorize_module
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.state import AnalysisContext
+from repro.casestudy.scenarios import all_scenarios
+from repro.core.mask import Mask
+from repro.core.masked import MaskedOps, MaskedSymbol
+from repro.core.symbols import SymbolTable
+from repro.core.valueset import ValueSet, ValueSetOps
+from repro.core.vectorize import (
+    HAVE_NUMPY,
+    NO_VECTORIZE_ENV,
+    VEC_MIN_PAIRS,
+    vectorization_enabled,
+)
+from repro.sweep.runner import execute_scenario
+from tests.analysis.test_specialize import MODE_SENSITIVE_METRICS
+
+pytestmark = pytest.mark.skipif(
+    not HAVE_NUMPY, reason="vector tier requires numpy")
+
+WIDTH = 32
+
+
+def _comparable_payload(result) -> dict:
+    payload = result.to_payload()
+    payload["metrics"] = {
+        key: value for key, value in payload["metrics"].items()
+        if key not in MODE_SENSITIVE_METRICS
+    }
+    return payload
+
+
+class TestCatalogueDifferential:
+    """Every catalogue scenario, vectorization on vs off."""
+
+    def test_every_scenario_bit_identical(self, monkeypatch):
+        mismatches = []
+        for name, scenario in sorted(all_scenarios().items()):
+            monkeypatch.delenv(NO_VECTORIZE_ENV, raising=False)
+            with_tier = _comparable_payload(execute_scenario(scenario))
+            monkeypatch.setenv(NO_VECTORIZE_ENV, "1")
+            without_tier = _comparable_payload(execute_scenario(scenario))
+            if with_tier != without_tier:
+                mismatches.append(name)
+        assert not mismatches, mismatches
+
+    def test_catalogue_engages_the_tier(self, monkeypatch):
+        """The differential above is vacuous unless some scenario actually
+        dispatches to the numpy kernels at the fast test geometry."""
+        monkeypatch.delenv(NO_VECTORIZE_ENV, raising=False)
+        result = execute_scenario(all_scenarios()["aes-O2-64B"])
+        assert result.metrics["vec_ops"] > 0
+        assert result.metrics["vec_pairs"] >= VEC_MIN_PAIRS
+
+
+# ----------------------------------------------------------------------
+# Random operand sets through both paths
+# ----------------------------------------------------------------------
+
+_value = st.integers(min_value=0, max_value=0xFFFFFFFF)
+# Sizes chosen so products span the kernel thresholds: all-constant kernels
+# engage at 32 pairs, the mixed boolean kernel at 256.
+_const_sets = st.tuples(
+    st.sets(_value, min_size=8, max_size=24),
+    st.sets(_value, min_size=4, max_size=16),
+)
+_mixed_specs = st.tuples(
+    st.lists(st.tuples(_value, _value), min_size=16, max_size=20,
+             unique_by=lambda kv: kv),
+    st.lists(st.tuples(_value, _value), min_size=16, max_size=20,
+             unique_by=lambda kv: kv),
+)
+_shift_spec = st.tuples(
+    st.sets(_value, min_size=8, max_size=24),
+    st.sets(st.integers(min_value=0, max_value=31), min_size=4, max_size=8),
+)
+
+_BINARY_OPS = ("AND", "OR", "XOR", "ADD")
+
+
+def _fresh_ops(vectorized: bool) -> ValueSetOps:
+    """A fresh table + ops pair; fresh tables allocate symbols in the same
+    order, so identical abstract values have identical printed forms."""
+    table = SymbolTable(width=WIDTH)
+    return ValueSetOps(MaskedOps(table), cap=1024, vectorize=vectorized)
+
+
+def _mixed_set(ops: ValueSetOps, specs, label: str) -> ValueSet:
+    """Half constants, half partially-masked input symbols (value bits are
+    forced onto known positions, as the Mask invariant requires)."""
+    elements = []
+    for index, (known, value) in enumerate(specs):
+        if index % 2 == 0:
+            elements.append(MaskedSymbol.constant(value, WIDTH))
+        else:
+            sym = ops.masked.table.input_symbol(f"{label}{index}")
+            elements.append(MaskedSymbol(sym, Mask(known, value & known, WIDTH)))
+    return ValueSet(elements)
+
+
+def _rendered(lifted) -> tuple:
+    result, flags = lifted
+    return result.describe(), tuple(sorted(map(repr, flags)))
+
+
+@settings(max_examples=30, deadline=None)
+@given(sets=_const_sets, op_name=st.sampled_from(_BINARY_OPS))
+def test_constant_products_match_scalar(sets, op_name):
+    xs, ys = sets
+    vec_ops, ref_ops = _fresh_ops(True), _fresh_ops(False)
+    x = ValueSet.constants(xs, WIDTH)
+    y = ValueSet.constants(ys, WIDTH)
+    assert _rendered(vec_ops.apply(op_name, x, y)) == \
+        _rendered(ref_ops.apply(op_name, x, y))
+
+
+@settings(max_examples=30, deadline=None)
+@given(specs=_mixed_specs, op_name=st.sampled_from(_BINARY_OPS))
+def test_mixed_products_match_scalar(specs, op_name):
+    x_specs, y_specs = specs
+    vec_lifted = ref_lifted = None
+    for vectorized in (True, False):
+        ops = _fresh_ops(vectorized)
+        x = _mixed_set(ops, x_specs, "x")
+        y = _mixed_set(ops, y_specs, "y")
+        rendered = _rendered(ops.apply(op_name, x, y))
+        if vectorized:
+            vec_lifted = rendered
+        else:
+            ref_lifted = rendered
+    assert vec_lifted == ref_lifted
+
+
+@settings(max_examples=30, deadline=None)
+@given(spec=_shift_spec, op_name=st.sampled_from(("SHL", "SHR", "SAR")))
+def test_constant_shifts_match_scalar(spec, op_name):
+    xs, counts = spec
+    vec_ops, ref_ops = _fresh_ops(True), _fresh_ops(False)
+    x = ValueSet.constants(xs, WIDTH)
+    amounts = ValueSet.constants(counts, WIDTH)
+    assert _rendered(vec_ops.shift(op_name, x, amounts)) == \
+        _rendered(ref_ops.shift(op_name, x, amounts))
+
+
+# ----------------------------------------------------------------------
+# Counter invariants and kill switches
+# ----------------------------------------------------------------------
+
+class TestCountersAndKillSwitches:
+    @pytest.fixture(autouse=True)
+    def _tier_enabled(self, monkeypatch):
+        """These tests choose the mode explicitly; an inherited
+        REPRO_NO_VECTORIZE (e.g. a full-suite ablation run) must not
+        override the knob under test."""
+        monkeypatch.delenv(NO_VECTORIZE_ENV, raising=False)
+
+    def test_counters_move_when_engaged(self):
+        ops = _fresh_ops(True)
+        x = ValueSet.constants(range(64), WIDTH)
+        y = ValueSet.constants(range(100, 108), WIDTH)
+        ops.and_(x, y)
+        assert ops.vec.ops == 1
+        assert ops.vec.pairs == 64 * 8
+        assert ops.vec.scalar_pairs == 0
+
+    def test_small_products_stay_scalar(self):
+        ops = _fresh_ops(True)
+        x = ValueSet.constants(range(4), WIDTH)
+        y = ValueSet.constants(range(4), WIDTH)
+        ops.and_(x, y)
+        assert ops.vec.ops == 0 and ops.vec.pairs == 0
+
+    def test_config_knob_disables_tier(self):
+        assert _fresh_ops(False).vec is None
+        context = AnalysisContext(AnalysisConfig(vectorize=False))
+        assert context.ops.vec is None
+
+    def test_context_wires_the_tier(self):
+        context = AnalysisContext(AnalysisConfig())
+        assert context.ops.vec is not None
+
+    def test_env_var_disables_tier(self, monkeypatch):
+        monkeypatch.setenv(NO_VECTORIZE_ENV, "1")
+        context = AnalysisContext(AnalysisConfig())
+        assert context.ops.vec is None
+
+    def test_vectorization_enabled_gate(self, monkeypatch):
+        assert vectorization_enabled(AnalysisConfig())
+        assert not vectorization_enabled(AnalysisConfig(vectorize=False))
+        monkeypatch.setenv(NO_VECTORIZE_ENV, "1")
+        assert not vectorization_enabled(AnalysisConfig())
+
+    def test_missing_numpy_degrades_with_one_warning(self, monkeypatch, capsys):
+        """Without numpy the tier auto-disables: same results via the
+        scalar path, one line on stderr, no exception."""
+        monkeypatch.setattr(vectorize_module, "HAVE_NUMPY", False)
+        monkeypatch.setattr(vectorize_module, "_warned_missing", False)
+        assert not vectorization_enabled(AnalysisConfig())
+        assert not vectorization_enabled(AnalysisConfig())
+        warnings = [line for line in capsys.readouterr().err.splitlines()
+                    if "numpy" in line]
+        assert len(warnings) == 1
+        assert vectorize_module.numpy_version() is None
+
+    def test_over_wide_table_stays_scalar(self):
+        """Widths beyond the packed-view format fall back silently."""
+        table = SymbolTable(width=64)
+        ops = ValueSetOps(MaskedOps(table), cap=1024, vectorize=True)
+        assert ops.vec is None
