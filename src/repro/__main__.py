@@ -7,10 +7,16 @@ Subcommands
 - ``figure NAME... | --all``    — regenerate paper figures (paper-style tables)
 - ``run`` / ``sweep [NAME...]`` — run scenarios through the SweepRunner,
   optionally pool-parallel (``--jobs``, warm-started workers with chunked
-  scheduling), persisted (``--store``), with per-scenario wall-clock
-  timings appended to a benchmark log (``--bench-out``), and optionally
-  profiled (``--profile OUT`` dumps cProfile stats of the sweep; profiles
-  the parent process, so use ``--jobs 1`` to capture the analysis itself)
+  scheduling), selected by substring (``--select``), persisted
+  (``--store``), with per-scenario wall-clock timings appended to a
+  benchmark log (``--bench-out``), span-traced (``--trace OUT`` writes a
+  Chrome ``trace_event`` JSON viewable in Perfetto), and optionally
+  profiled (``--profile OUT`` dumps cProfile stats of the sweep; with
+  ``--jobs N`` the workers profile themselves and the stats are merged)
+- ``stats`` — inspect the observability outputs: summarize an exported
+  trace (``--trace FILE``), render/diff per-scenario engine counters from
+  result stores (``--store FILE [--against FILE]``), and diff
+  timings/memory across two BENCH logs (``--baseline``/``--current``)
 - ``transform NAME --passes P[,P...]`` — apply countermeasure passes to a
   base scenario, analyze original vs. transformed side by side, enforce the
   leakage ordering on the passes' targeted observers, and optionally replay
@@ -86,8 +92,13 @@ def _build_parser() -> argparse.ArgumentParser:
                                 help="run scenarios via SweepRunner")
     sweep.add_argument("names", nargs="*", help="scenario names (see list)")
     sweep.add_argument("--all", action="store_true", help="run the whole catalogue")
-    sweep.add_argument("--jobs", type=int, default=1,
-                       help="worker processes (default 1: inline)")
+    sweep.add_argument("--select", default=None, metavar="SUBSTR",
+                       help="run every catalogue scenario whose name "
+                            "contains this substring")
+    sweep.add_argument("--jobs", type=int, default=None,
+                       help="worker processes (default 1: inline; "
+                            "--trace defaults to 2 so the trace shows the "
+                            "worker timeline)")
     sweep.add_argument("--store", default=None,
                        help="JSON result store path (read/write cache)")
     sweep.add_argument("--entry-bytes", type=int, default=32,
@@ -112,7 +123,36 @@ def _build_parser() -> argparse.ArgumentParser:
                             "stats to this file (inspect with pstats or "
                             "snakeviz); a top-function summary and the "
                             "per-scenario specialization hit rates are "
-                            "printed")
+                            "printed; with --jobs > 1 each pool worker "
+                            "profiles itself and the stats are merged")
+    sweep.add_argument("--trace", default=None, metavar="OUT",
+                       help="record phase spans and write a Chrome "
+                            "trace_event JSON file (load in ui.perfetto.dev "
+                            "or chrome://tracing); sets REPRO_TRACE so pool "
+                            "workers trace too, and defaults --jobs to 2 so "
+                            "the trace shows the worker timeline; results "
+                            "are bit-identical with tracing on or off")
+
+    stats = commands.add_parser(
+        "stats",
+        help="inspect observability outputs: traces, counter stores, "
+             "BENCH logs")
+    stats.add_argument("--trace", default=None, metavar="FILE",
+                       help="summarize an exported Chrome trace: span "
+                            "totals by name, per-process breakdown")
+    stats.add_argument("--store", default=None, metavar="FILE",
+                       help="render per-scenario engine counters from a "
+                            "sweep result store")
+    stats.add_argument("--against", default=None, metavar="FILE",
+                       help="second result store: show per-scenario "
+                            "counter deltas against --store")
+    stats.add_argument("--baseline", default=None, metavar="FILE",
+                       help="BENCH log to diff --current against "
+                            "(timings and cli/rss_mb memory entries)")
+    stats.add_argument("--current", default=None, metavar="FILE",
+                       help="freshly measured BENCH log (see --baseline)")
+    stats.add_argument("--top", type=int, default=15,
+                       help="rows per table (default 15)")
 
     bench = commands.add_parser(
         "bench-compare",
@@ -211,8 +251,15 @@ def _render_sweep_result(result: SweepResult) -> str:
         lines.append(result.report.format_full_table())
     else:
         metrics = ", ".join(f"{key}={value:,}"
-                            for key, value in sorted(result.metrics.items()))
+                            for key, value in sorted(result.metrics.items())
+                            if not isinstance(value, dict))
         lines.append(f"  {metrics}")
+    environment = result.metrics.get("environment") or {}
+    if environment.get("peak_rss_bytes"):
+        lines.append(
+            f"  peak_rss={environment['peak_rss_bytes'] / 1e6:.1f}MB"
+            f"  gc_pauses={environment.get('gc_pause_s', 0.0) * 1000:.1f}ms"
+            f" ({environment.get('gc_collections', 0)} collections)")
     return "\n".join(lines)
 
 
@@ -221,11 +268,22 @@ def _append_bench_log(path: str, results: list[SweepResult]) -> int:
 
     Cached results carry no meaningful wall-clock and are skipped; keys are
     ``cli/sweep/<scenario>`` so CLI timings sit beside the benchmark
-    harness's per-figure entries.  Returns the number of entries written.
+    harness's per-figure entries.  When a result carries an environment
+    block, its peak RSS lands as ``cli/rss_mb/<scenario>`` — a coarse
+    (process-peak, hence monotone within a worker) memory figure that
+    ``stats --baseline/--current`` and ``bench-compare`` can diff to flag
+    memory regressions.  Returns the number of entries written.
     """
-    return update_bench_log(
-        path, {f"cli/sweep/{result.scenario}": round(result.elapsed, 4)
-               for result in results if not result.cached})
+    entries: dict[str, float] = {}
+    for result in results:
+        if result.cached:
+            continue
+        entries[f"cli/sweep/{result.scenario}"] = round(result.elapsed, 4)
+        environment = result.metrics.get("environment") or {}
+        rss = environment.get("peak_rss_bytes")
+        if rss:
+            entries[f"cli/rss_mb/{result.scenario}"] = round(rss / 1e6, 1)
+    return update_bench_log(path, entries)
 
 
 def _specialization_profile(results: list[SweepResult]) -> str | None:
@@ -290,9 +348,27 @@ def _command_sweep(args) -> int:
     if args.no_vectorize:
         from repro.core.vectorize import NO_VECTORIZE_ENV
         os.environ[NO_VECTORIZE_ENV] = "1"
+    if args.trace:
+        from repro.obs import trace as obs_trace
+        # The env var (like the kill switches above) so fork/spawn pool
+        # workers come up tracing; start() covers this parent process.
+        os.environ[obs_trace.TRACE_ENV] = "1"
+        obs_trace.start()
+    # A trace of an inline sweep shows one process and answers few
+    # questions, so --trace defaults to the smallest pool that shows the
+    # parent/worker split.  An explicit --jobs (even --jobs 1) wins.
+    jobs = args.jobs if args.jobs is not None else (2 if args.trace else 1)
     catalogue = all_scenarios(entry_bytes=args.entry_bytes)
     if args.all:
         selected: list[Scenario] = list(catalogue.values())
+    elif args.select is not None:
+        needle = args.select.lower()
+        selected = [scenario for name, scenario in sorted(catalogue.items())
+                    if needle in name.lower()]
+        if not selected:
+            print(f"no scenarios match {args.select!r}; see "
+                  f"`python -m repro list`", file=sys.stderr)
+            return 2
     else:
         if not args.names:
             print("no scenarios named; try --all or `python -m repro list`",
@@ -304,11 +380,20 @@ def _command_sweep(args) -> int:
             return 2
         selected = [catalogue[name] for name in args.names]
 
-    runner = SweepRunner(processes=args.jobs, store=args.store,
+    runner = SweepRunner(processes=jobs, store=args.store,
                          use_cache=not args.no_cache)
     profiler = None
+    profile_dir = None
     if args.profile:
         import cProfile
+        if jobs > 1:
+            # The parent's profiler only sees IPC and bookkeeping; have the
+            # pool workers profile themselves (runner._pool_shard_worker)
+            # and merge their dumps into the requested output below.
+            import tempfile
+            from repro.sweep.runner import PROFILE_DIR_ENV
+            profile_dir = tempfile.mkdtemp(prefix="repro-profile-")
+            os.environ[PROFILE_DIR_ENV] = profile_dir
         profiler = cProfile.Profile()
         profiler.enable()
     started = time.perf_counter()
@@ -318,8 +403,25 @@ def _command_sweep(args) -> int:
         import pstats
         profiler.disable()
         profiler.dump_stats(args.profile)
-        stats = pstats.Stats(profiler).sort_stats("cumulative")
-        print(f"profile written to {args.profile}; hottest functions:")
+        merged = 0
+        if profile_dir is not None:
+            import glob
+            import shutil
+            from repro.sweep.runner import PROFILE_DIR_ENV
+            os.environ.pop(PROFILE_DIR_ENV, None)
+            worker_dumps = sorted(
+                glob.glob(os.path.join(profile_dir, "worker-*.pstats")))
+            if worker_dumps:
+                combined = pstats.Stats(args.profile)
+                for dump in worker_dumps:
+                    combined.add(dump)
+                combined.dump_stats(args.profile)
+                merged = len(worker_dumps)
+            shutil.rmtree(profile_dir, ignore_errors=True)
+        stats = pstats.Stats(args.profile).sort_stats("cumulative")
+        suffix = f" (merged {merged} worker profiles)" if merged else ""
+        print(f"profile written to {args.profile}{suffix}; "
+              f"hottest functions:")
         stats.print_stats(12)
         specialization = _specialization_profile(results)
         if specialization:
@@ -334,13 +436,198 @@ def _command_sweep(args) -> int:
         print()
     hits = sum(1 for result in results if result.cached)
     print(f"{len(results)} scenarios in {elapsed:.2f}s "
-          f"({hits} cached, jobs={args.jobs})")
+          f"({hits} cached, jobs={jobs})")
     if args.store:
         print(f"results stored in {args.store}")
     if args.bench_out:
         written = _append_bench_log(args.bench_out, results)
         print(f"{written} timings appended to {args.bench_out}")
+    if args.trace:
+        from repro.obs import trace as obs_trace
+        payload = obs_trace.write(args.trace)
+        spans = sum(1 for event in payload["traceEvents"]
+                    if event.get("ph") == "X")
+        pids = {event["pid"] for event in payload["traceEvents"]}
+        print(f"trace written to {args.trace} "
+              f"({spans} spans across {len(pids)} processes); "
+              f"load it in ui.perfetto.dev")
     return 0
+
+
+def _stats_trace(path: str, top: int) -> int:
+    """Summarize an exported Chrome ``trace_event`` file: where the wall
+    clock went, by span name and by process."""
+    import json
+
+    try:
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError) as problem:
+        print(f"cannot read trace {path}: {problem}", file=sys.stderr)
+        return 2
+    events = payload.get("traceEvents", []) if isinstance(payload, dict) else []
+    spans = [event for event in events if event.get("ph") == "X"]
+    if not spans:
+        print(f"no spans in {path} (was the sweep run with --trace?)",
+              file=sys.stderr)
+        return 2
+    pids = sorted({event["pid"] for event in spans})
+    counters = sum(1 for event in events if event.get("ph") == "C")
+    by_name: dict[str, list[float]] = {}
+    for event in spans:
+        bucket = by_name.setdefault(event["name"], [0, 0.0])
+        bucket[0] += 1
+        bucket[1] += float(event.get("dur", 0.0))
+    print(f"{path}: {len(spans)} spans, {counters} counter samples, "
+          f"{len(pids)} process(es)")
+    print(f"{'span':<44}{'count':>7}{'total ms':>12}{'mean ms':>10}")
+    ranked = sorted(by_name.items(), key=lambda item: -item[1][1])
+    for name, (count, total_us) in ranked[:top]:
+        print(f"{name:<44}{count:>7}{total_us / 1000:>12.2f}"
+              f"{total_us / 1000 / count:>10.2f}")
+    if len(ranked) > top:
+        print(f"({len(ranked) - top} more span names; raise --top)")
+    return 0
+
+
+def _load_store_metrics(path: str) -> dict[str, dict] | None:
+    """Scenario-name → numeric-metrics mapping of a result store file."""
+    import json
+
+    try:
+        with open(path, encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, ValueError) as problem:
+        print(f"cannot read store {path}: {problem}", file=sys.stderr)
+        return None
+    results = data.get("results", {}) if isinstance(data, dict) else {}
+    loaded: dict[str, dict] = {}
+    for payload in results.values():
+        if not isinstance(payload, dict):
+            continue
+        metrics = {
+            key: value
+            for key, value in (payload.get("metrics") or {}).items()
+            if isinstance(value, (int, float)) and not isinstance(value, bool)
+        }
+        loaded[payload.get("scenario", "?")] = metrics
+    return loaded
+
+
+def _stats_store(path: str, against: str | None, top: int) -> int:
+    """Render (or diff) the per-scenario engine counters of result stores."""
+    current = _load_store_metrics(path)
+    if current is None:
+        return 2
+    if not current:
+        print(f"no results in {path}", file=sys.stderr)
+        return 2
+    if against is None:
+        print(f"{path}: {len(current)} scenarios")
+        print(f"{'scenario':<44}{'steps':>10}{'merges':>8}{'forks':>7}"
+              f"{'peak heap':>10}")
+        for name in sorted(current):
+            metrics = current[name]
+            print(f"{name:<44}{metrics.get('steps', 0):>10,}"
+                  f"{metrics.get('merges', 0):>8,}"
+                  f"{metrics.get('forks', 0):>7,}"
+                  f"{metrics.get('peak_heap_size', 0):>10,}")
+        return 0
+    baseline = _load_store_metrics(against)
+    if baseline is None:
+        return 2
+    shared = sorted(set(current) & set(baseline))
+    if not shared:
+        print(f"no scenarios shared between {path} and {against}",
+              file=sys.stderr)
+        return 2
+    changed = []
+    for name in shared:
+        for key in sorted(set(current[name]) | set(baseline[name])):
+            was = baseline[name].get(key, 0)
+            now = current[name].get(key, 0)
+            if was != now:
+                changed.append((name, key, was, now))
+    skipped = len(set(current) ^ set(baseline))
+    print(f"{len(shared)} scenarios compared"
+          + (f" ({skipped} present in only one store, ignored)"
+             if skipped else ""))
+    if not changed:
+        print("all deterministic counters identical")
+        return 0
+    print(f"{len(changed)} counter difference(s):")
+    print(f"{'scenario':<40}{'counter':<22}{'base':>12}{'now':>12}")
+    for name, key, was, now in changed[:top]:
+        print(f"{name:<40}{key:<22}{was:>12,}{now:>12,}")
+    if len(changed) > top:
+        print(f"({len(changed) - top} more; raise --top)")
+    return 0
+
+
+def _stats_bench(baseline_path: str, current_path: str, top: int) -> int:
+    """Diff two BENCH logs: timing table plus memory (cli/rss_mb) table.
+
+    Informational (always exits 0 on readable inputs): regressions are
+    flagged in the output, but *gating* is ``bench-compare``'s job.
+    """
+    from repro.sweep.results import load_bench_log
+
+    baseline = load_bench_log(baseline_path)
+    current = load_bench_log(current_path)
+    if not baseline or not current:
+        missing = baseline_path if not baseline else current_path
+        print(f"no timings in {missing}", file=sys.stderr)
+        return 2
+    shared = sorted(set(baseline) & set(current))
+    if not shared:
+        print("no entries shared between the two logs", file=sys.stderr)
+        return 2
+    memory = [key for key in shared if key.startswith("cli/rss_mb/")]
+    timing = [key for key in shared if key not in set(memory)]
+
+    def table(title: str, keys: list[str], unit: str, flag_ratio: float):
+        if not keys:
+            return
+        ranked = sorted(
+            keys, key=lambda key: -(current[key] / baseline[key]
+                                    if baseline[key] > 0 else float("inf")))
+        print(f"{title} ({len(keys)} shared entries)")
+        print(f"{'entry':<56}{'base':>10}{'now':>10}{'ratio':>8}")
+        for key in ranked[:top]:
+            base, now = baseline[key], current[key]
+            ratio = now / base if base > 0 else float("inf")
+            flag = f"  <- {unit} regression" if ratio > flag_ratio else ""
+            print(f"{key:<56}{base:>10.3f}{now:>10.3f}{ratio:>8.2f}{flag}")
+        if len(ranked) > top:
+            print(f"({len(ranked) - top} more; raise --top)")
+        print()
+
+    table("timings (seconds)", timing, "timing", 2.0)
+    table("peak RSS (MB)", memory, "memory", 1.5)
+    return 0
+
+
+def _command_stats(args) -> int:
+    wants_bench = args.baseline is not None or args.current is not None
+    if not (args.trace or args.store or wants_bench):
+        print("nothing to do: pass --trace FILE, --store FILE "
+              "[--against FILE], or --baseline/--current", file=sys.stderr)
+        return 2
+    if args.against and not args.store:
+        print("--against needs --store", file=sys.stderr)
+        return 2
+    if wants_bench and not (args.baseline and args.current):
+        print("--baseline and --current go together", file=sys.stderr)
+        return 2
+    status = 0
+    if args.trace:
+        status = max(status, _stats_trace(args.trace, args.top))
+    if args.store:
+        status = max(status, _stats_store(args.store, args.against, args.top))
+    if wants_bench:
+        status = max(status,
+                     _stats_bench(args.baseline, args.current, args.top))
+    return status
 
 
 def _command_bench_compare(args) -> int:
@@ -518,6 +805,8 @@ def main(argv: list[str] | None = None) -> int:
         return _command_transform(args)
     if args.command == "bench-compare":
         return _command_bench_compare(args)
+    if args.command == "stats":
+        return _command_stats(args)
     return _command_sweep(args)
 
 

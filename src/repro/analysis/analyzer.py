@@ -21,6 +21,7 @@ from repro.core.masked import MaskedSymbol
 from repro.core.valueset import ValueSet
 from repro.isa.image import Image
 from repro.isa.registers import ESP
+from repro.obs import trace as obs_trace
 
 __all__ = ["analyze", "AnalysisResult", "build_initial_state"]
 
@@ -106,8 +107,9 @@ def analyze(
     config: AnalysisConfig | None = None,
 ) -> AnalysisResult:
     """Analyze one region of an image and bound its leakage per observer."""
-    context = AnalysisContext(config or AnalysisConfig())
-    state, named = build_initial_state(context, spec, image)
+    with obs_trace.span("analyze.build_state"):
+        context = AnalysisContext(config or AnalysisConfig())
+        state, named = build_initial_state(context, spec, image)
 
     extern_clobbers = {
         image.symbol(name): name for name in spec.extern_clobbers
@@ -116,26 +118,28 @@ def analyze(
     engine = Engine(image, context, transfer)
     engine_result = engine.run(image.symbol(spec.entry), state)
 
-    report = LeakageReport(target=spec.description or spec.entry)
-    for (kind, observer_name), dag in engine_result.dags.items():
-        final = engine_result.final_vertices[(kind, observer_name)]
-        report.record(ObservationBound(
-            kind=kind,
-            observer=observer_name,
-            count=dag.count(final),
-            stuttering_count=dag.count(final, stuttering=True),
-        ))
-    # Trace-/time-adversary bounds derive from the block DAG: the hit/miss
-    # trace of any deterministic replacement policy is a function of the
-    # block trace, so no extra exploration is needed.
-    models = tuple(context.config.adversary_models)
-    if models:
+    with obs_trace.span("analyze.count"):
+        report = LeakageReport(target=spec.description or spec.entry)
         for (kind, observer_name), dag in engine_result.dags.items():
-            if observer_name != "block":
-                continue
             final = engine_result.final_vertices[(kind, observer_name)]
-            for adversary in derive_adversary_bounds(dag, final, kind, models):
-                report.record_adversary(adversary)
+            report.record(ObservationBound(
+                kind=kind,
+                observer=observer_name,
+                count=dag.count(final),
+                stuttering_count=dag.count(final, stuttering=True),
+            ))
+        # Trace-/time-adversary bounds derive from the block DAG: the
+        # hit/miss trace of any deterministic replacement policy is a
+        # function of the block trace, so no extra exploration is needed.
+        models = tuple(context.config.adversary_models)
+        if models:
+            for (kind, observer_name), dag in engine_result.dags.items():
+                if observer_name != "block":
+                    continue
+                final = engine_result.final_vertices[(kind, observer_name)]
+                for adversary in derive_adversary_bounds(dag, final, kind,
+                                                         models):
+                    report.record_adversary(adversary)
     report.notes = list(context.warnings)
     return AnalysisResult(
         report=report,

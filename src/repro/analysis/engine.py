@@ -48,6 +48,9 @@ from repro.core.tracedag import EMPTY_ENDS, Cursor, EndSet, TraceDAG
 from repro.core.valueset import ValueSet
 from repro.core.valueset import intern_counters as valueset_intern_counters
 from repro.isa.image import Image
+from repro.obs import metrics as obs_metrics
+from repro.obs import timeline as obs_timeline
+from repro.obs import trace as obs_trace
 
 __all__ = ["Engine", "DagKey", "EngineResult", "SchedulerStats"]
 
@@ -382,6 +385,15 @@ class Engine:
     # ------------------------------------------------------------------
     def run(self, entry: int, initial_state: AbsState) -> EngineResult:
         """Explore every path from ``entry`` to the sentinel return."""
+        # Observability is annotation-only: spans/samples record wall-clock
+        # *around* the phases below and never feed back into scheduling or
+        # the abstract domain (the on/off catalogue differential enforces
+        # bit-identical results).  config.trace opts a library caller into
+        # the process tracer; the CLI uses the REPRO_TRACE env var instead.
+        if self.context.config.trace:
+            obs_trace.start()
+        run_span = obs_trace.span("engine.run", entry=entry)
+        run_span.__enter__()
         # Fresh per-run state: earlier EngineResults keep their own stats
         # objects, and the per-run caches' counters stay consistent with the
         # step count of *this* run.
@@ -406,10 +418,12 @@ class Engine:
             # interleaved in program order; the compile tier emits a block's
             # fetches batched ahead of its data accesses (identical per-kind
             # sequences, different interleaving), so SHARED runs interpret.
-            program = specialized_program(self.image, entry)
-            if program.blocks:
-                spec_blocks = program.bind(self.context)
-                self.stats.spec_blocks = len(spec_blocks)
+            with obs_trace.span("engine.specialize") as bind_span:
+                program = specialized_program(self.image, entry)
+                if program.blocks:
+                    spec_blocks = program.bind(self.context)
+                    self.stats.spec_blocks = len(spec_blocks)
+                bind_span.arg("blocks", self.stats.spec_blocks)
 
         result = EngineResult(dags=self.dags, final_vertices={},
                               scheduler=self.stats)
@@ -432,6 +446,7 @@ class Engine:
         vs_base = valueset_intern_counters()
         sym_base = masked_intern_counters()
         emit = self._emit  # bound once; cursors are threaded via attribute
+        sampler = obs_timeline.active()
 
         # The exploration loop allocates strictly acyclic objects (masks,
         # masked symbols, value sets, DAG vertices, cursor tuples), so the
@@ -443,25 +458,35 @@ class Engine:
         if gc_was_enabled:
             gc.disable()
         try:
-            self._explore(heap, pending, finished, fuel, result, emit,
-                          spec_blocks)
+            with obs_trace.span("engine.explore") as explore_span:
+                self._explore(heap, pending, finished, fuel, result, emit,
+                              spec_blocks, sampler)
+                explore_span.arg("steps", result.steps)
+                explore_span.arg("merges", result.merges)
+                explore_span.arg("forks", result.forks)
         finally:
             if gc_was_enabled:
                 gc.enable()
 
         self.stats.cache_evictions = compile_tier_evictions() - evictions_base
         self._sync_lift_stats(vs_base, sym_base)
+        if sampler is not None:
+            sampler.sample(result.steps, len(heap), len(pending))
         # Finalize all cursors per DAG.
-        for slot, key in enumerate(self._dag_keys):
-            dag = self._dag_slots[slot]
-            ends = EMPTY_ENDS
-            for config in finished:
-                ends = ends.union(dag.finalize(config.cursors[slot]))
-            result.final_vertices[key] = ends
+        with obs_trace.span("engine.finalize"):
+            for slot, key in enumerate(self._dag_keys):
+                dag = self._dag_slots[slot]
+                ends = EMPTY_ENDS
+                for config in finished:
+                    ends = ends.union(dag.finalize(config.cursors[slot]))
+                result.final_vertices[key] = ends
+        obs_metrics.publish_scheduler_stats(self.stats)
+        run_span.arg("steps", result.steps)
+        run_span.__exit__(None, None, None)
         return result
 
     def _explore(self, heap, pending, finished, fuel, result, emit,
-                 spec_blocks=None) -> None:
+                 spec_blocks=None, sampler=None) -> None:
         """The scheduler loop, split out so run() can bracket it (GC pause)."""
         seq = _count(1)
         stats = self.stats
@@ -472,6 +497,10 @@ class Engine:
         d_append = d_log.append
 
         while heap:
+            # Timeline telemetry: cadenced by step count (deterministic
+            # sample positions), one None-check per pop when disabled.
+            if sampler is not None and result.steps >= sampler.next_due:
+                sampler.sample(result.steps, len(heap), len(pending))
             _, _, config = heapq.heappop(heap)
             del pending[config.merge_key]
             if config.pc == SENTINEL_RETURN:

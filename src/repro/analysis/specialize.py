@@ -107,6 +107,11 @@ def clear_cache() -> None:
     _PROGRAM_CACHE.clear()
 
 
+def publish_cache_metrics(registry=None) -> None:
+    """Mirror the specialized-program cache into the metrics registry."""
+    _PROGRAM_CACHE.publish("specialized_programs", registry)
+
+
 class BoundBlock:
     """One specialized block bound to a run's context: ready to execute.
 

@@ -39,6 +39,7 @@ from repro.analysis.config import AnalysisError, InputSpec
 from repro.core.observers import AccessKind
 from repro.isa.image import Image
 from repro.isa.registers import EAX
+from repro.obs import trace as obs_trace
 from repro.vm.cache import CacheConfig, SetAssociativeCache
 from repro.vm.cpu import CPU
 from repro.vm.memory import DEFAULT_STACK_TOP, FlatMemory
@@ -224,24 +225,26 @@ class ConcreteValidator:
             for observer in result.context.config.observers()
         }
         kind_codes = _KIND_CODES
-        for lam in layouts:
-            traces = self._collect_traces(lam)
-            for (kind, observer_name), bound in result.report.bounds.items():
-                offset_bits = observer_bits[observer_name]
-                for stuttering, limit in (
-                    (False, bound.count), (True, bound.stuttering_count),
-                ):
-                    observed = {
-                        trace.view(kind_codes[kind], offset_bits, stuttering)
-                        for trace in traces}
-                    report.checked += 1
-                    if len(observed) > limit:
-                        report.violations.append(
-                            f"{kind.value}/{observer_name}"
-                            f"{'/stutter' if stuttering else ''}: "
-                            f"observed {len(observed)} views > bound {limit} "
-                            f"for λ={lam}"
-                        )
+        with obs_trace.span("validate.views", layouts=len(layouts)) as vspan:
+            for lam in layouts:
+                traces = self._collect_traces(lam)
+                for (kind, observer_name), bound in result.report.bounds.items():
+                    offset_bits = observer_bits[observer_name]
+                    for stuttering, limit in (
+                        (False, bound.count), (True, bound.stuttering_count),
+                    ):
+                        observed = {
+                            trace.view(kind_codes[kind], offset_bits, stuttering)
+                            for trace in traces}
+                        report.checked += 1
+                        if len(observed) > limit:
+                            report.violations.append(
+                                f"{kind.value}/{observer_name}"
+                                f"{'/stutter' if stuttering else ''}: "
+                                f"observed {len(observed)} views > bound {limit} "
+                                f"for λ={lam}"
+                            )
+            vspan.arg("checked", report.checked)
         return report
 
     def check_adversaries(self, result: AnalysisResult,
@@ -269,24 +272,28 @@ class ConcreteValidator:
             line_bytes = config.geometry.line_bytes
             cache_config = CacheConfig(line_bytes=line_bytes,
                                        banks=min(16, line_bytes))
-        for lam in layouts:
-            # The concrete traces are policy- and model-independent: run the
-            # (expensive) secret enumeration once per layout and replay the
-            # traces through a fresh cache per (policy, bound).
-            traces = self._collect_traces(lam)
-            for policy in policies:
-                def factory(policy=policy):
-                    return SetAssociativeCache(cache_config, policy=policy)
-                for (kind, model), bound in result.report.adversaries.items():
-                    observed = self._adversary_views(
-                        traces, _KIND_CODES[kind], model, factory)
-                    report.checked += 1
-                    if len(observed) > bound.count:
-                        report.violations.append(
-                            f"{kind.value}/{model}/{policy}: observed "
-                            f"{len(observed)} views > bound {bound.count} "
-                            f"for λ={lam}"
-                        )
+        with obs_trace.span("validate.adversaries",
+                            layouts=len(layouts),
+                            policies=",".join(policies)) as vspan:
+            for lam in layouts:
+                # The concrete traces are policy- and model-independent: run
+                # the (expensive) secret enumeration once per layout and
+                # replay the traces through a fresh cache per (policy, bound).
+                traces = self._collect_traces(lam)
+                for policy in policies:
+                    def factory(policy=policy):
+                        return SetAssociativeCache(cache_config, policy=policy)
+                    for (kind, model), bound in result.report.adversaries.items():
+                        observed = self._adversary_views(
+                            traces, _KIND_CODES[kind], model, factory)
+                        report.checked += 1
+                        if len(observed) > bound.count:
+                            report.violations.append(
+                                f"{kind.value}/{model}/{policy}: observed "
+                                f"{len(observed)} views > bound {bound.count} "
+                                f"for λ={lam}"
+                            )
+            vspan.arg("checked", report.checked)
         return report
 
     # ------------------------------------------------------------------
@@ -315,29 +322,33 @@ class ConcreteValidator:
         report = ValidationReport()
         other = ConcreteValidator(transformed, self.spec, fuel=self.fuel)
         stack_floor = DEFAULT_STACK_TOP - _STACK_WINDOW
-        for lam in layouts:
-            for combo in self._secret_combos():
-                trace_a, cpu_a = self._run_once(lam, combo, fills=fills)
-                _trace_b, cpu_b = other._run_once(lam, combo, fills=fills)
-                report.checked += 1
-                label = f"λ={lam}, secrets={[c[2] for c in combo]}"
-                if cpu_a.get_reg(EAX) != cpu_b.get_reg(EAX):
-                    report.violations.append(
-                        f"return value {cpu_a.get_reg(EAX):#x} != "
-                        f"{cpu_b.get_reg(EAX):#x} for {label}")
-                    continue
-                written = sorted({
-                    access.addr + offset
-                    for access in trace_a.accesses
-                    if access.kind == WRITE and access.addr < stack_floor
-                    for offset in range(access.size)
-                })
-                differing = [
-                    addr for addr in written
-                    if cpu_a.memory.read_byte(addr) != cpu_b.memory.read_byte(addr)
-                ]
-                if differing:
-                    report.violations.append(
-                        f"{len(differing)} byte(s) differ (first at "
-                        f"{differing[0]:#x}) for {label}")
+        with obs_trace.span("validate.equivalence",
+                            layouts=len(layouts)) as vspan:
+            for lam in layouts:
+                for combo in self._secret_combos():
+                    trace_a, cpu_a = self._run_once(lam, combo, fills=fills)
+                    _trace_b, cpu_b = other._run_once(lam, combo, fills=fills)
+                    report.checked += 1
+                    label = f"λ={lam}, secrets={[c[2] for c in combo]}"
+                    if cpu_a.get_reg(EAX) != cpu_b.get_reg(EAX):
+                        report.violations.append(
+                            f"return value {cpu_a.get_reg(EAX):#x} != "
+                            f"{cpu_b.get_reg(EAX):#x} for {label}")
+                        continue
+                    written = sorted({
+                        access.addr + offset
+                        for access in trace_a.accesses
+                        if access.kind == WRITE and access.addr < stack_floor
+                        for offset in range(access.size)
+                    })
+                    differing = [
+                        addr for addr in written
+                        if cpu_a.memory.read_byte(addr)
+                        != cpu_b.memory.read_byte(addr)
+                    ]
+                    if differing:
+                        report.violations.append(
+                            f"{len(differing)} byte(s) differ (first at "
+                            f"{differing[0]:#x}) for {label}")
+            vspan.arg("checked", report.checked)
         return report

@@ -36,7 +36,7 @@ from repro.core.mask import Mask
 from repro.core.symbols import SymbolInfo, SymbolKind, SymbolTable
 
 __all__ = ["MaskedSymbol", "FlagBits", "MaskedOps", "concrete_op",
-           "intern_clear", "intern_counters"]
+           "intern_clear", "intern_counters", "intern_size"]
 
 # Hash-consing tables: one canonical MaskedSymbol per (sym, mask), plus a
 # dedicated shortcut for fully known constants (the most common lookup on the
@@ -61,6 +61,11 @@ def intern_clear() -> None:
 def intern_counters() -> tuple[int, int]:
     """Global (hits, misses) of masked-symbol interning (monotonic)."""
     return _hits, _misses
+
+
+def intern_size() -> int:
+    """Live entries in the canonical-instance table (timeline telemetry)."""
+    return len(_INTERN)
 
 
 class MaskedSymbol:

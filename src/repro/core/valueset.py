@@ -28,7 +28,7 @@ from repro.core.vectorize import (
 )
 
 __all__ = ["ValueSet", "ValueSetOps", "PrecisionLoss", "DEFAULT_SET_CAP",
-           "LIFT_MEMO_CAP", "intern_clear", "intern_counters"]
+           "LIFT_MEMO_CAP", "intern_clear", "intern_counters", "intern_size"]
 
 DEFAULT_SET_CAP = 64
 
@@ -66,6 +66,11 @@ def intern_clear() -> None:
 def intern_counters() -> tuple[int, int]:
     """Global (hits, misses) of value-set interning (monotonic)."""
     return _hits, _misses
+
+
+def intern_size() -> int:
+    """Live entries in the canonical-instance table (timeline telemetry)."""
+    return len(_INTERN)
 
 
 class PrecisionLoss(Exception):

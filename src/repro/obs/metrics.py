@@ -1,0 +1,200 @@
+"""Central counter/gauge/histogram registry with deterministic snapshots.
+
+Every layer that already keeps private counters — the engine's
+:class:`~repro.analysis.engine.SchedulerStats`, the hash-consing intern
+tables of :mod:`repro.core.valueset`/:mod:`repro.core.masked`, the
+compile-tier :class:`~repro.core.lru.LRUCache` memos, and the VM's
+:class:`~repro.vm.perf.PerfCounters` — publishes into one process-wide
+:class:`MetricsRegistry`, so a service front end (or a debugging session)
+can ask "what has this process done so far" in one call instead of
+spelunking five modules.
+
+Publication is strictly one-way: the registry *mirrors* the private
+counters, it never replaces them.  ``SweepResult.metrics`` payloads keep
+reading the original :class:`SchedulerStats` fields, so their bytes are
+unchanged by this layer (the on/off differential and the byte-for-byte
+store regressions enforce it).
+
+Snapshots are deterministic: :meth:`MetricsRegistry.snapshot` returns a
+plain dict in sorted-key order with only int/float values, and
+:func:`delta` subtracts two snapshots key-wise — the primitive behind the
+``python -m repro stats`` regression tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "REGISTRY", "delta",
+    "publish_scheduler_stats", "pull_domain_metrics", "registry",
+]
+
+
+@dataclass(slots=True)
+class Counter:
+    """A monotonically increasing count."""
+
+    value: int = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+@dataclass(slots=True)
+class Gauge:
+    """A point-in-time value (table sizes, cache occupancy, RSS)."""
+
+    value: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+@dataclass(slots=True)
+class Histogram:
+    """Summary statistics of an observed distribution.
+
+    Kept as exact count/total/min/max (no buckets): everything the stats
+    tables render, and every field is deterministic for deterministic
+    inputs — which bucket boundaries chosen after the fact would not be.
+    """
+
+    count: int = 0
+    total: float = 0
+    min: float = 0
+    max: float = 0
+
+    def observe(self, value: float) -> None:
+        if self.count == 0 or value < self.min:
+            self.min = value
+        if self.count == 0 or value > self.max:
+            self.max = value
+        self.count += 1
+        self.total += value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Named metrics, get-or-create per kind, one flat namespace.
+
+    Names are dotted paths (``engine.steps``, ``intern.valueset.size``);
+    registering one name as two different kinds is a bug and raises.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get_or_create(self, name: str, kind):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = kind()
+            self._metrics[name] = metric
+        elif type(metric) is not kind:
+            raise TypeError(
+                f"metric {name!r} is a {type(metric).__name__}, "
+                f"not a {kind.__name__}")
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get_or_create(name, Histogram)
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        self.counter(name).inc(amount)
+
+    def set(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    def snapshot(self) -> dict[str, float]:
+        """A flat, sorted, JSON-ready view of every registered metric.
+
+        Histograms flatten to ``name.count`` / ``name.total`` /
+        ``name.min`` / ``name.max`` so the result is pure name → number.
+        """
+        flat: dict[str, float] = {}
+        for name, metric in self._metrics.items():
+            if isinstance(metric, Histogram):
+                flat[f"{name}.count"] = metric.count
+                flat[f"{name}.total"] = metric.total
+                flat[f"{name}.min"] = metric.min
+                flat[f"{name}.max"] = metric.max
+            else:
+                flat[name] = metric.value
+        return {name: flat[name] for name in sorted(flat)}
+
+    def clear(self) -> None:
+        self._metrics.clear()
+
+
+def delta(current: dict[str, float], base: dict[str, float]) -> dict[str, float]:
+    """Key-wise ``current - base`` (keys only in ``current`` keep their
+    value; keys only in ``base`` appear negated), sorted like snapshots."""
+    out = {}
+    for name in sorted(set(current) | set(base)):
+        out[name] = current.get(name, 0) - base.get(name, 0)
+    return out
+
+
+# The process-wide default registry.  Pool workers each have their own (it
+# is per-process state, like the intern tables).
+REGISTRY = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    return REGISTRY
+
+
+def publish_scheduler_stats(stats, into: MetricsRegistry | None = None,
+                            prefix: str = "engine") -> None:
+    """Accumulate one run's :class:`SchedulerStats` into the registry.
+
+    Every dataclass field is a per-run count, so each publishes as a
+    counter increment — the registry holds process-lifetime totals while
+    the stats object keeps the per-run view.
+    """
+    from dataclasses import fields
+
+    target = into if into is not None else REGISTRY
+    for spec in fields(stats):
+        target.inc(f"{prefix}.{spec.name}", getattr(stats, spec.name))
+
+
+def pull_domain_metrics(into: MetricsRegistry | None = None) -> MetricsRegistry:
+    """Refresh the gauges mirroring the abstract domain and compile tier.
+
+    Pull-based (deferred imports) so this module stays import-light and
+    below every layer it observes: intern-table hit/miss/size from
+    :mod:`repro.core.valueset` and :mod:`repro.core.masked`, and the two
+    compile-tier LRU memos via their ``publish`` hooks.
+    """
+    from repro.analysis.specialize import publish_cache_metrics
+    from repro.core.masked import intern_counters as sym_counters
+    from repro.core.masked import intern_size as sym_size
+    from repro.core.valueset import intern_counters as vs_counters
+    from repro.core.valueset import intern_size as vs_size
+    from repro.lang.driver import publish_compile_cache_metrics
+
+    target = into if into is not None else REGISTRY
+    hits, misses = vs_counters()
+    target.set("intern.valueset.hits", hits)
+    target.set("intern.valueset.misses", misses)
+    target.set("intern.valueset.size", vs_size())
+    hits, misses = sym_counters()
+    target.set("intern.masked.hits", hits)
+    target.set("intern.masked.misses", misses)
+    target.set("intern.masked.size", sym_size())
+    publish_cache_metrics(target)
+    publish_compile_cache_metrics(target)
+    return target

@@ -11,7 +11,15 @@ Python's JSON handles exactly).
 
 Wall-clock time is carried on the result object (``elapsed``) but is *not*
 part of the payload: the store's content is a pure function of the scenarios
-that produced it, which the regression tests assert byte-for-byte.
+that produced it, which the regression tests assert byte-for-byte.  The same
+rule keeps the observability telemetry out of the payload: the ``timeline``
+samples and the ``metrics["environment"]`` block (peak RSS, GC pauses) are
+machine facts, carried on the object only.
+
+``METRICS_SCHEMA`` versions the deterministic metrics dictionary itself.
+Cached payloads record the schema they were written under, and the store
+drops entries from another schema on load — a cheaper, targeted alternative
+to bumping ``STORE_VERSION`` (which would discard the bounds too).
 """
 
 from __future__ import annotations
@@ -27,10 +35,18 @@ from repro.core.leakage import LeakageReport, ObservationBound
 from repro.core.observers import AccessKind
 from repro.core.vectorize import numpy_version
 
-__all__ = ["AdversaryRow", "BoundRow", "SweepResult", "ResultStore",
-           "load_bench_log", "load_bench_environment", "update_bench_log"]
+__all__ = ["AdversaryRow", "BoundRow", "METRICS_SCHEMA", "SweepResult",
+           "ResultStore", "load_bench_log", "load_bench_environment",
+           "update_bench_log"]
 
 STORE_VERSION = 1
+# Version of the deterministic metrics dictionary (the engine counters of
+# repro.sweep.runner._engine_metrics).  Bump when counters are added,
+# removed, or renamed; the store invalidates cached entries written under a
+# different schema.  Schema 1 is the implicit pre-versioning era (payloads
+# with no "metrics_schema" key), retired when the observability layer
+# landed.
+METRICS_SCHEMA = 2
 
 
 def _bench_environment() -> dict:
@@ -162,6 +178,11 @@ class SweepResult:
     warnings: tuple[str, ...] = ()
     elapsed: float = 0.0                        # not part of the payload
     cached: bool = False                        # answered from a cache?
+    timeline: tuple = ()                        # obs samples; not in payload
+
+    #: Metrics keys that carry machine facts (RSS, GC pauses) rather than
+    #: deterministic analysis counters; excluded from the payload.
+    NONDETERMINISTIC_METRICS = ("environment",)
 
     # ------------------------------------------------------------------
     # Leakage view
@@ -181,11 +202,17 @@ class SweepResult:
     # Serialization
     # ------------------------------------------------------------------
     def to_payload(self) -> dict:
-        """Deterministic JSON form (excludes wall-clock and cache state)."""
+        """Deterministic JSON form.
+
+        Excludes wall-clock, cache state, timeline samples, and the
+        machine-fact metrics block (``metrics["environment"]``): the payload
+        — and therefore the store — stays a pure function of the scenario.
+        """
         return {
             "scenario": self.scenario,
             "fingerprint": self.fingerprint,
             "kind": self.kind,
+            "metrics_schema": METRICS_SCHEMA,
             "target": self.target,
             "rows": [
                 [row.kind, row.observer, row.count, row.stuttering_count]
@@ -195,7 +222,10 @@ class SweepResult:
                 [row.kind, row.model, row.count] for row in self.adversary_rows
             ],
             "transforms": list(self.transforms),
-            "metrics": dict(self.metrics),
+            "metrics": {
+                key: value for key, value in self.metrics.items()
+                if key not in self.NONDETERMINISTIC_METRICS
+            },
             "warnings": list(self.warnings),
         }
 
@@ -239,7 +269,18 @@ class ResultStore:
             return  # unreadable/corrupt store: start fresh, overwrite on save
         if not isinstance(data, dict) or data.get("version") != STORE_VERSION:
             return  # incompatible store: start fresh, keep the file until save
-        self._results = dict(data.get("results", {}))
+        # Drop cached entries whose metrics were recorded under another
+        # schema (including pre-versioning payloads, which carry no
+        # "metrics_schema" key at all): their bounds are still correct, but
+        # serving them would hand callers stale/mis-keyed counters and make
+        # identical sweeps produce store files that disagree byte-for-byte
+        # with fresh runs.  Invalidated scenarios simply re-run.
+        self._results = {
+            fingerprint: payload
+            for fingerprint, payload in dict(data.get("results", {})).items()
+            if isinstance(payload, dict)
+            and payload.get("metrics_schema") == METRICS_SCHEMA
+        }
 
     def get(self, fingerprint: str) -> SweepResult | None:
         payload = self._results.get(fingerprint)

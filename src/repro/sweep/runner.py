@@ -25,6 +25,8 @@ from dataclasses import replace as dataclass_replace
 from typing import Iterable
 
 from repro.core.observers import AccessKind, ProjectionPolicy
+from repro.obs import timeline as obs_timeline
+from repro.obs import trace as obs_trace
 from repro.sweep.results import (
     AdversaryRow,
     BoundRow,
@@ -102,10 +104,35 @@ def _engine_metrics(engine_result) -> dict:
 
 
 def execute_scenario(scenario: Scenario) -> SweepResult:
-    """Run one scenario to completion in this process (no caching)."""
+    """Run one scenario to completion in this process (no caching).
+
+    Alongside the deterministic result, the runner records per-scenario
+    machine facts — peak RSS and cyclic-GC pause totals — into the result's
+    ``metrics["environment"]`` block (object-only; excluded from the
+    payload), and, when tracing is on, a ``scenario.<name>`` span plus the
+    engine's timeline samples.
+    """
     from repro.analysis.analyzer import analyze  # deferred: keep import cheap
 
     started = time.perf_counter()
+    with (obs_trace.span(f"scenario.{scenario.name}", kind=scenario.kind),
+          obs_timeline.GCPauses() as gc_pauses):
+        obs_timeline.begin(scenario.name)
+        try:
+            result = _execute_scenario_inner(scenario, analyze)
+        finally:
+            timeline = obs_timeline.end()
+    result.timeline = tuple(timeline)
+    result.metrics["environment"] = {
+        "peak_rss_bytes": obs_timeline.peak_rss_bytes(),
+        "gc_pause_s": round(gc_pauses.total_s, 6),
+        "gc_collections": gc_pauses.collections,
+    }
+    result.elapsed = time.perf_counter() - started
+    return result
+
+
+def _execute_scenario_inner(scenario: Scenario, analyze) -> SweepResult:
     if scenario.kind == LEAKAGE:
         target = scenario.build_target()
         config = _overridden_config(target.config, scenario)
@@ -147,21 +174,50 @@ def execute_scenario(scenario: Scenario) -> SweepResult:
         )
     else:  # pragma: no cover - Scenario.__post_init__ rejects this
         raise ScenarioError(f"unknown scenario kind {scenario.kind!r}")
-    result.elapsed = time.perf_counter() - started
     return result
 
 
 def _pool_worker(scenario: Scenario) -> dict:
-    """Pool entry point: run and return the payload plus timing."""
+    """Pool entry point: run and return the payload plus the object-only
+    extras (timing, telemetry, buffered trace events) under ``_``-keys that
+    the parent pops back off before reconstructing the result."""
     result = execute_scenario(scenario)
     payload = result.to_payload()
     payload["_elapsed"] = result.elapsed
+    payload["_environment"] = result.metrics.get("environment", {})
+    if result.timeline:
+        payload["_timeline"] = list(result.timeline)
+    events = obs_trace.drain()
+    if events:
+        payload["_trace"] = events
     return payload
+
+
+# Directory for in-worker cProfile dumps (set by `sweep --profile` when the
+# pool engages): each shard's profile lands as worker-<pid>-<seq>.pstats,
+# and the CLI merges them with pstats.Stats.add.  An env var because pool
+# workers cannot share the parent's profiler object.
+PROFILE_DIR_ENV = "REPRO_PROFILE_DIR"
+_PROFILE_SEQ = 0
 
 
 def _pool_shard_worker(scenarios: list[Scenario]) -> list[dict]:
     """Run one pre-assigned shard of scenarios in a single pool task."""
-    return [_pool_worker(scenario) for scenario in scenarios]
+    profile_dir = os.environ.get(PROFILE_DIR_ENV)
+    if not profile_dir:
+        return [_pool_worker(scenario) for scenario in scenarios]
+    import cProfile
+
+    global _PROFILE_SEQ
+    _PROFILE_SEQ += 1
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        return [_pool_worker(scenario) for scenario in scenarios]
+    finally:
+        profiler.disable()
+        profiler.dump_stats(os.path.join(
+            profile_dir, f"worker-{os.getpid()}-{_PROFILE_SEQ}.pstats"))
 
 
 def _warm_worker() -> None:
@@ -173,11 +229,17 @@ def _warm_worker() -> None:
     scenario's measured wall-clock.  ``execute_scenario`` defers these
     imports precisely so that *inline* runners stay cheap to construct; the
     initializer is where pool workers opt back in.
+
+    Also clears this worker's trace buffer: under the fork start method the
+    child's buffer begins as a copy of the parent's, and shipping those
+    events back would duplicate them in the stitched trace.
     """
     import repro.analysis.analyzer  # noqa: F401
     import repro.analysis.specialize  # noqa: F401
     import repro.casestudy.targets  # noqa: F401
     import repro.transform.pipeline  # noqa: F401
+
+    obs_trace.reset()
 
 
 class SweepRunner:
@@ -277,10 +339,18 @@ class SweepRunner:
                 misses.append((index, scenario))
 
         if misses:
-            if self.processes > 1 and len(misses) > 1:
-                fresh = self._run_pool([scenario for _, scenario in misses])
-            else:
-                fresh = [execute_scenario(scenario) for _, scenario in misses]
+            # A traced sweep engages the pool even for a single miss: the
+            # acceptance shape of `--trace` is a multi-pid timeline, and a
+            # one-scenario --select should still produce one.
+            with obs_trace.span("sweep.batch", scenarios=len(batch),
+                                misses=len(misses)):
+                if self.processes > 1 and (
+                        len(misses) > 1 or obs_trace.enabled()):
+                    fresh = self._run_pool(
+                        [scenario for _, scenario in misses])
+                else:
+                    fresh = [execute_scenario(scenario)
+                             for _, scenario in misses]
             for (index, _), result in zip(misses, fresh):
                 self._remember(result)
                 results[index] = result
@@ -316,8 +386,14 @@ class SweepRunner:
         for payload in payloads:
             assert payload is not None  # every index lands in one shard
             elapsed = payload.pop("_elapsed", 0.0)
+            environment = payload.pop("_environment", {})
+            timeline = payload.pop("_timeline", ())
+            obs_trace.adopt(payload.pop("_trace", []))
             result = SweepResult.from_payload(payload)
             result.elapsed = elapsed
+            result.timeline = tuple(timeline)
+            if environment:
+                result.metrics["environment"] = environment
             fresh.append(result)
         return fresh
 

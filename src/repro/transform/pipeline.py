@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 
 from repro.isa.image import Image
 from repro.lang.driver import compile_ir_program
+from repro.obs import trace as obs_trace
 from repro.lang.ir import IRFunction, IRProgram
 from repro.lang.lower import lower_program
 from repro.lang.parser import parse
@@ -136,7 +137,9 @@ def build_unit(source: str, entry: str, secret_args=(),
 def apply_pipeline(unit: TransformUnit, specs) -> TransformUnit:
     """Run every pass of a pipeline over the unit, in order."""
     for transform_pass in build_passes(specs):
-        transform_pass.run(unit)
+        with obs_trace.span(f"transform.pass.{transform_pass.name}",
+                            entry=unit.entry):
+            transform_pass.run(unit)
     return unit
 
 
@@ -171,11 +174,13 @@ def transformed_image(source: str, transforms, entry: str, secret_args=(),
                      compile_kwargs)
     image = _IMAGE_CACHE.get(key)
     if image is None:
-        unit = build_unit(source, entry, secret_args=secret_args,
-                          **compile_kwargs)
-        apply_pipeline(unit, specs)
-        image = compile_ir_program(unit.program, opt_level=opt_level,
-                                   **unit.layout)
+        with obs_trace.span("transform.compile", entry=entry,
+                            passes="+".join(spec.name for spec in specs)):
+            unit = build_unit(source, entry, secret_args=secret_args,
+                              **compile_kwargs)
+            apply_pipeline(unit, specs)
+            image = compile_ir_program(unit.program, opt_level=opt_level,
+                                       **unit.layout)
         if len(_IMAGE_CACHE) >= _IMAGE_CACHE_MAX:
             _IMAGE_CACHE.pop(next(iter(_IMAGE_CACHE)))
         _IMAGE_CACHE[key] = image

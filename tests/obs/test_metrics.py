@@ -1,0 +1,115 @@
+"""The metrics registry: kinds, snapshots, deltas, and publishers."""
+
+import pytest
+
+from repro.obs import metrics
+
+
+class TestRegistry:
+    def test_counter_accumulates(self):
+        registry = metrics.MetricsRegistry()
+        registry.inc("engine.steps", 5)
+        registry.inc("engine.steps", 2)
+        assert registry.counter("engine.steps").value == 7
+
+    def test_gauge_overwrites(self):
+        registry = metrics.MetricsRegistry()
+        registry.set("intern.size", 10)
+        registry.set("intern.size", 3)
+        assert registry.gauge("intern.size").value == 3
+
+    def test_histogram_tracks_count_total_min_max(self):
+        registry = metrics.MetricsRegistry()
+        for value in (4.0, 1.0, 9.0):
+            registry.observe("elapsed", value)
+        histogram = registry.histogram("elapsed")
+        assert histogram.count == 3
+        assert histogram.total == 14.0
+        assert histogram.min == 1.0 and histogram.max == 9.0
+        assert histogram.mean == pytest.approx(14.0 / 3)
+
+    def test_kind_mismatch_raises(self):
+        registry = metrics.MetricsRegistry()
+        registry.inc("name")
+        with pytest.raises(TypeError):
+            registry.set("name", 1)
+
+    def test_snapshot_is_sorted_and_flat(self):
+        registry = metrics.MetricsRegistry()
+        registry.set("b.gauge", 2)
+        registry.inc("a.counter", 1)
+        registry.observe("c.hist", 5.0)
+        snapshot = registry.snapshot()
+        assert list(snapshot) == sorted(snapshot)
+        assert snapshot["a.counter"] == 1
+        assert snapshot["b.gauge"] == 2
+        assert snapshot["c.hist.count"] == 1
+        assert snapshot["c.hist.total"] == 5.0
+        assert all(isinstance(value, (int, float))
+                   for value in snapshot.values())
+
+    def test_snapshots_of_identical_histories_are_identical(self):
+        def build():
+            registry = metrics.MetricsRegistry()
+            registry.inc("z", 3)
+            registry.set("a", 1)
+            registry.observe("m", 2.0)
+            return registry.snapshot()
+
+        assert build() == build()
+
+
+class TestDelta:
+    def test_delta_subtracts_keywise(self):
+        base = {"a": 1, "b": 5}
+        current = {"a": 4, "c": 2}
+        assert metrics.delta(current, base) == {"a": 3, "b": -5, "c": 2}
+
+    def test_delta_of_equal_snapshots_is_zero(self):
+        snapshot = {"a": 1.5, "b": 2}
+        assert all(value == 0
+                   for value in metrics.delta(snapshot, snapshot).values())
+
+
+class TestPublishers:
+    def test_scheduler_stats_publish_as_counter_increments(self):
+        from repro.analysis.engine import SchedulerStats
+
+        registry = metrics.MetricsRegistry()
+        stats = SchedulerStats(peak_heap_size=3, decode_hits=10)
+        metrics.publish_scheduler_stats(stats, into=registry)
+        metrics.publish_scheduler_stats(stats, into=registry)
+        snapshot = registry.snapshot()
+        assert snapshot["engine.peak_heap_size"] == 6  # accumulated
+        assert snapshot["engine.decode_hits"] == 20
+        assert "engine.interp_steps" in snapshot
+
+    def test_pull_domain_metrics_mirrors_intern_and_caches(self):
+        from repro.core.valueset import ValueSet, intern_size
+
+        ValueSet.constant(0x1234, 32)  # make sure the table is non-trivial
+        registry = metrics.pull_domain_metrics(into=metrics.MetricsRegistry())
+        snapshot = registry.snapshot()
+        assert snapshot["intern.valueset.size"] == intern_size()
+        for name in ("intern.valueset.hits", "intern.masked.size",
+                     "cache.specialized_programs.hits",
+                     "cache.compiled_images.size"):
+            assert name in snapshot
+
+    def test_engine_run_publishes_into_the_global_registry(self):
+        from repro.casestudy.scenarios import sqm_scenario
+        from repro.sweep.runner import execute_scenario
+
+        before = metrics.registry().snapshot().get("engine.decode_misses", 0)
+        execute_scenario(sqm_scenario(opt_level=2, line_bytes=64))
+        after = metrics.registry().snapshot()["engine.decode_misses"]
+        assert after >= before  # accumulates across runs, never resets
+
+    def test_vm_perf_counters_publish(self):
+        from repro.vm.perf import PerfCounters
+
+        registry = metrics.MetricsRegistry()
+        counters = PerfCounters()
+        counters.instructions = 7
+        counters.publish(registry=registry, prefix="vm")
+        assert registry.snapshot()["vm.instructions"] == 7

@@ -1,0 +1,136 @@
+"""The span tracer: disabled-mode overhead, buffers, and Chrome export."""
+
+import json
+
+import pytest
+
+from repro.obs import trace
+
+
+@pytest.fixture(autouse=True)
+def _tracer_off(monkeypatch):
+    """Every test starts and ends with tracing disabled and a clean buffer."""
+    monkeypatch.delenv(trace.TRACE_ENV, raising=False)
+    trace.stop()
+    yield
+    trace.stop()
+
+
+class TestDisabledMode:
+    def test_span_returns_the_shared_null_singleton(self):
+        assert trace.span("phase") is trace.NULL_SPAN
+        assert trace.span("other", detail=1) is trace.NULL_SPAN
+
+    def test_null_span_is_a_working_context_manager(self):
+        with trace.span("phase") as span:
+            span.arg("key", "value")  # must not raise, must not record
+        assert trace.drain() == []
+
+    def test_instant_and_counter_are_noops(self):
+        trace.instant("marker", detail=1)
+        trace.counter("track", {"value": 2})
+        assert trace.drain() == []
+
+    def test_no_span_objects_allocated_during_a_full_analysis(self, monkeypatch):
+        """The overhead guard: with tracing off, a complete engine run must
+        never construct a Span — every call site goes through the shared
+        NULL_SPAN.  A Span constructor bomb proves it."""
+        from repro.casestudy.scenarios import sqm_scenario
+        from repro.sweep.runner import execute_scenario
+
+        def bomb(*args, **kwargs):
+            raise AssertionError("Span allocated while tracing is disabled")
+
+        monkeypatch.setattr(trace, "Span", bomb)
+        assert not trace.enabled()
+        result = execute_scenario(sqm_scenario(opt_level=2, line_bytes=64))
+        assert result.rows
+        assert result.timeline == ()  # sampling rides the tracing switch
+
+
+class TestEnabledMode:
+    def test_span_records_a_complete_event(self):
+        trace.start()
+        with trace.span("phase", detail=7) as span:
+            span.arg("late", "yes")
+        (event,) = trace.drain()
+        assert event["name"] == "phase"
+        assert event["ph"] == "X"
+        assert event["dur"] >= 0
+        assert event["args"] == {"detail": 7, "late": "yes"}
+        assert isinstance(event["pid"], int)
+
+    def test_nested_spans_both_record(self):
+        trace.start()
+        with trace.span("outer"):
+            with trace.span("inner"):
+                pass
+        names = [event["name"] for event in trace.drain()]
+        assert names == ["inner", "outer"]  # inner exits first
+
+    def test_start_is_idempotent_and_stop_drains(self):
+        tracer = trace.start()
+        assert trace.start() is tracer
+        trace.instant("marker")
+        assert len(trace.stop()) == 1
+        assert not trace.enabled()
+
+    def test_reset_clears_without_disabling(self):
+        trace.start()
+        trace.instant("inherited-from-parent")
+        trace.reset()
+        assert trace.enabled()
+        assert trace.drain() == []
+
+
+class TestExport:
+    def test_export_shape_and_rebasing(self):
+        trace.start()
+        with trace.span("phase"):
+            pass
+        trace.counter("track", {"value": 3})
+        payload = trace.export()
+        assert set(payload) == {"traceEvents", "displayTimeUnit"}
+        events = payload["traceEvents"]
+        metadata = [e for e in events if e["ph"] == "M"]
+        spans = [e for e in events if e["ph"] == "X"]
+        counters = [e for e in events if e["ph"] == "C"]
+        assert len(metadata) == 1 and len(spans) == 1 and len(counters) == 1
+        assert metadata[0]["name"] == "process_name"
+        assert metadata[0]["args"]["name"] == "repro"
+        # Timestamps are rebased to the earliest event and in microseconds.
+        assert min(e["ts"] for e in spans + counters) == 0.0
+        assert spans[0]["dur"] >= 0.0
+
+    def test_export_stitches_adopted_foreign_pid_events(self):
+        trace.start()
+        with trace.span("parent-phase"):
+            pass
+        foreign = {"name": "worker-phase", "ph": "X", "ts": 5, "dur": 2,
+                   "pid": 999_999, "tid": 1}
+        trace.adopt([foreign])
+        payload = trace.export()
+        pids = {e["pid"] for e in payload["traceEvents"]}
+        assert 999_999 in pids and len(pids) == 2
+        names = {e["args"]["name"] for e in payload["traceEvents"]
+                 if e["ph"] == "M"}
+        assert names == {"repro", "repro worker"}
+
+    def test_write_roundtrips_through_json(self, tmp_path):
+        trace.start()
+        with trace.span("phase"):
+            pass
+        path = tmp_path / "trace.json"
+        written = trace.write(path)
+        assert json.loads(path.read_text()) == written
+
+    def test_env_var_enables_at_import(self, monkeypatch):
+        """Pool workers inherit REPRO_TRACE; a re-import honors it."""
+        monkeypatch.setenv(trace.TRACE_ENV, "1")
+        import importlib
+
+        module = importlib.reload(trace)
+        try:
+            assert module.enabled()
+        finally:
+            module.stop()

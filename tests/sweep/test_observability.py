@@ -1,0 +1,158 @@
+"""Observability must never touch a measured bit.
+
+The tentpole invariant of the tracing layer: spans, timeline samples, and
+metrics publication are annotations *around* the analysis. These tests run
+representative scenarios with tracing off and on and require bit-identical
+payloads (the full-catalogue differential runs in CI), check the telemetry
+that rides along (multi-pid traces, environment blocks), and cover the
+metrics-schema invalidation of the result store.
+"""
+
+import json
+
+import pytest
+
+from repro.casestudy.scenarios import (
+    gather_scenario,
+    kernel_scenario,
+    sqm_scenario,
+)
+from repro.obs import trace
+from repro.sweep.results import METRICS_SCHEMA, ResultStore, SweepResult
+from repro.sweep.runner import SweepRunner, execute_scenario
+
+
+@pytest.fixture(autouse=True)
+def _tracer_off(monkeypatch):
+    monkeypatch.delenv(trace.TRACE_ENV, raising=False)
+    trace.stop()
+    yield
+    trace.stop()
+
+
+def _subset():
+    """Representative slice of the catalogue: leakage scenarios across
+    transforms plus a kernel scenario."""
+    return [
+        sqm_scenario(opt_level=2, line_bytes=64),
+        sqm_scenario(opt_level=0, line_bytes=32,
+                     transforms=(("balance-branches", ()),)),
+        gather_scenario(nbytes=16),
+        kernel_scenario("scatter_102f", 16),
+    ]
+
+
+class TestOnOffDifferential:
+    def test_payloads_bit_identical_with_tracing_on(self, monkeypatch):
+        untraced = [execute_scenario(scenario).to_payload()
+                    for scenario in _subset()]
+        monkeypatch.setenv(trace.TRACE_ENV, "1")
+        trace.start()
+        traced = [execute_scenario(scenario).to_payload()
+                  for scenario in _subset()]
+        assert trace.drain()  # tracing really was on
+        assert json.dumps(untraced, sort_keys=True) == \
+            json.dumps(traced, sort_keys=True)
+
+    def test_store_bytes_identical_with_tracing_on(self, tmp_path,
+                                                   monkeypatch):
+        SweepRunner(store=str(tmp_path / "off.json"),
+                    use_cache=False).run(_subset())
+        monkeypatch.setenv(trace.TRACE_ENV, "1")
+        trace.start()
+        SweepRunner(store=str(tmp_path / "on.json"),
+                    use_cache=False).run(_subset())
+        assert (tmp_path / "off.json").read_bytes() == \
+            (tmp_path / "on.json").read_bytes()
+
+
+class TestTraceShipping:
+    def test_pool_workers_ship_spans_back(self, monkeypatch):
+        """A traced pool sweep stitches worker events into the parent
+        buffer: the exported trace shows at least two pids, with engine
+        phases in the workers and the batch span in the parent."""
+        import os
+
+        monkeypatch.setenv(trace.TRACE_ENV, "1")
+        trace.start()
+        runner = SweepRunner(processes=2, use_cache=False)
+        results = runner.run(_subset()[:2])
+        assert all(result.rows for result in results)
+        events = trace.drain()
+        pids = {event["pid"] for event in events}
+        assert len(pids) >= 2
+        own = os.getpid()
+        parent_names = {e["name"] for e in events if e["pid"] == own}
+        worker_names = {e["name"] for e in events if e["pid"] != own}
+        assert "sweep.batch" in parent_names
+        assert "engine.explore" in worker_names
+        assert any(name.startswith("scenario.") for name in worker_names)
+
+    def test_traced_single_miss_still_engages_the_pool(self, monkeypatch):
+        monkeypatch.setenv(trace.TRACE_ENV, "1")
+        trace.start()
+        runner = SweepRunner(processes=2, use_cache=False)
+        runner.run([sqm_scenario(opt_level=2, line_bytes=64)])
+        assert len({event["pid"] for event in trace.drain()}) >= 2
+
+    def test_untraced_pool_run_ships_no_events(self):
+        runner = SweepRunner(processes=2, use_cache=False)
+        results = runner.run(_subset()[:2])
+        assert all(result.rows for result in results)
+        assert trace.drain() == []
+
+
+class TestEnvironmentBlock:
+    def test_inline_results_carry_machine_facts(self):
+        result = execute_scenario(sqm_scenario(opt_level=2, line_bytes=64))
+        environment = result.metrics["environment"]
+        assert environment["peak_rss_bytes"] > 0
+        assert environment["gc_pause_s"] >= 0.0
+        assert environment["gc_collections"] >= 0
+
+    def test_pool_results_carry_machine_facts(self):
+        runner = SweepRunner(processes=2, use_cache=False)
+        results = runner.run(_subset()[:2])
+        for result in results:
+            assert result.metrics["environment"]["peak_rss_bytes"] > 0
+
+    def test_environment_is_not_in_the_payload(self):
+        result = execute_scenario(sqm_scenario(opt_level=2, line_bytes=64))
+        payload = result.to_payload()
+        assert "environment" not in payload["metrics"]
+        rebuilt = SweepResult.from_payload(payload)
+        assert "environment" not in rebuilt.metrics
+
+
+class TestMetricsSchema:
+    def test_payload_records_the_schema(self):
+        result = execute_scenario(sqm_scenario(opt_level=2, line_bytes=64))
+        assert result.to_payload()["metrics_schema"] == METRICS_SCHEMA
+
+    def test_store_invalidates_other_schemas(self, tmp_path):
+        store_path = tmp_path / "store.json"
+        scenario = sqm_scenario(opt_level=2, line_bytes=64)
+        first = SweepRunner(store=str(store_path)).run_one(scenario)
+        assert not first.cached
+        assert ResultStore(str(store_path)).get(scenario.fingerprint())
+
+        # Rewrite the cached entry as if an older (or newer) schema wrote
+        # it; the store must drop it on load and the sweep must recompute.
+        data = json.loads(store_path.read_text())
+        for payload in data["results"].values():
+            payload["metrics_schema"] = METRICS_SCHEMA - 1
+        store_path.write_text(json.dumps(data))
+        assert ResultStore(str(store_path)).get(scenario.fingerprint()) is None
+        rerun = SweepRunner(store=str(store_path)).run_one(scenario)
+        assert not rerun.cached
+        assert rerun.rows == first.rows
+
+    def test_store_invalidates_preversioning_entries(self, tmp_path):
+        store_path = tmp_path / "store.json"
+        scenario = sqm_scenario(opt_level=2, line_bytes=64)
+        SweepRunner(store=str(store_path)).run_one(scenario)
+        data = json.loads(store_path.read_text())
+        for payload in data["results"].values():
+            del payload["metrics_schema"]  # the pre-versioning era
+        store_path.write_text(json.dumps(data))
+        assert len(ResultStore(str(store_path))) == 0

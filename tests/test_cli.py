@@ -2,6 +2,8 @@
 
 import json
 
+import pytest
+
 from repro.__main__ import main
 
 
@@ -191,3 +193,159 @@ class TestBenchCompare:
         assert main(["bench-compare", "--baseline", "BENCH_sweep.json",
                      "--current", "BENCH_sweep.json"]) == 0
         assert "no regressions" in capsys.readouterr().out
+
+
+class TestSweepTrace:
+    """`sweep --trace`: Perfetto-loadable Chrome trace export."""
+
+    @pytest.fixture(autouse=True)
+    def _tracer_off(self, monkeypatch):
+        from repro.obs import trace
+        monkeypatch.delenv(trace.TRACE_ENV, raising=False)
+        trace.stop()
+        yield
+        monkeypatch.delenv(trace.TRACE_ENV, raising=False)
+        trace.stop()
+
+    def test_fig14b_trace_is_schema_valid_and_multi_process(
+            self, tmp_path, capsys):
+        """The acceptance shape: a figure14b sweep exports a trace with
+        engine-phase and per-scenario spans from at least two pids."""
+        trace_path = tmp_path / "fig14b.json"
+        code = main(["sweep", "--select", "figure14b", "--no-cache",
+                     "--trace", str(trace_path)])
+        assert code == 0
+        assert "trace written to" in capsys.readouterr().out
+        payload = json.loads(trace_path.read_text())
+
+        # Chrome trace_event JSON object format, Perfetto-loadable.
+        assert set(payload) == {"traceEvents", "displayTimeUnit"}
+        events = payload["traceEvents"]
+        assert isinstance(events, list) and events
+        for event in events:
+            assert {"name", "ph", "pid", "tid"} <= set(event)
+            assert event["ph"] in {"X", "C", "i", "M"}
+            if event["ph"] == "X":
+                assert event["ts"] >= 0 and event["dur"] >= 0
+        spans = [event for event in events if event["ph"] == "X"]
+        assert len({event["pid"] for event in spans}) >= 2
+        names = {event["name"] for event in spans}
+        assert {"sweep.batch", "engine.run", "engine.explore"} <= names
+        assert any(name.startswith("scenario.") for name in names)
+        metadata = [event for event in events if event["ph"] == "M"]
+        assert {"repro", "repro worker"} <= {
+            event["args"]["name"] for event in metadata}
+
+    def test_explicit_jobs_is_respected(self, tmp_path, capsys):
+        trace_path = tmp_path / "inline.json"
+        code = main(["sweep", "sqm-O2-64B", "--no-cache", "--jobs", "1",
+                     "--trace", str(trace_path)])
+        assert code == 0
+        assert "jobs=1" in capsys.readouterr().out
+        payload = json.loads(trace_path.read_text())
+        assert any(event["ph"] == "X" for event in payload["traceEvents"])
+
+    def test_select_without_match_fails(self, capsys):
+        assert main(["sweep", "--select", "zzz-not-there"]) == 2
+
+    def test_select_runs_matching_scenarios(self, capsys):
+        code = main(["sweep", "--select", "kernel-scatter_102f-16B",
+                     "--entry-bytes", "16"])
+        assert code == 0
+        assert "kernel-scatter_102f-16B" in capsys.readouterr().out
+
+    def test_parallel_profile_merges_worker_stats(self, tmp_path, capsys):
+        profile_path = tmp_path / "sweep.prof"
+        code = main(["sweep", "--entry-bytes", "16", "--no-cache",
+                     "--jobs", "2", "gather-16B", "gather-16B-plru",
+                     "--profile", str(profile_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "merged 2 worker profiles" in out
+        import pstats
+        stats = pstats.Stats(str(profile_path))
+        # The analysis ran inside the workers; the merged profile must
+        # contain analyzer frames, which the parent alone never executes.
+        assert any("execute_scenario" in func[2] for func in stats.stats)
+
+
+class TestStats:
+    """`python -m repro stats`: trace summaries, counter diffs, BENCH diffs."""
+
+    def test_requires_a_mode(self, capsys):
+        assert main(["stats"]) == 2
+        assert "nothing to do" in capsys.readouterr().err
+
+    def test_against_requires_store(self, capsys):
+        assert main(["stats", "--against", "x.json"]) == 2
+
+    def test_baseline_and_current_go_together(self, capsys):
+        assert main(["stats", "--baseline", "x.json"]) == 2
+
+    def test_trace_summary(self, tmp_path, capsys, monkeypatch):
+        from repro.obs import trace
+        monkeypatch.delenv(trace.TRACE_ENV, raising=False)
+        trace.stop()
+        trace.start()
+        with trace.span("engine.run"):
+            with trace.span("engine.explore"):
+                pass
+        trace.counter("timeline.x", {"heap": 1})
+        trace_path = tmp_path / "trace.json"
+        trace.write(trace_path)
+        trace.stop()
+        assert main(["stats", "--trace", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "2 spans" in out and "1 counter samples" in out
+        assert "engine.run" in out and "engine.explore" in out
+
+    def test_trace_summary_rejects_empty_trace(self, tmp_path, capsys):
+        trace_path = tmp_path / "empty.json"
+        trace_path.write_text('{"traceEvents": []}')
+        assert main(["stats", "--trace", str(trace_path)]) == 2
+
+    def test_store_table_and_self_diff(self, tmp_path, capsys):
+        store = tmp_path / "store.json"
+        assert main(["sweep", "sqm-O2-64B", "--store", str(store)]) == 0
+        capsys.readouterr()
+        assert main(["stats", "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "sqm-O2-64B" in out and "steps" in out
+        assert main(["stats", "--store", str(store),
+                     "--against", str(store)]) == 0
+        assert "counters identical" in capsys.readouterr().out
+
+    def test_store_diff_reports_changed_counters(self, tmp_path, capsys):
+        store = tmp_path / "store.json"
+        assert main(["sweep", "sqm-O2-64B", "--store", str(store)]) == 0
+        changed = tmp_path / "changed.json"
+        data = json.loads(store.read_text())
+        for payload in data["results"].values():
+            payload["metrics"]["steps"] += 7
+        changed.write_text(json.dumps(data))
+        capsys.readouterr()
+        assert main(["stats", "--store", str(changed),
+                     "--against", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "1 counter difference(s)" in out and "steps" in out
+
+    def test_bench_diff_flags_memory_regressions(self, tmp_path, capsys):
+        baseline = tmp_path / "base.json"
+        current = tmp_path / "now.json"
+        baseline.write_text(json.dumps({"version": 1, "timings": {
+            "cli/sweep/x": 1.0, "cli/rss_mb/x": 100.0}}))
+        current.write_text(json.dumps({"version": 1, "timings": {
+            "cli/sweep/x": 1.1, "cli/rss_mb/x": 180.0}}))
+        assert main(["stats", "--baseline", str(baseline),
+                     "--current", str(current)]) == 0
+        out = capsys.readouterr().out
+        assert "timings (seconds)" in out
+        assert "peak RSS (MB)" in out
+        assert "memory regression" in out
+        assert "timing regression" not in out
+
+    def test_bench_diff_missing_log_is_usage_error(self, tmp_path):
+        log = tmp_path / "log.json"
+        log.write_text(json.dumps({"version": 1, "timings": {"a": 1.0}}))
+        assert main(["stats", "--baseline", str(log),
+                     "--current", str(tmp_path / "missing.json")]) == 2
