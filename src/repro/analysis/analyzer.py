@@ -15,9 +15,10 @@ from repro.analysis.config import AnalysisConfig, AnalysisError, InputSpec, MemI
 from repro.analysis.engine import Engine, EngineResult
 from repro.analysis.state import AbsState, AnalysisContext
 from repro.analysis.transfer import SENTINEL_RETURN, Transfer
-from repro.core.adversary import derive_adversary_bounds
+from repro.core.adversary import PROBE, derive_adversary_bounds
 from repro.core.leakage import LeakageReport, ObservationBound
 from repro.core.masked import MaskedSymbol
+from repro.core.observers import AccessKind
 from repro.core.valueset import ValueSet
 from repro.isa.image import Image
 from repro.isa.registers import ESP
@@ -131,14 +132,21 @@ def analyze(
         # Trace-/time-adversary bounds derive from the block DAG: the
         # hit/miss trace of any deterministic replacement policy is a
         # function of the block trace, so no extra exploration is needed.
+        # The active probe adversary (LLC prime+probe) observes the shared
+        # level, whose state is a function of the *interleaved* block trace
+        # only — its bound attaches to the SHARED-kind DAG alone.
         models = tuple(context.config.adversary_models)
         if models:
             for (kind, observer_name), dag in engine_result.dags.items():
                 if observer_name != "block":
                     continue
+                kind_models = models if kind == AccessKind.SHARED else tuple(
+                    model for model in models if model != PROBE)
+                if not kind_models:
+                    continue
                 final = engine_result.final_vertices[(kind, observer_name)]
                 for adversary in derive_adversary_bounds(dag, final, kind,
-                                                         models):
+                                                         kind_models):
                     report.record_adversary(adversary)
     report.notes = list(context.warnings)
     return AnalysisResult(

@@ -23,7 +23,7 @@ from typing import Iterable
 
 from repro.core.adversary import ADVERSARY_MODELS
 from repro.core.observers import AccessKind, CacheGeometry, Observer, ProjectionPolicy
-from repro.vm.cache import POLICIES
+from repro.vm.cache import POLICIES, HierarchySpec
 
 __all__ = ["AnalysisConfig", "ArgInit", "InputSpec", "RegInit", "MemInit", "AnalysisError"]
 
@@ -50,6 +50,13 @@ class AnalysisConfig:
     projection_policy: ProjectionPolicy = ProjectionPolicy.OFFSET
     adversary_models: tuple[str, ...] = ("trace", "time")
     cache_policy: str = "lru"
+    # Concrete cache hierarchy (per-core L1s + shared LLC) the bounds are
+    # validated against.  ``None`` — the default, and what every
+    # pre-hierarchy config is — means the historical single-level cache.
+    # Like ``cache_policy`` this never feeds the static analysis (the
+    # bounds hold for any deterministic hierarchy); the ``probe`` adversary
+    # model's concrete spy-replay builds this shape.
+    hierarchy: HierarchySpec | None = None
     track_offsets: bool = True
     refine_branches: bool = True
     value_set_cap: int = 64
@@ -85,6 +92,11 @@ class AnalysisConfig:
             raise AnalysisError(
                 f"unknown cache policy {self.cache_policy!r} "
                 f"(available: {', '.join(sorted(POLICIES))})")
+        if self.hierarchy is not None and not isinstance(self.hierarchy,
+                                                         HierarchySpec):
+            raise AnalysisError(
+                f"hierarchy must be a HierarchySpec, got "
+                f"{type(self.hierarchy).__name__}")
 
     def observers(self) -> list[Observer]:
         """The observer objects selected by ``observer_names``."""

@@ -36,11 +36,18 @@ from dataclasses import dataclass, field
 
 from repro.analysis.analyzer import AnalysisResult
 from repro.analysis.config import AnalysisError, InputSpec
+from repro.core.adversary import PROBE, spy_probe_view
 from repro.core.observers import AccessKind
 from repro.isa.image import Image
 from repro.isa.registers import EAX
 from repro.obs import trace as obs_trace
-from repro.vm.cache import CacheConfig, SetAssociativeCache
+from repro.vm.cache import (
+    CacheConfig,
+    CacheHierarchy,
+    HierarchySpec,
+    SetAssociativeCache,
+    default_hierarchy_spec,
+)
 from repro.vm.cpu import CPU
 from repro.vm.memory import DEFAULT_STACK_TOP, FlatMemory
 from repro.vm.tracer import WRITE, Trace
@@ -251,6 +258,8 @@ class ConcreteValidator:
                           layouts: list[dict[str, int]],
                           policies: tuple[str, ...] | None = None,
                           cache_config: CacheConfig | None = None,
+                          models: tuple[str, ...] | None = None,
+                          hierarchy: HierarchySpec | None = None,
                           ) -> ValidationReport:
         """Check the derived trace-/time-adversary bounds concretely.
 
@@ -261,6 +270,21 @@ class ConcreteValidator:
         config's ``cache_policy``; pass several names to exercise the
         policy-independence of the bounds.  The cache's line size follows
         the analysis geometry so block granularity matches.
+
+        A ``probe`` bound (active LLC prime+probe spy) is checked by an
+        *interleaved* replay instead: for every secret, a fresh
+        :class:`~repro.vm.cache.CacheHierarchy` (the config's ``hierarchy``
+        shape, or the default two-core one, re-policied per sweep entry) is
+        primed by a :class:`~repro.core.adversary.PrimeProbeSpy`, the
+        victim's full instruction+data stream runs on core 0, and the spy's
+        probe vector is collected; the number of distinct vectors must stay
+        within the SHARED block-DAG bound.
+
+        ``models`` restricts which recorded bounds are replayed (``None``
+        replays them all) — the expensive secret enumeration still runs
+        once per layout either way.  ``hierarchy`` overrides the replay
+        shape, letting one analysis (the static bounds are
+        hierarchy-independent) validate against several hierarchy modes.
         """
         report = ValidationReport()
         config = result.context.config
@@ -272,6 +296,8 @@ class ConcreteValidator:
             line_bytes = config.geometry.line_bytes
             cache_config = CacheConfig(line_bytes=line_bytes,
                                        banks=min(16, line_bytes))
+        hierarchy_spec = hierarchy or config.hierarchy or \
+            default_hierarchy_spec(line_bytes=config.geometry.line_bytes)
         with obs_trace.span("validate.adversaries",
                             layouts=len(layouts),
                             policies=",".join(policies)) as vspan:
@@ -284,8 +310,17 @@ class ConcreteValidator:
                     def factory(policy=policy):
                         return SetAssociativeCache(cache_config, policy=policy)
                     for (kind, model), bound in result.report.adversaries.items():
-                        observed = self._adversary_views(
-                            traces, _KIND_CODES[kind], model, factory)
+                        if models is not None and model not in models:
+                            continue
+                        if model == PROBE:
+                            spec = hierarchy_spec.with_policy(policy)
+                            observed = {
+                                spy_probe_view(trace.view(_KIND_CODES[kind], 0),
+                                               CacheHierarchy(spec))
+                                for trace in traces}
+                        else:
+                            observed = self._adversary_views(
+                                traces, _KIND_CODES[kind], model, factory)
                         report.checked += 1
                         if len(observed) > bound.count:
                             report.violations.append(

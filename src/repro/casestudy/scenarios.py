@@ -20,7 +20,7 @@ from repro.casestudy.performance import KERNEL_VARIANTS
 from repro.crypto.sources import AES_TABLE_NAMES
 from repro.sweep import Scenario
 from repro.sweep.scenario import ScenarioError
-from repro.vm.cache import POLICIES
+from repro.vm.cache import HIERARCHY_MODES, INCLUSIVE, POLICIES, default_hierarchy_spec
 
 __all__ = [
     "figure_scenarios",
@@ -28,7 +28,9 @@ __all__ = [
     "policy_adversary_scenarios",
     "transform_scenarios",
     "aes_scenarios",
+    "hierarchy_scenarios",
     "all_scenarios",
+    "hierarchy_scenario",
     "sqm_scenario",
     "sqam_scenario",
     "lookup_scenario",
@@ -192,6 +194,72 @@ def adversary_scenario(base: Scenario, policy: str,
         description=f"{base.description} [{policy} cache, "
                     f"{'/'.join(models) or 'no'} adversaries]",
         cache_policy=policy, adversaries=tuple(models))
+
+
+def hierarchy_scenario(base: Scenario, mode: str = INCLUSIVE,
+                       policy: str = "lru") -> Scenario:
+    """One shared-LLC prime+probe grid point derived from a leakage scenario.
+
+    Adds the SHARED access kind (the interleaved stream the LLC serves), the
+    active ``probe`` adversary on top of the passive trace/time pair, and a
+    concrete two-core hierarchy (per-core L1s over a shared LLC, inclusive
+    or exclusive) that the validator's spy-replay runs against.  Like
+    ``cache_policy``, the hierarchy keys the fingerprint, so inclusive and
+    exclusive variants cache separately.
+    """
+    if mode not in HIERARCHY_MODES:
+        raise ScenarioError(f"unknown hierarchy mode {mode!r}")
+    line_bytes = base.params_dict().get("line_bytes", 64)
+    spec = default_hierarchy_spec(line_bytes=line_bytes, policy=policy,
+                                  mode=mode)
+    label = "incl" if mode == INCLUSIVE else "excl"
+    return _replace(
+        base, name=f"{base.name}-llc-{label}-{policy}",
+        description=f"{base.description} [shared-LLC prime+probe, "
+                    f"{mode} LLC, {policy}]",
+        kinds=("INSTRUCTION", "DATA", "SHARED"),
+        adversaries=("trace", "time", "probe"),
+        cache_policy=policy,
+        hierarchy=spec.to_wire())
+
+
+def hierarchy_scenarios() -> dict[str, Scenario]:
+    """The cross-core grid: AES and lookup under an active shared-LLC spy.
+
+    Each point runs a victim on core 0 of a two-core hierarchy while a spy
+    primes and probes the shared LLC ("The Spy in the Sandbox" model).  The
+    grid covers both inclusion modes and several replacement policies, with
+    leaking bases next to their hardened variants:
+
+    - the unaligned **AES** base leaks its table footprint to the spy
+      (probe bound > 1); ``preload-aligned`` closes the channel to exactly
+      one probe vector (probe bound == 1) — the paper's flagship result
+      lifted to the cross-core adversary;
+    - the unprotected **lookup** likewise, against its ``hardened``
+      (preload + branch-balanced) variant.
+    """
+    grid: dict[str, Scenario] = {}
+
+    def add(scenario: Scenario) -> Scenario:
+        grid[scenario.name] = scenario
+        return scenario
+
+    aes_base = aes_scenario(opt_level=2, line_bytes=64)
+    aes_hardened = transformed_scenario(
+        aes_base, ("preload", "align-tables"), suffix="preload-aligned")
+    lookup = lookup_scenario(opt_level=2, line_bytes=64)
+    lookup_hardened = transformed_scenario(
+        lookup, ("preload", "balance-branches"), suffix="hardened")
+
+    add(hierarchy_scenario(aes_base, "inclusive", "lru"))
+    add(hierarchy_scenario(aes_base, "exclusive", "lru"))
+    add(hierarchy_scenario(aes_base, "inclusive", "plru"))
+    add(hierarchy_scenario(aes_hardened, "inclusive", "lru"))
+    add(hierarchy_scenario(aes_hardened, "exclusive", "plru"))
+    add(hierarchy_scenario(lookup, "inclusive", "lru"))
+    add(hierarchy_scenario(lookup, "exclusive", "fifo"))
+    add(hierarchy_scenario(lookup_hardened, "inclusive", "lru"))
+    return grid
 
 
 # ----------------------------------------------------------------------
@@ -470,11 +538,14 @@ def all_scenarios(entry_bytes: int = 32, nlimbs: int = 8) -> dict[str, Scenario]
     the historical un-suffixed ``kernel-*`` names; the countermeasure grid
     contributes the transformed variants (``lookup-O2-64B-hardened``, …);
     the AES case study contributes the ``aes-*`` leakage grid and the
-    ``aes-timing-*`` cache-size sweep.
+    ``aes-timing-*`` cache-size sweep; the hierarchy grid contributes the
+    cross-core shared-LLC prime+probe points (``*-llc-incl-*`` /
+    ``*-llc-excl-*``).
     """
     catalogue = figure_scenarios(entry_bytes=entry_bytes, nlimbs=nlimbs)
     catalogue.update(grid_scenarios(entry_bytes=entry_bytes))
     catalogue.update(policy_adversary_scenarios(entry_bytes=entry_bytes))
     catalogue.update(transform_scenarios(entry_bytes=entry_bytes))
     catalogue.update(aes_scenarios())
+    catalogue.update(hierarchy_scenarios())
     return catalogue

@@ -28,6 +28,20 @@ Because the argument quantifies over *all* policies, one static analysis
 yields bounds valid for LRU, FIFO and tree-PLRU alike; the concrete
 validator replays traces through each policy to check this executable claim
 (:mod:`repro.analysis.validation`).
+
+The third model is *active*: the **probe-based** adversary is a spy core of
+a :class:`~repro.vm.cache.CacheHierarchy` that primes every line of the
+shared LLC, lets the victim run on another core, and then observes its own
+hit/miss vector when probing the primed lines — LLC prime+probe as in "The
+Spy in the Sandbox" (and the contention flavor of CacheBleed).  The same
+determinism argument applies one level up: for any deterministic
+replacement policies, the whole hierarchy state (private L1s, shared LLC,
+back-invalidations included) is a function of the victim's *interleaved*
+block trace, and therefore so is the spy's probe vector.  Hence the exact
+count of the SHARED-kind block DAG — the per-set access footprint the spy
+distinguishes is a projection of it — bounds the probe adversary, for
+inclusive and exclusive hierarchies alike.  :class:`PrimeProbeSpy` is the
+concrete spy the validator interleaves against the victim to check this.
 """
 
 from __future__ import annotations
@@ -37,19 +51,25 @@ from dataclasses import dataclass
 from repro.core.leakage import log2_int
 from repro.core.observers import AccessKind
 from repro.core.tracedag import EndSet, TraceDAG
+from repro.vm.cache import CacheHierarchy
 
 __all__ = [
     "ADVERSARY_MODELS",
     "AdversaryBound",
+    "PrimeProbeSpy",
     "trace_adversary_count",
     "time_adversary_count",
+    "probe_adversary_count",
     "derive_adversary_bounds",
+    "spy_probe_view",
 ]
 
-# The derivable adversary models, from strongest to weakest.
+# The derivable adversary models, from strongest to weakest (the passive
+# ones; PROBE is the active cross-core spy, incomparable to TIME).
 TRACE = "trace"
 TIME = "time"
-ADVERSARY_MODELS = (TRACE, TIME)
+PROBE = "probe"
+ADVERSARY_MODELS = (TRACE, TIME, PROBE)
 
 
 @dataclass(frozen=True, slots=True)
@@ -57,7 +77,7 @@ class AdversaryBound:
     """Upper bound on one derived adversary's observation count."""
 
     kind: AccessKind
-    model: str  # "trace" | "time"
+    model: str  # "trace" | "time" | "probe"
     count: int
 
     def __post_init__(self) -> None:
@@ -104,10 +124,84 @@ def time_adversary_count(dag: TraceDAG, ends: EndSet) -> int:
     return min(trace_adversary_count(dag, ends), widths)
 
 
+def probe_adversary_count(dag: TraceDAG, ends: EndSet) -> int:
+    """Bound the active LLC prime+probe spy by the distinct block traces.
+
+    The spy's probe vector is a deterministic function of the LLC state
+    after the victim ran, which — for deterministic policies, a fixed
+    initial (primed) state, and fills/demotions/back-invalidations that
+    consult nothing but block identities — is a deterministic function of
+    the victim's interleaved block trace.  Applied to the SHARED-kind block
+    DAG (the interleaved instruction+data stream the shared level serves),
+    the exact count is therefore a sound bound on the number of
+    distinguishable probe vectors, for any hierarchy shape and either
+    inclusion mode.
+    """
+    return dag.count(ends)
+
+
 _DERIVATIONS = {
     TRACE: trace_adversary_count,
     TIME: time_adversary_count,
+    PROBE: probe_adversary_count,
 }
+
+
+# Spy-owned lines carry tags far above any victim address (victim code,
+# heap, and stack all live below the 32-bit address space's first GB).
+_SPY_TAG_BASE = 1 << 34
+
+
+class PrimeProbeSpy:
+    """An active LLC prime+probe adversary on one :class:`CacheHierarchy`.
+
+    The spy fully primes the shared level — ``associativity`` spy-owned
+    lines into every set, disjoint from all victim addresses — and later
+    probes the same lines in the same order, observing which of its own
+    accesses hit.  A miss means the victim (or a back-invalidation it
+    triggered) displaced that spy line: the per-set access footprint of the
+    victim's run, the classical cross-core prime+probe signal.
+
+    Probes go through :meth:`CacheHierarchy.shared_access`, modeling a spy
+    whose private cache holds none of the probed lines (self-evicted, as in
+    the JavaScript attack) — the strongest realistic observation.
+    """
+
+    def __init__(self, hierarchy: CacheHierarchy) -> None:
+        if hierarchy.shared is None:
+            raise ValueError("prime+probe needs a hierarchy with a shared level")
+        self.hierarchy = hierarchy
+        config = hierarchy.shared.config
+        self.addresses = tuple(
+            (((_SPY_TAG_BASE + way) << config.set_bits) | set_index)
+            << config.offset_bits
+            for set_index in range(config.num_sets)
+            for way in range(config.associativity))
+
+    def prime(self) -> None:
+        """Fill every set of the shared level with spy-owned lines."""
+        for addr in self.addresses:
+            self.hierarchy.shared_access(addr)
+
+    def probe(self) -> tuple[bool, ...]:
+        """The spy's observation: its own hit/miss vector over the primed lines."""
+        return tuple(self.hierarchy.shared_access(addr)
+                     for addr in self.addresses)
+
+
+def spy_probe_view(addresses, hierarchy: CacheHierarchy,
+                   core: int = 0) -> tuple[bool, ...]:
+    """One prime+probe experiment: prime, run the victim, probe.
+
+    ``addresses`` is the victim's interleaved (instruction+data) access
+    stream, replayed on ``core``; the returned probe vector is what the spy
+    learns from this execution.
+    """
+    spy = PrimeProbeSpy(hierarchy)
+    spy.prime()
+    for addr in addresses:
+        hierarchy.access(addr, core=core)
+    return spy.probe()
 
 
 def derive_adversary_bounds(

@@ -176,8 +176,11 @@ def pull_domain_metrics(into: MetricsRegistry | None = None) -> MetricsRegistry:
 
     Pull-based (deferred imports) so this module stays import-light and
     below every layer it observes: intern-table hit/miss/size from
-    :mod:`repro.core.valueset` and :mod:`repro.core.masked`, and the two
-    compile-tier LRU memos via their ``publish`` hooks.
+    :mod:`repro.core.valueset` and :mod:`repro.core.masked`, the two
+    compile-tier LRU memos via their ``publish`` hooks, and the concrete
+    cache simulator's maintenance-traffic totals (capacity evictions,
+    back-invalidations, writebacks, flushes) from :mod:`repro.vm.cache`
+    as ``vm.cache.*`` gauges.
     """
     from repro.analysis.specialize import publish_cache_metrics
     from repro.core.masked import intern_counters as sym_counters
@@ -185,6 +188,7 @@ def pull_domain_metrics(into: MetricsRegistry | None = None) -> MetricsRegistry:
     from repro.core.valueset import intern_counters as vs_counters
     from repro.core.valueset import intern_size as vs_size
     from repro.lang.driver import publish_compile_cache_metrics
+    from repro.vm.cache import cache_counters
 
     target = into if into is not None else REGISTRY
     hits, misses = vs_counters()
@@ -197,4 +201,6 @@ def pull_domain_metrics(into: MetricsRegistry | None = None) -> MetricsRegistry:
     target.set("intern.masked.size", sym_size())
     publish_cache_metrics(target)
     publish_compile_cache_metrics(target)
+    for key, value in cache_counters().items():
+        target.set(f"vm.cache.{key}", value)
     return target

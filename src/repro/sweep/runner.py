@@ -36,6 +36,7 @@ from repro.sweep.results import (
 )
 from repro.sweep.scenario import KERNEL, LEAKAGE, Scenario, ScenarioError
 from repro.sweep.sharding import calculate_shards, predict_costs
+from repro.vm.cache import HierarchySpec
 
 __all__ = ["SweepRunner", "default_runner", "execute_scenario"]
 
@@ -55,6 +56,8 @@ def _overridden_config(config, scenario: Scenario):
             translated["projection_policy"] = ProjectionPolicy[value]
         elif name == "adversaries":
             translated["adversary_models"] = tuple(value)
+        elif name == "hierarchy":
+            translated["hierarchy"] = HierarchySpec.from_wire(value)
         else:
             translated[name] = value
     return dataclass_replace(config, **translated)

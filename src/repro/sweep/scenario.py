@@ -90,6 +90,13 @@ class Scenario:
     # part of the fingerprint: a hardened variant caches separately from its
     # baseline.
     transforms: tuple | None = None
+    # Concrete cache hierarchy: the wire form of
+    # :class:`repro.vm.cache.HierarchySpec` (``(cores, mode, l1, shared)``
+    # nested tuples).  Part of the fingerprint when set — inclusive and
+    # exclusive variants cache separately — but *omitted* from the payload
+    # when ``None`` so every single-level scenario keeps its pre-hierarchy
+    # fingerprint and store bytes.
+    hierarchy: tuple | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in (LEAKAGE, KERNEL):
@@ -102,6 +109,11 @@ class Scenario:
                 raise ScenarioError(
                     "transforms only apply to leakage scenarios")
             object.__setattr__(self, "transforms", _tuplify(self.transforms))
+        if self.hierarchy is not None:
+            if self.kind != LEAKAGE:
+                raise ScenarioError(
+                    "hierarchy only applies to leakage scenarios")
+            object.__setattr__(self, "hierarchy", _tuplify(self.hierarchy))
 
     @classmethod
     def make(cls, name: str, target: str, *, kind: str = LEAKAGE,
@@ -115,7 +127,7 @@ class Scenario:
         override_names = {
             "observers", "kinds", "projection_policy", "adversaries",
             "cache_policy", "track_offsets", "refine_branches",
-            "value_set_cap", "fuel", "transforms",
+            "value_set_cap", "fuel", "transforms", "hierarchy",
         }
         overrides = {key: params.pop(key) for key in list(params)
                      if key in override_names}
@@ -134,7 +146,7 @@ class Scenario:
         overrides = {}
         for name in ("observers", "kinds", "projection_policy", "adversaries",
                      "cache_policy", "track_offsets", "refine_branches",
-                     "value_set_cap", "fuel"):
+                     "value_set_cap", "fuel", "hierarchy"):
             value = getattr(self, name)
             if value is not None:
                 overrides[name] = value
@@ -145,6 +157,10 @@ class Scenario:
         payload = {}
         for spec in fields(self):
             value = getattr(self, spec.name)
+            if spec.name == "hierarchy" and value is None:
+                # Absent rather than null: single-level scenarios keep the
+                # exact pre-hierarchy payload, fingerprint, and store bytes.
+                continue
             if isinstance(value, tuple):
                 value = _listify(value)
             payload[spec.name] = value
@@ -162,6 +178,8 @@ class Scenario:
                 data[name] = tuple(data[name])
         if data.get("transforms") is not None:
             data["transforms"] = _tuplify(data["transforms"])
+        if data.get("hierarchy") is not None:
+            data["hierarchy"] = _tuplify(data["hierarchy"])
         return cls(**data)
 
     def fingerprint(self) -> str:

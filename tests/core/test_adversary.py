@@ -10,7 +10,10 @@ from repro.analysis.validation import ConcreteValidator
 from repro.core.adversary import (
     ADVERSARY_MODELS,
     AdversaryBound,
+    PrimeProbeSpy,
     derive_adversary_bounds,
+    probe_adversary_count,
+    spy_probe_view,
     time_adversary_count,
     trace_adversary_count,
 )
@@ -108,6 +111,72 @@ class TestDerivations:
         dag, ends = _linear_dag(A)
         with pytest.raises(ValueError):
             derive_adversary_bounds(dag, ends, AccessKind.DATA, ("tempest",))
+
+    def test_probe_bound_equals_block_count(self):
+        """The spy's probe vector is a deterministic function of the
+        interleaved block trace, so distinct vectors ≤ distinct traces."""
+        dag, ends = _linear_dag(label("A", "B"), C, label("A", "C"))
+        assert probe_adversary_count(dag, ends) == dag.count(ends)
+
+    def test_derive_probe_model(self):
+        dag, ends = _linear_dag(A, label("B", "C"))
+        bounds = derive_adversary_bounds(dag, ends, AccessKind.SHARED, ("probe",))
+        assert [(b.model, b.count) for b in bounds] == [("probe", 2)]
+
+
+class TestPrimeProbeSpy:
+    """The concrete active adversary: prime the shared LLC, run the victim
+    on another core, then probe for evictions."""
+
+    def _hierarchy(self):
+        from repro.vm.cache import CacheHierarchy, default_hierarchy_spec
+
+        return CacheHierarchy(default_hierarchy_spec(line_bytes=64))
+
+    def test_spy_covers_every_llc_line(self):
+        hierarchy = self._hierarchy()
+        spy = PrimeProbeSpy(hierarchy)
+        config = hierarchy.shared.config
+        assert len(spy.addresses) == config.num_sets * config.associativity
+        spy.prime()
+        assert all(spy.probe())  # untouched LLC: every probe hits
+
+    def test_victim_evictions_visible(self):
+        """A victim streaming through one set evicts primed lines there."""
+        hierarchy = self._hierarchy()
+        spy = PrimeProbeSpy(hierarchy)
+        spy.prime()
+        config = hierarchy.shared.config
+        ways = config.associativity
+        # Enough distinct victim blocks mapping to set 0 to evict the spy.
+        for tag in range(ways + 1):
+            hierarchy.access((tag << (config.set_bits + config.offset_bits)),
+                             core=0)
+        vector = spy.probe()
+        assert not all(vector)
+
+    def test_probe_view_distinguishes_victim_sets(self):
+        """Victims touching different LLC sets yield different vectors."""
+        line = 64
+        num_sets = self._hierarchy().shared.config.num_sets
+        views = {
+            spy_probe_view([set_index * line] * 8, self._hierarchy())
+            for set_index in range(min(4, num_sets))
+        }
+        assert len(views) == 4
+
+    def test_probe_view_deterministic(self):
+        addresses = [0, 64, 4096, 64, 8192, 0]
+        assert (spy_probe_view(addresses, self._hierarchy())
+                == spy_probe_view(addresses, self._hierarchy()))
+
+    def test_spy_requires_shared_level(self):
+        from repro.vm.cache import CacheHierarchy, HierarchySpec, LevelSpec
+
+        flat = CacheHierarchy(HierarchySpec(
+            l1=LevelSpec(num_sets=8, associativity=2), shared=None, cores=1))
+        with pytest.raises(ValueError):
+            PrimeProbeSpy(flat)
 
 
 class TestBlockTraceDeterminism:
@@ -210,7 +279,7 @@ class TestAnalyzerIntegration:
         table = result.report.format_full_table()
         assert "Adversary" in table and "trace" in table and "time" in table
         assert "ADVERSARY_MODELS" not in table  # sanity
-        assert set(ADVERSARY_MODELS) == {"trace", "time"}
+        assert set(ADVERSARY_MODELS) == {"trace", "time", "probe"}
 
 
 class TestCaseStudyConcreteValidation:

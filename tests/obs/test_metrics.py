@@ -96,6 +96,28 @@ class TestPublishers:
                      "cache.compiled_images.size"):
             assert name in snapshot
 
+    def test_pull_domain_metrics_mirrors_cache_maintenance_counters(self):
+        from repro.vm.cache import (
+            CacheHierarchy,
+            cache_counters,
+            default_hierarchy_spec,
+            reset_cache_counters,
+        )
+
+        reset_cache_counters()
+        hierarchy = CacheHierarchy(default_hierarchy_spec())
+        for block in range(256):
+            hierarchy.access(block * 64, core=block % 2, write=block % 3 == 0)
+        hierarchy.flush()
+        snapshot = metrics.pull_domain_metrics(
+            into=metrics.MetricsRegistry()).snapshot()
+        totals = cache_counters()
+        for key in ("evictions", "back_invalidations", "writebacks",
+                    "flushes"):
+            assert snapshot[f"vm.cache.{key}"] == totals[key]
+        assert snapshot["vm.cache.evictions"] > 0
+        assert snapshot["vm.cache.flushes"] == 3
+
     def test_engine_run_publishes_into_the_global_registry(self):
         from repro.casestudy.scenarios import sqm_scenario
         from repro.sweep.runner import execute_scenario

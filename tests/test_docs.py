@@ -116,7 +116,8 @@ def _flag_tokens(path: Path) -> set[str]:
                 if span.startswith("--") or "-m repro" in span:
                     flags.update(word for word in span.split()
                                  if word.startswith("--"))
-    return {flag.rstrip("\"',:;().") for flag in flags}
+    # ``--flag=value`` counts as ``--flag``.
+    return {flag.split("=", 1)[0].rstrip("\"',:;().") for flag in flags}
 
 
 def _argparse_flags() -> set[str]:
