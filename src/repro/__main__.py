@@ -105,6 +105,24 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="entry size of the catalogue's §8.4 scenarios")
     sweep.add_argument("--no-cache", action="store_true",
                        help="recompute even if cached")
+    sweep.add_argument("--resume", action="store_true",
+                       help="resume an interrupted sweep from the finished "
+                            "fingerprints in --store (requires --store; "
+                            "incompatible with --no-cache); reports how "
+                            "many scenarios are already complete")
+    sweep.add_argument("--timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-scenario deadline: sets REPRO_DEADLINE_S "
+                            "so the engine's resource guard (and pool "
+                            "workers) abort runaway analyses as "
+                            "status=timeout results; the pool supervisor "
+                            "additionally kills workers that make no "
+                            "progress for ~2x this budget")
+    sweep.add_argument("--max-retries", type=int, default=2, metavar="N",
+                       help="times a scenario that crashed or hung its "
+                            "worker is retried (isolated, with backoff) "
+                            "before being quarantined as a failed result "
+                            "(default 2)")
     sweep.add_argument("--bench-out", default=None,
                        help="append per-scenario wall-clock timings to this "
                             "JSON log (BENCH_sweep.json format)")
@@ -247,6 +265,14 @@ def _render_sweep_result(result: SweepResult) -> str:
     source = "cache" if result.cached else f"{result.elapsed:.2f}s"
     applied = f" transforms={'+'.join(result.transforms)}" if result.transforms else ""
     lines = [f"== {result.scenario} [{result.kind}]{applied} ({source})"]
+    if not result.ok:
+        error = result.metrics.get("error") or {}
+        detail = ": ".join(part for part in (error.get("type"),
+                                             error.get("message")) if part)
+        lines.append(f"  FAILED [{result.status}] {detail}".rstrip())
+        for warning in result.warnings:
+            lines.append(f"  note: {warning}")
+        return "\n".join(lines)
     if result.kind == "leakage":
         lines.append(result.report.format_full_table())
     else:
@@ -276,7 +302,9 @@ def _append_bench_log(path: str, results: list[SweepResult]) -> int:
     """
     entries: dict[str, float] = {}
     for result in results:
-        if result.cached:
+        if result.cached or not result.ok:
+            # Cached results carry no fresh wall-clock; failed results
+            # carry one that measures the failure, not the analysis.
             continue
         entries[f"cli/sweep/{result.scenario}"] = round(result.elapsed, 4)
         environment = result.metrics.get("environment") or {}
@@ -340,6 +368,14 @@ def _vectorization_profile(results: list[SweepResult]) -> str | None:
 
 
 def _command_sweep(args) -> int:
+    if args.resume and not args.store:
+        print("--resume needs --store (the store holds the finished "
+              "fingerprints to resume from)", file=sys.stderr)
+        return 2
+    if args.resume and args.no_cache:
+        print("--resume and --no-cache contradict each other",
+              file=sys.stderr)
+        return 2
     if args.no_specialize:
         # The env var (not just a config flag) so fork/spawn pool workers
         # and every library layer observe the same mode.
@@ -380,15 +416,45 @@ def _command_sweep(args) -> int:
             return 2
         selected = [catalogue[name] for name in args.names]
 
+    if args.timeout is not None:
+        # The env var (like the mode switches above) so pool workers and
+        # the inline path share one deadline; the engine's resource guard
+        # turns breaches into status=timeout results.
+        from repro.sweep.runner import DEADLINE_ENV
+        os.environ[DEADLINE_ENV] = str(args.timeout)
+    # A hung scenario never trips the in-engine deadline (it isn't
+    # stepping), so the pool supervisor gets a no-progress budget a bit
+    # past twice the deadline: the guard aborts cleanly first, the
+    # supervisor's kill is the backstop for true wedges.
+    task_timeout = (args.timeout * 2 + 5) if args.timeout is not None else None
+
+    from repro.sweep import faults
+    fault_dir = None
+    if os.environ.get(faults.FAULT_ENV) and not os.environ.get(
+            faults.FAULT_DIR_ENV):
+        # A chaos run (REPRO_FAULT set) needs its firing budget shared
+        # across the processes of this sweep — otherwise every replacement
+        # worker re-fires the fault and the retry ladder never converges.
+        import tempfile
+        fault_dir = tempfile.mkdtemp(prefix="repro-faults-")
+        os.environ[faults.FAULT_DIR_ENV] = fault_dir
+
     runner = SweepRunner(processes=jobs, store=args.store,
-                         use_cache=not args.no_cache)
+                         use_cache=not args.no_cache,
+                         max_retries=args.max_retries,
+                         task_timeout_s=task_timeout)
+    if args.resume and runner.store is not None:
+        finished = sum(1 for scenario in selected
+                       if scenario.fingerprint() in runner.store)
+        print(f"resuming from {args.store}: {finished}/{len(selected)} "
+              f"scenario(s) already complete")
     profiler = None
     profile_dir = None
     if args.profile:
         import cProfile
         if jobs > 1:
             # The parent's profiler only sees IPC and bookkeeping; have the
-            # pool workers profile themselves (runner._pool_shard_worker)
+            # pool workers profile themselves (supervisor._worker_main)
             # and merge their dumps into the requested output below.
             import tempfile
             from repro.sweep.runner import PROFILE_DIR_ENV
@@ -397,12 +463,26 @@ def _command_sweep(args) -> int:
         profiler = cProfile.Profile()
         profiler.enable()
     started = time.perf_counter()
-    results = runner.run(selected)
+    try:
+        results = runner.run(selected)
+    except KeyboardInterrupt:
+        # Workers are already terminated (the supervisor's shutdown path)
+        # and every completed result is already checkpointed in the store.
+        if profiler is not None:
+            profiler.disable()
+        _cleanup_fault_dir(fault_dir)
+        saved = len(runner.store) if runner.store is not None else 0
+        print(f"\ninterrupted; {saved} completed result(s) saved"
+              + (f" in {args.store} (rerun with --resume)" if args.store
+                 else ""),
+              file=sys.stderr)
+        return 130
     elapsed = time.perf_counter() - started
+    _cleanup_fault_dir(fault_dir)
     if profiler is not None:
         import pstats
         profiler.disable()
-        profiler.dump_stats(args.profile)
+        _atomic_dump_stats(profiler, args.profile)
         merged = 0
         if profile_dir is not None:
             import glob
@@ -415,7 +495,7 @@ def _command_sweep(args) -> int:
                 combined = pstats.Stats(args.profile)
                 for dump in worker_dumps:
                     combined.add(dump)
-                combined.dump_stats(args.profile)
+                _atomic_dump_stats(combined, args.profile)
                 merged = len(worker_dumps)
             shutil.rmtree(profile_dir, ignore_errors=True)
         stats = pstats.Stats(args.profile).sort_stats("cumulative")
@@ -435,8 +515,14 @@ def _command_sweep(args) -> int:
         print(_render_sweep_result(result))
         print()
     hits = sum(1 for result in results if result.cached)
+    failed = [result for result in results if not result.ok]
     print(f"{len(results)} scenarios in {elapsed:.2f}s "
           f"({hits} cached, jobs={jobs})")
+    pool = runner.last_pool
+    if pool is not None and (pool.retries or pool.worker_deaths
+                             or pool.quarantined):
+        print(f"pool supervision: {pool.worker_deaths} worker death(s), "
+              f"{pool.retries} retrie(s), {pool.quarantined} quarantined")
     if args.store:
         print(f"results stored in {args.store}")
     if args.bench_out:
@@ -451,7 +537,41 @@ def _command_sweep(args) -> int:
         print(f"trace written to {args.trace} "
               f"({spans} spans across {len(pids)} processes); "
               f"load it in ui.perfetto.dev")
+    if failed:
+        # Degraded sweep: some scenarios timed out, errored, or were
+        # quarantined.  Everything that succeeded is reported and stored;
+        # the distinct exit code lets CI and scripts tell "complete but
+        # degraded" (3) from clean (0) and interrupted (130).
+        print(f"\n{len(failed)} scenario(s) failed:", file=sys.stderr)
+        for result in failed:
+            error = result.metrics.get("error") or {}
+            print(f"  {result.scenario}: [{result.status}] "
+                  f"{error.get('type', '')}: {error.get('message', '')}",
+                  file=sys.stderr)
+        return 3
     return 0
+
+
+def _cleanup_fault_dir(fault_dir: str | None) -> None:
+    """Remove an auto-provisioned fault-marker directory and its env var."""
+    if fault_dir is None:
+        return
+    import shutil
+    from repro.sweep import faults
+    os.environ.pop(faults.FAULT_DIR_ENV, None)
+    shutil.rmtree(fault_dir, ignore_errors=True)
+
+
+def _atomic_dump_stats(profile, path: str) -> None:
+    """Dump cProfile/pstats data atomically (tempfile + ``os.replace``)."""
+    temp = f"{path}.tmp-{os.getpid()}"
+    try:
+        profile.dump_stats(temp)
+        os.replace(temp, path)
+    except BaseException:
+        if os.path.exists(temp):
+            os.unlink(temp)
+        raise
 
 
 def _stats_trace(path: str, top: int) -> int:
@@ -732,6 +852,15 @@ def _command_transform(args) -> int:
         # errors, not crashes.
         print(str(problem), file=sys.stderr)
         return 2
+    for result in (original, transformed):
+        if not result.ok:
+            # The runner degrades per-scenario failures into status
+            # results; for this command an inapplicable pass is still a
+            # user error, so surface the diagnostic and exit like one.
+            error = result.metrics.get("error") or {}
+            print(error.get("message") or f"{result.scenario} failed "
+                  f"({result.status})", file=sys.stderr)
+            return 2
     print(f"== {base.name}  vs  {'+'.join(pass_names)}")
     header = f"{'cache/observer':<24}{'original':>16}{'transformed':>16}"
     print(header)

@@ -25,11 +25,26 @@ from repro.core.adversary import ADVERSARY_MODELS
 from repro.core.observers import AccessKind, CacheGeometry, Observer, ProjectionPolicy
 from repro.vm.cache import POLICIES, HierarchySpec
 
-__all__ = ["AnalysisConfig", "ArgInit", "InputSpec", "RegInit", "MemInit", "AnalysisError"]
+__all__ = ["AnalysisConfig", "ArgInit", "InputSpec", "RegInit", "MemInit",
+           "AnalysisError", "ResourceLimitError"]
 
 
 class AnalysisError(Exception):
     """Raised when the analysis cannot produce a sound bound."""
+
+
+class ResourceLimitError(AnalysisError):
+    """A resource guard (deadline or RSS ceiling) aborted the run.
+
+    ``reason`` is the sweep-facing status the abort maps to: ``"timeout"``
+    for a blown ``deadline_s``, ``"oom"`` for a blown ``max_rss_bytes``.
+    Engine guards raise this instead of hanging a pool worker; the sweep
+    layer degrades it into a ``SweepResult`` with that status.
+    """
+
+    def __init__(self, reason: str, message: str) -> None:
+        super().__init__(message)
+        self.reason = reason
 
 
 @dataclass(frozen=True, slots=True)
@@ -61,6 +76,15 @@ class AnalysisConfig:
     refine_branches: bool = True
     value_set_cap: int = 64
     fuel: int = 1_000_000
+    # Resource guards (besides the step-fuel bound above): wall-clock and
+    # memory ceilings for one engine run, checked cheaply inside the
+    # worklist loop on the timeline-sampling cadence (REPRO_GUARD_STEPS
+    # overrides the check interval).  ``None`` disables a guard.  A blown
+    # guard raises :class:`ResourceLimitError` — a loud, graceful abort
+    # the sweep layer turns into a ``status="timeout"|"oom"`` result —
+    # instead of letting a runaway scenario hang or OOM-kill its worker.
+    deadline_s: float | None = None
+    max_rss_bytes: int | None = None
     stack_top: int = 0x0BFF_F000
     # Compile tier (repro.analysis.specialize): execute straight-line code
     # through per-block specialized functions.  Results are bit-identical
@@ -97,6 +121,11 @@ class AnalysisConfig:
             raise AnalysisError(
                 f"hierarchy must be a HierarchySpec, got "
                 f"{type(self.hierarchy).__name__}")
+        if self.deadline_s is not None and self.deadline_s < 0:
+            raise AnalysisError(f"deadline_s must be >= 0, got {self.deadline_s}")
+        if self.max_rss_bytes is not None and self.max_rss_bytes <= 0:
+            raise AnalysisError(
+                f"max_rss_bytes must be positive, got {self.max_rss_bytes}")
 
     def observers(self) -> list[Observer]:
         """The observer objects selected by ``observer_names``."""

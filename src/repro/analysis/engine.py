@@ -31,10 +31,12 @@ from __future__ import annotations
 
 import gc
 import heapq
+import os
+import time
 from dataclasses import dataclass, field
 from itertools import count as _count
 
-from repro.analysis.config import AnalysisConfig, AnalysisError
+from repro.analysis.config import AnalysisConfig, AnalysisError, ResourceLimitError
 from repro.analysis.specialize import (
     compile_tier_evictions,
     specialization_enabled,
@@ -52,9 +54,67 @@ from repro.obs import metrics as obs_metrics
 from repro.obs import timeline as obs_timeline
 from repro.obs import trace as obs_trace
 
-__all__ = ["Engine", "DagKey", "EngineResult", "SchedulerStats"]
+__all__ = ["Engine", "DagKey", "EngineResult", "GUARD_STEPS_ENV",
+           "SchedulerStats"]
 
 DagKey = tuple[AccessKind, str]  # (cache kind, observer name)
+
+# Resource-guard check cadence, in abstract steps.  Rides the same
+# step-count idea as the timeline sampler: the hot pop loop pays one
+# integer comparison, and the wall-clock/RSS syscalls run only every
+# ``interval`` steps.  The env override exists for tests (tiny scenarios
+# never reach 50k steps) and for callers that want tighter deadlines.
+GUARD_STEPS_ENV = "REPRO_GUARD_STEPS"
+DEFAULT_GUARD_INTERVAL_STEPS = 50_000
+
+
+class _ResourceGuard:
+    """Deadline/RSS ceiling checks for one engine run.
+
+    Raises :class:`ResourceLimitError` from the worklist loop — the
+    cooperative alternative to a worker hanging until the supervisor
+    shoots it, or growing until the kernel OOM-killer does.
+    """
+
+    __slots__ = ("deadline_s", "max_rss_bytes", "interval", "next_due",
+                 "_t0")
+
+    def __init__(self, deadline_s: float | None, max_rss_bytes: int | None,
+                 interval: int) -> None:
+        self.deadline_s = deadline_s
+        self.max_rss_bytes = max_rss_bytes
+        self.interval = max(1, interval)
+        self.next_due = self.interval
+        self._t0 = time.perf_counter()
+
+    @classmethod
+    def from_config(cls, config: AnalysisConfig) -> "_ResourceGuard | None":
+        if config.deadline_s is None and config.max_rss_bytes is None:
+            return None
+        interval = DEFAULT_GUARD_INTERVAL_STEPS
+        override = os.environ.get(GUARD_STEPS_ENV)
+        if override and override.isdigit():
+            interval = int(override)
+        return cls(config.deadline_s, config.max_rss_bytes, interval)
+
+    def check(self, steps: int) -> None:
+        self.next_due = steps + self.interval
+        if self.deadline_s is not None:
+            elapsed = time.perf_counter() - self._t0
+            if elapsed > self.deadline_s:
+                obs_metrics.REGISTRY.inc("engine.deadline_aborts")
+                raise ResourceLimitError(
+                    "timeout",
+                    f"deadline of {self.deadline_s:g}s exceeded after "
+                    f"{elapsed:.2f}s ({steps} abstract steps)")
+        if self.max_rss_bytes is not None:
+            rss = obs_timeline.current_rss_bytes()
+            if rss > self.max_rss_bytes:
+                obs_metrics.REGISTRY.inc("engine.rss_aborts")
+                raise ResourceLimitError(
+                    "oom",
+                    f"RSS {rss} bytes exceeds the {self.max_rss_bytes}-byte "
+                    f"ceiling after {steps} abstract steps")
 
 
 class _Config:
@@ -394,6 +454,15 @@ class Engine:
             obs_trace.start()
         run_span = obs_trace.span("engine.run", entry=entry)
         run_span.__enter__()
+        try:
+            return self._run(entry, initial_state, run_span)
+        except BaseException:
+            # Close the span on aborts (fuel, resource guards) too: a pool
+            # worker's trace buffer must stay balanced across scenarios.
+            run_span.__exit__(None, None, None)
+            raise
+
+    def _run(self, entry: int, initial_state: AbsState, run_span) -> EngineResult:
         # Fresh per-run state: earlier EngineResults keep their own stats
         # objects, and the per-run caches' counters stay consistent with the
         # step count of *this* run.
@@ -447,6 +516,7 @@ class Engine:
         sym_base = masked_intern_counters()
         emit = self._emit  # bound once; cursors are threaded via attribute
         sampler = obs_timeline.active()
+        guard = _ResourceGuard.from_config(self.context.config)
 
         # The exploration loop allocates strictly acyclic objects (masks,
         # masked symbols, value sets, DAG vertices, cursor tuples), so the
@@ -460,7 +530,7 @@ class Engine:
         try:
             with obs_trace.span("engine.explore") as explore_span:
                 self._explore(heap, pending, finished, fuel, result, emit,
-                              spec_blocks, sampler)
+                              spec_blocks, sampler, guard)
                 explore_span.arg("steps", result.steps)
                 explore_span.arg("merges", result.merges)
                 explore_span.arg("forks", result.forks)
@@ -486,7 +556,7 @@ class Engine:
         return result
 
     def _explore(self, heap, pending, finished, fuel, result, emit,
-                 spec_blocks=None, sampler=None) -> None:
+                 spec_blocks=None, sampler=None, guard=None) -> None:
         """The scheduler loop, split out so run() can bracket it (GC pause)."""
         seq = _count(1)
         stats = self.stats
@@ -501,6 +571,10 @@ class Engine:
             # sample positions), one None-check per pop when disabled.
             if sampler is not None and result.steps >= sampler.next_due:
                 sampler.sample(result.steps, len(heap), len(pending))
+            # Resource guards ride the same step-count cadence: one integer
+            # comparison per pop, syscalls only every guard interval.
+            if guard is not None and result.steps >= guard.next_due:
+                guard.check(result.steps)
             _, _, config = heapq.heappop(heap)
             del pending[config.merge_key]
             if config.pc == SENTINEL_RETURN:

@@ -19,6 +19,18 @@ Snapshots are deterministic: :meth:`MetricsRegistry.snapshot` returns a
 plain dict in sorted-key order with only int/float values, and
 :func:`delta` subtracts two snapshots key-wise — the primitive behind the
 ``python -m repro stats`` regression tables.
+
+The fault-tolerance layer publishes its own counters here:
+
+- ``engine.deadline_aborts`` / ``engine.rss_aborts`` — analyses stopped by
+  the in-engine resource guard (``deadline_s`` / ``max_rss_bytes``, or
+  their ``REPRO_DEADLINE_S`` / ``REPRO_MAX_RSS_MB`` sweep-wide defaults);
+- ``sweep.retries`` — scenarios requeued by the supervised pool after a
+  worker death, hang-kill, or invalid payload;
+- ``sweep.worker_deaths`` — pool workers that died (crash, OOM-kill,
+  signal) or were killed for making no progress;
+- ``sweep.quarantined`` — scenarios that kept failing past the retry cap
+  and were reported as failed results instead of being retried forever.
 """
 
 from __future__ import annotations

@@ -35,7 +35,8 @@ from repro.obs import trace
 
 __all__ = [
     "DEFAULT_INTERVAL_STEPS", "GCPauses", "TIMELINE_STEPS_ENV",
-    "TimelineSampler", "active", "begin", "end", "peak_rss_bytes",
+    "TimelineSampler", "active", "begin", "current_rss_bytes", "end",
+    "peak_rss_bytes",
 ]
 
 # Sample cadence in abstract steps; dense enough for the second-scale
@@ -59,6 +60,23 @@ def peak_rss_bytes() -> int:
     if os.uname().sysname == "Darwin":  # pragma: no cover - macOS units
         return int(peak)
     return int(peak) * 1024
+
+
+def current_rss_bytes() -> int:
+    """Current (not peak) resident set size, in bytes (0 if unknown).
+
+    The engine's ``max_rss_bytes`` guard reads this: peak RSS is monotone
+    for the process lifetime, which would make one big scenario condemn
+    every later scenario sharing its pool worker.  Read from
+    ``/proc/self/statm`` on Linux; platforms without it fall back to the
+    peak figure (conservative: guards trip earlier, never later).
+    """
+    try:
+        with open("/proc/self/statm", "rb") as handle:
+            fields = handle.read().split()
+        return int(fields[1]) * os.sysconf("SC_PAGESIZE")
+    except (OSError, ValueError, IndexError):  # pragma: no cover - non-Linux
+        return peak_rss_bytes()
 
 
 class GCPauses:

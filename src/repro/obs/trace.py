@@ -234,9 +234,13 @@ def export(events: list[dict] | None = None,
 
 
 def write(path: str | os.PathLike, events: list[dict] | None = None) -> dict:
-    """Export (draining the buffer by default) and write JSON to ``path``."""
+    """Export (draining the buffer by default) and write JSON to ``path``.
+
+    Written atomically (tempfile + rename): a sweep killed mid-export
+    leaves either the previous trace or the new one, never a torn file.
+    """
+    from repro.core.atomicio import atomic_write_json
+
     payload = export(events)
-    with open(os.fspath(path), "w", encoding="utf-8") as handle:
-        json.dump(payload, handle)
-        handle.write("\n")
+    atomic_write_json(path, payload, indent=None)
     return payload

@@ -10,10 +10,21 @@ turns that grid into data and machinery:
 - :class:`SweepResult` / :class:`ResultStore` — deterministic, structured
   results that figure tables, benchmarks, and the ``python -m repro`` CLI
   consume.
+
+Execution is fault-tolerant: :mod:`repro.sweep.supervisor` replaces the
+bare process pool with supervised workers (death detection, retry with
+bisection, quarantine), :mod:`repro.sweep.faults` provides the
+deterministic chaos harness that tests it, and completed results are
+checkpointed into the store as they land so interrupted sweeps resume.
 """
 
 from repro.sweep.results import AdversaryRow, BoundRow, ResultStore, SweepResult
-from repro.sweep.runner import SweepRunner, default_runner, execute_scenario
+from repro.sweep.runner import (
+    SweepRunner,
+    default_runner,
+    execute_scenario,
+    execute_scenario_safe,
+)
 from repro.sweep.scenario import Scenario, ScenarioError, resolve_dotted
 
 __all__ = [
@@ -26,5 +37,6 @@ __all__ = [
     "SweepRunner",
     "default_runner",
     "execute_scenario",
+    "execute_scenario_safe",
     "resolve_dotted",
 ]

@@ -1,0 +1,162 @@
+"""Deterministic fault injection for sweep robustness tests and CI chaos.
+
+The harness injects failures at *named points* of the sweep execution
+path, keyed entirely by the environment so pool workers (fork or spawn)
+inherit the same plan:
+
+``REPRO_FAULT=<kind>:<scenario-substr>[:<times>]``
+    Inject fault ``kind`` into scenarios whose name contains
+    ``scenario-substr``, firing at most ``times`` times (default 1) across
+    the whole sweep.  Kinds:
+
+    - ``crash``    — ``os._exit(137)``, simulating an OOM-kill/SIGKILL of
+      the worker process (at the ``scenario.start`` point);
+    - ``hang``     — sleep far past any sane task timeout, simulating a
+      wedged worker (``scenario.start``);
+    - ``raise``    — raise :class:`InjectedFault` (``scenario.start``),
+      exercising the per-scenario error policy;
+    - ``truncate`` — corrupt the worker's result payload on the wire
+      (``scenario.payload``), exercising the parent's payload validation.
+
+``REPRO_FAULT_DIR``
+    A directory used to count firings *across processes*: each firing
+    atomically claims one ``fired-<k>`` marker file, so a fault armed for
+    one firing stays consumed after the crashed worker is replaced — the
+    retried scenario then succeeds.  Without it each process counts its
+    own firings (fine for inline runs and unit tests).
+
+Injection is deterministic: whether a given (point, scenario) pair fires
+depends only on the environment and on how many earlier matches already
+claimed a firing — never on wall-clock or randomness.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+__all__ = [
+    "FAULT_DIR_ENV", "FAULT_ENV", "FAULT_KINDS", "FaultPlan", "InjectedFault",
+    "active_plan", "inject", "truncate_payload",
+]
+
+FAULT_ENV = "REPRO_FAULT"
+FAULT_DIR_ENV = "REPRO_FAULT_DIR"
+FAULT_KINDS = ("crash", "hang", "raise", "truncate")
+
+# The simulated wedge: long enough that only a supervisor-level task
+# timeout (never patience) ends it.
+HANG_SECONDS = 3600.0
+# The exit status of an injected crash: 128+SIGKILL, what an OOM-killed
+# worker reports.
+CRASH_EXIT_CODE = 137
+
+
+class InjectedFault(RuntimeError):
+    """The exception raised by an armed ``raise`` fault."""
+
+
+class FaultPlan:
+    """One parsed ``REPRO_FAULT`` value plus its firing accounting."""
+
+    __slots__ = ("kind", "needle", "times", "_fired")
+
+    def __init__(self, kind: str, needle: str, times: int) -> None:
+        self.kind = kind
+        self.needle = needle
+        self.times = times
+        self._fired = 0  # in-process fallback counter
+
+    @classmethod
+    def parse(cls, value: str) -> "FaultPlan | None":
+        parts = value.split(":")
+        if len(parts) < 2 or parts[0] not in FAULT_KINDS or not parts[1]:
+            return None
+        times = 1
+        if len(parts) > 2 and parts[2]:
+            try:
+                times = max(1, int(parts[2]))
+            except ValueError:
+                return None
+        return cls(parts[0], parts[1], times)
+
+    def matches(self, scenario_name: str) -> bool:
+        # Same rule as Scenario.matches / CLI --select.
+        return self.needle.lower() in scenario_name.lower()
+
+    def claim(self) -> bool:
+        """Consume one firing if any remain; True exactly ``times`` times.
+
+        With ``REPRO_FAULT_DIR`` set the count is shared across every
+        process of the sweep (parent, workers, replacement workers) via
+        ``O_CREAT | O_EXCL`` marker files — the atomic, lock-free way to
+        hand out at most ``times`` tokens.
+        """
+        directory = os.environ.get(FAULT_DIR_ENV)
+        if not directory:
+            if self._fired >= self.times:
+                return False
+            self._fired += 1
+            return True
+        os.makedirs(directory, exist_ok=True)
+        for index in range(self.times):
+            marker = os.path.join(directory, f"fired-{index}")
+            try:
+                os.close(os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY))
+                return True
+            except FileExistsError:
+                continue
+        return False
+
+
+# Parsed plan cache, keyed by the raw env value so tests that monkeypatch
+# the environment mid-process are picked up immediately.
+_PLAN_CACHE: tuple[str | None, FaultPlan | None] = (None, None)
+
+
+def active_plan() -> FaultPlan | None:
+    """The parsed ``REPRO_FAULT`` plan, or None when unset/malformed."""
+    global _PLAN_CACHE
+    raw = os.environ.get(FAULT_ENV)
+    if raw == _PLAN_CACHE[0]:
+        return _PLAN_CACHE[1]
+    plan = FaultPlan.parse(raw) if raw else None
+    _PLAN_CACHE = (raw, plan)
+    return plan
+
+
+def inject(point: str, scenario_name: str) -> None:
+    """Fire an armed crash/hang/raise fault at a named execution point.
+
+    Called at ``scenario.start`` (just before a scenario's analysis runs).
+    ``truncate`` faults never fire here — they corrupt payloads via
+    :func:`truncate_payload` instead.
+    """
+    plan = active_plan()
+    if plan is None or plan.kind == "truncate":
+        return
+    if not plan.matches(scenario_name) or not plan.claim():
+        return
+    if plan.kind == "crash":
+        # The brutal exit an OOM-killer delivers: no cleanup, no excuses.
+        os._exit(CRASH_EXIT_CODE)
+    if plan.kind == "hang":
+        time.sleep(HANG_SECONDS)
+        return
+    raise InjectedFault(
+        f"injected {plan.kind!r} fault at {point} in {scenario_name}")
+
+
+def truncate_payload(scenario_name: str, payload: dict) -> dict:
+    """Corrupt a worker's wire payload when a ``truncate`` fault is armed.
+
+    Models a result lost mid-serialization: the surviving dict carries the
+    scenario name (so the parent can attribute the failure) but none of
+    the fields a valid result needs, which the parent's payload validation
+    rejects and retries.
+    """
+    plan = active_plan()
+    if (plan is None or plan.kind != "truncate"
+            or not plan.matches(scenario_name) or not plan.claim()):
+        return payload
+    return {"scenario": scenario_name, "_injected_truncation": True}

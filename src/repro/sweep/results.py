@@ -27,17 +27,23 @@ from __future__ import annotations
 import json
 import os
 import platform
-import tempfile
 from dataclasses import dataclass, field
 
 from repro.core.adversary import AdversaryBound
+from repro.core.atomicio import atomic_write_json
 from repro.core.leakage import LeakageReport, ObservationBound
 from repro.core.observers import AccessKind
 from repro.core.vectorize import numpy_version
 
-__all__ = ["AdversaryRow", "BoundRow", "METRICS_SCHEMA", "SweepResult",
-           "ResultStore", "load_bench_log", "load_bench_environment",
-           "update_bench_log"]
+__all__ = ["AdversaryRow", "BoundRow", "METRICS_SCHEMA", "STATUSES",
+           "SweepResult", "ResultStore", "load_bench_log",
+           "load_bench_environment", "update_bench_log"]
+
+# Per-scenario outcome vocabulary.  ``ok`` is the only storable status —
+# a failed or degraded result is reported, retried, or quarantined by the
+# sweep layer, but never journaled: store bytes stay a pure function of
+# the successfully analyzed scenarios.
+STATUSES = ("ok", "timeout", "oom", "error")
 
 STORE_VERSION = 1
 # Version of the deterministic metrics dictionary (the engine counters of
@@ -119,17 +125,7 @@ def update_bench_log(path: str | os.PathLike, timings: dict[str, float]) -> int:
         "environment": _bench_environment(),
         "timings": {key: merged[key] for key in sorted(merged)},
     }
-    directory = os.path.dirname(os.path.abspath(path)) or "."
-    os.makedirs(directory, exist_ok=True)
-    descriptor, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
-    try:
-        with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=1, sort_keys=True)
-            handle.write("\n")
-        os.replace(temp_path, path)
-    except BaseException:
-        os.unlink(temp_path)
-        raise
+    atomic_write_json(path, payload)
     return len(timings)
 
 
@@ -176,9 +172,19 @@ class SweepResult:
     transforms: tuple[str, ...] = ()            # countermeasure passes applied
     metrics: dict = field(default_factory=dict)  # kernel metrics / engine stats
     warnings: tuple[str, ...] = ()
+    # Outcome of the run (see STATUSES).  ``ok`` — the only value the
+    # store ever sees — is *omitted* from the payload, so every successful
+    # result keeps its pre-status payload bytes and fingerprinted cache
+    # entry; failed results carry the exception class and a traceback
+    # summary under ``metrics["error"]``.
+    status: str = "ok"
     elapsed: float = 0.0                        # not part of the payload
     cached: bool = False                        # answered from a cache?
     timeline: tuple = ()                        # obs samples; not in payload
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
 
     #: Metrics keys that carry machine facts (RSS, GC pauses) rather than
     #: deterministic analysis counters; excluded from the payload.
@@ -207,8 +213,11 @@ class SweepResult:
         Excludes wall-clock, cache state, timeline samples, and the
         machine-fact metrics block (``metrics["environment"]``): the payload
         — and therefore the store — stays a pure function of the scenario.
+        A non-``ok`` status is included (it is what the pool wire format
+        and the degraded-sweep reporting carry); ``ok`` is omitted so
+        successful payloads are byte-identical to the pre-status era.
         """
-        return {
+        payload = {
             "scenario": self.scenario,
             "fingerprint": self.fingerprint,
             "kind": self.kind,
@@ -228,10 +237,14 @@ class SweepResult:
             },
             "warnings": list(self.warnings),
         }
+        if self.status != "ok":
+            payload["status"] = self.status
+        return payload
 
     @classmethod
     def from_payload(cls, payload: dict, cached: bool = False) -> "SweepResult":
         return cls(
+            status=payload.get("status", "ok"),
             scenario=payload["scenario"],
             fingerprint=payload["fingerprint"],
             kind=payload["kind"],
@@ -275,11 +288,15 @@ class ResultStore:
         # serving them would hand callers stale/mis-keyed counters and make
         # identical sweeps produce store files that disagree byte-for-byte
         # with fresh runs.  Invalidated scenarios simply re-run.
+        # Non-``ok`` payloads are additionally dropped on load: no writer
+        # of this store produces them, but a hand-edited or adversarial
+        # file must not seed the cache with failed results.
         self._results = {
             fingerprint: payload
             for fingerprint, payload in dict(data.get("results", {})).items()
             if isinstance(payload, dict)
             and payload.get("metrics_schema") == METRICS_SCHEMA
+            and payload.get("status", "ok") == "ok"
         }
 
     def get(self, fingerprint: str) -> SweepResult | None:
@@ -289,25 +306,34 @@ class ResultStore:
         return SweepResult.from_payload(payload, cached=True)
 
     def put(self, result: SweepResult) -> None:
+        """Record one *successful* result.
+
+        Failed/degraded results (``status != "ok"``) are rejected loudly:
+        the store's bytes are a pure function of the successfully analyzed
+        scenarios, which the catalogue-golden and chaos-differential tests
+        pin byte-for-byte.
+        """
+        if result.status != "ok":
+            raise ValueError(
+                f"refusing to store non-ok result "
+                f"({result.scenario}: status={result.status!r})")
         self._results[result.fingerprint] = result.to_payload()
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._results
 
     def __len__(self) -> int:
         return len(self._results)
 
     def save(self) -> None:
-        """Atomically rewrite the store file."""
+        """Atomically rewrite the store file.
+
+        Cheap enough to call after every completed scenario — which is
+        exactly what the sweep layer's crash-safe checkpointing does — so
+        a killed sweep resumes from its finished fingerprints.
+        """
         payload = {
             "version": STORE_VERSION,
             "results": {key: self._results[key] for key in sorted(self._results)},
         }
-        directory = os.path.dirname(os.path.abspath(self.path))
-        os.makedirs(directory, exist_ok=True)
-        descriptor, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
-        try:
-            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
-                json.dump(payload, handle, indent=1, sort_keys=True)
-                handle.write("\n")
-            os.replace(temp_path, self.path)
-        except BaseException:
-            os.unlink(temp_path)
-            raise
+        atomic_write_json(self.path, payload)

@@ -1,7 +1,7 @@
 """The sweep runner: scenarios in, cached/parallel results out.
 
 ``SweepRunner`` fans a list of :class:`~repro.sweep.scenario.Scenario` out
-across a ``multiprocessing`` pool (or runs them inline for ``processes=1``),
+across a supervised worker pool (or runs them inline for ``processes=1``),
 with two cache layers keyed by the scenario fingerprint:
 
 - an **in-process** dict, so figure runners and benchmarks that revisit a
@@ -14,19 +14,30 @@ Execution is deterministic: a scenario's result payload is a pure function
 of the scenario (the analysis allocates symbols in a fixed order and the
 engine's worklist is totally ordered), so pool scheduling cannot change any
 measured bit — only the wall-clock column.
+
+Execution is also *fault-tolerant*: per-scenario failures (crashes, hangs,
+resource-limit aborts, exceptions) degrade into ``status != "ok"`` results
+instead of losing the batch, the pool supervisor
+(:mod:`repro.sweep.supervisor`) retries and quarantines poison scenarios,
+and every completed result is checkpointed into the store as it lands —
+a killed sweep resumes from its finished fingerprints.  Failed results are
+never cached or stored: the store's bytes stay a pure function of the
+successfully analyzed scenarios.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import os
 import time
+import traceback
 from dataclasses import replace as dataclass_replace
 from typing import Iterable
 
+from repro.analysis.config import ResourceLimitError
 from repro.core.observers import AccessKind, ProjectionPolicy
 from repro.obs import timeline as obs_timeline
 from repro.obs import trace as obs_trace
+from repro.sweep import faults
 from repro.sweep.results import (
     AdversaryRow,
     BoundRow,
@@ -38,7 +49,14 @@ from repro.sweep.scenario import KERNEL, LEAKAGE, Scenario, ScenarioError
 from repro.sweep.sharding import calculate_shards, predict_costs
 from repro.vm.cache import HierarchySpec
 
-__all__ = ["SweepRunner", "default_runner", "execute_scenario"]
+__all__ = ["DEADLINE_ENV", "MAX_RSS_ENV", "SweepRunner", "default_runner",
+           "execute_scenario", "execute_scenario_safe"]
+
+# Sweep-wide resource-guard defaults, inherited by pool workers (fork or
+# spawn) like the other mode switches.  A scenario's own AnalysisConfig
+# limits win; these fill in when the config leaves them unset.
+DEADLINE_ENV = "REPRO_DEADLINE_S"       # per-scenario deadline, seconds
+MAX_RSS_ENV = "REPRO_MAX_RSS_MB"        # per-process RSS ceiling, MiB
 
 
 def _overridden_config(config, scenario: Scenario):
@@ -61,6 +79,32 @@ def _overridden_config(config, scenario: Scenario):
         else:
             translated[name] = value
     return dataclass_replace(config, **translated)
+
+
+def _guarded_config(config):
+    """Fill unset resource limits from the sweep-wide guard env vars.
+
+    The env vars (not constructor plumbing) so fork/spawn pool workers and
+    inline runs observe the same limits; a config that already carries its
+    own ``deadline_s``/``max_rss_bytes`` keeps them.  Malformed values are
+    ignored — a typo'd guard must not crash the sweep it guards.
+    """
+    updates = {}
+    if config.deadline_s is None:
+        raw = os.environ.get(DEADLINE_ENV)
+        if raw:
+            try:
+                updates["deadline_s"] = float(raw)
+            except ValueError:
+                pass
+    if config.max_rss_bytes is None:
+        raw = os.environ.get(MAX_RSS_ENV)
+        if raw:
+            try:
+                updates["max_rss_bytes"] = int(float(raw) * (1 << 20))
+            except ValueError:
+                pass
+    return dataclass_replace(config, **updates) if updates else config
 
 
 def _engine_metrics(engine_result) -> dict:
@@ -114,6 +158,9 @@ def execute_scenario(scenario: Scenario) -> SweepResult:
     ``metrics["environment"]`` block (object-only; excluded from the
     payload), and, when tracing is on, a ``scenario.<name>`` span plus the
     engine's timeline samples.
+
+    Failures propagate: callers that want the degrade-into-a-result policy
+    (the sweep paths) go through :func:`execute_scenario_safe`.
     """
     from repro.analysis.analyzer import analyze  # deferred: keep import cheap
 
@@ -122,6 +169,7 @@ def execute_scenario(scenario: Scenario) -> SweepResult:
           obs_timeline.GCPauses() as gc_pauses):
         obs_timeline.begin(scenario.name)
         try:
+            faults.inject("scenario.start", scenario.name)
             result = _execute_scenario_inner(scenario, analyze)
         finally:
             timeline = obs_timeline.end()
@@ -135,10 +183,49 @@ def execute_scenario(scenario: Scenario) -> SweepResult:
     return result
 
 
+def execute_scenario_safe(scenario: Scenario) -> SweepResult:
+    """Run one scenario, degrading any failure into a ``status`` result.
+
+    Resource-limit aborts become ``status="timeout"``/``"oom"``; every
+    other exception becomes ``status="error"`` carrying the exception class
+    and a traceback summary under ``metrics["error"]``.  Interrupts
+    (``KeyboardInterrupt``/``SystemExit``) are *not* failures and propagate.
+    """
+    started = time.perf_counter()
+    try:
+        return execute_scenario(scenario)
+    except ResourceLimitError as problem:
+        result = _failed_result(scenario, problem.reason, problem)
+    except Exception as problem:
+        result = _failed_result(scenario, "error", problem)
+    result.elapsed = time.perf_counter() - started
+    return result
+
+
+def _failed_result(scenario: Scenario, status: str,
+                   problem: BaseException) -> SweepResult:
+    """The reported (never stored) form of one scenario's failure."""
+    frames = "".join(traceback.format_exception(
+        type(problem), problem, problem.__traceback__)).strip().splitlines()
+    return SweepResult(
+        scenario=scenario.name,
+        fingerprint=scenario.fingerprint(),
+        kind=scenario.kind,
+        target=scenario.description or scenario.name,
+        status=status,
+        metrics={"error": {
+            "type": type(problem).__name__,
+            "message": str(problem),
+            "traceback": frames[-8:],    # the useful tail, not the book
+        }},
+        warnings=(f"{status}: {type(problem).__name__}: {problem}",),
+    )
+
+
 def _execute_scenario_inner(scenario: Scenario, analyze) -> SweepResult:
     if scenario.kind == LEAKAGE:
         target = scenario.build_target()
-        config = _overridden_config(target.config, scenario)
+        config = _guarded_config(_overridden_config(target.config, scenario))
         analysis = analyze(target.image, target.spec, config)
         rows = tuple(
             BoundRow(kind=kind.name, observer=observer,
@@ -180,11 +267,27 @@ def _execute_scenario_inner(scenario: Scenario, analyze) -> SweepResult:
     return result
 
 
-def _pool_worker(scenario: Scenario) -> dict:
-    """Pool entry point: run and return the payload plus the object-only
+# ----------------------------------------------------------------------
+# Worker wire format
+# ----------------------------------------------------------------------
+
+# Directory for in-worker cProfile dumps (set by `sweep --profile` when the
+# pool engages): each task's profile lands as worker-<pid>-<seq>.pstats,
+# and the CLI merges them with pstats.Stats.add.  An env var because pool
+# workers cannot share the parent's profiler object.
+PROFILE_DIR_ENV = "REPRO_PROFILE_DIR"
+
+
+def _pool_worker_safe(scenario: Scenario) -> dict:
+    """Worker entry point: run one scenario, return its wire payload.
+
+    The payload is the deterministic result payload plus the object-only
     extras (timing, telemetry, buffered trace events) under ``_``-keys that
-    the parent pops back off before reconstructing the result."""
-    result = execute_scenario(scenario)
+    the parent pops back off before reconstructing the result.  Failures
+    ride the same wire as ``status`` payloads; an armed ``truncate`` fault
+    corrupts the payload here, on its way out of the worker.
+    """
+    result = execute_scenario_safe(scenario)
     payload = result.to_payload()
     payload["_elapsed"] = result.elapsed
     payload["_environment"] = result.metrics.get("environment", {})
@@ -193,34 +296,37 @@ def _pool_worker(scenario: Scenario) -> dict:
     events = obs_trace.drain()
     if events:
         payload["_trace"] = events
-    return payload
+    return faults.truncate_payload(scenario.name, payload)
 
 
-# Directory for in-worker cProfile dumps (set by `sweep --profile` when the
-# pool engages): each shard's profile lands as worker-<pid>-<seq>.pstats,
-# and the CLI merges them with pstats.Stats.add.  An env var because pool
-# workers cannot share the parent's profiler object.
-PROFILE_DIR_ENV = "REPRO_PROFILE_DIR"
-_PROFILE_SEQ = 0
+def _unpack_wire(payload, scenario: Scenario) -> SweepResult | None:
+    """Validate and rehydrate one worker wire payload.
 
-
-def _pool_shard_worker(scenarios: list[Scenario]) -> list[dict]:
-    """Run one pre-assigned shard of scenarios in a single pool task."""
-    profile_dir = os.environ.get(PROFILE_DIR_ENV)
-    if not profile_dir:
-        return [_pool_worker(scenario) for scenario in scenarios]
-    import cProfile
-
-    global _PROFILE_SEQ
-    _PROFILE_SEQ += 1
-    profiler = cProfile.Profile()
-    profiler.enable()
+    Returns ``None`` for anything that is not a well-formed result payload
+    for *this* scenario — a truncated dict, a wrong type, a fingerprint
+    mismatch — which the supervisor treats as a retryable failure.  The
+    worker's buffered trace events are adopted into the parent's trace as
+    a side effect (exactly once per valid payload).
+    """
+    if not isinstance(payload, dict):
+        return None
+    payload = dict(payload)
+    elapsed = payload.pop("_elapsed", 0.0)
+    environment = payload.pop("_environment", {})
+    timeline = payload.pop("_timeline", ())
+    trace_events = payload.pop("_trace", [])
     try:
-        return [_pool_worker(scenario) for scenario in scenarios]
-    finally:
-        profiler.disable()
-        profiler.dump_stats(os.path.join(
-            profile_dir, f"worker-{os.getpid()}-{_PROFILE_SEQ}.pstats"))
+        result = SweepResult.from_payload(payload)
+    except (KeyError, TypeError, ValueError):
+        return None
+    if result.fingerprint != scenario.fingerprint():
+        return None
+    obs_trace.adopt(trace_events)
+    result.elapsed = elapsed
+    result.timeline = tuple(timeline)
+    if environment:
+        result.metrics["environment"] = environment
+    return result
 
 
 def _warm_worker() -> None:
@@ -254,12 +360,22 @@ class SweepRunner:
         store: ResultStore | str | os.PathLike | None = None,
         use_cache: bool = True,
         bench_log: dict[str, float] | str | os.PathLike | None = None,
+        max_retries: int = 2,
+        task_timeout_s: float | None = None,
     ) -> None:
         self.processes = max(1, processes)
         if store is not None and not isinstance(store, ResultStore):
             store = ResultStore(store)
         self.store = store
         self.use_cache = use_cache
+        # Supervised-pool knobs: how often a crashing/hanging scenario is
+        # retried before quarantine, and how long a worker may go without
+        # finishing a scenario before it is declared wedged and killed.
+        self.max_retries = max_retries
+        self.task_timeout_s = task_timeout_s
+        # The most recent pool supervisor, exposing its retry/death/
+        # quarantine telemetry for the CLI's degraded-sweep summary.
+        self.last_pool = None
         # Timings steering the cost-aware pool sharding: a {key: seconds}
         # mapping, a path to a BENCH_sweep.json-style log, or None to probe
         # the repo's checked-in log (missing file → heuristic costs only).
@@ -289,9 +405,24 @@ class SweepRunner:
         return dataclass_replace(cached, cached=True, scenario=scenario.name)
 
     def _remember(self, result: SweepResult) -> None:
+        """Cache one result — successful results only.
+
+        A failed/degraded result is reported to the caller but never enters
+        the in-process cache or the on-disk store: caching a failure would
+        pin it (the scenario deserves a retry next run), and storing one
+        would break the store's bytes-are-a-pure-function-of-the-scenarios
+        contract.
+        """
+        if not result.ok:
+            return
         self._memory[result.fingerprint] = result
         if self.store is not None:
             self.store.put(result)
+
+    def _checkpoint(self) -> None:
+        """Journal the store to disk (atomic; cheap per-scenario)."""
+        if self.store is not None:
+            self.store.save()
 
     def clear_cache(self) -> None:
         """Drop the in-process cache (the on-disk store is untouched)."""
@@ -305,8 +436,7 @@ class SweepRunner:
         """
         for result in results:
             self._remember(result)
-        if self.store is not None:
-            self.store.save()
+        self._checkpoint()
 
     # ------------------------------------------------------------------
     # Execution
@@ -319,8 +449,11 @@ class SweepRunner:
         """Run a batch, returning results in input order.
 
         Cached scenarios are answered immediately; the misses are executed
-        inline or fanned out over a process pool, whichever the runner was
-        configured for.
+        inline or fanned out over the supervised pool, whichever the runner
+        was configured for.  Per-scenario failures come back as
+        ``status != "ok"`` results (see :func:`execute_scenario_safe`);
+        completed results are checkpointed into the store *as they land*,
+        so an interrupted or crashed sweep keeps its finished work.
         """
         batch = list(scenarios)
         results: list[SweepResult | None] = [None] * len(batch)
@@ -352,53 +485,57 @@ class SweepRunner:
                     fresh = self._run_pool(
                         [scenario for _, scenario in misses])
                 else:
-                    fresh = [execute_scenario(scenario)
-                             for _, scenario in misses]
+                    fresh = self._run_inline(
+                        [scenario for _, scenario in misses])
             for (index, _), result in zip(misses, fresh):
-                self._remember(result)
                 results[index] = result
             for index, scenario, source_index in aliases:
                 results[index] = dataclass_replace(
                     results[source_index], cached=True, scenario=scenario.name)
-            if self.store is not None:
-                self.store.save()
         return results  # type: ignore[return-value]
 
+    def _run_inline(self, scenarios: list[Scenario]) -> list[SweepResult]:
+        """Execute misses in this process, checkpointing as each completes.
+
+        An interrupt (or any other non-``Exception``) mid-batch propagates,
+        but everything finished before it is already remembered and
+        journaled — nothing completed is ever lost to a late failure.
+        """
+        fresh = []
+        try:
+            for scenario in scenarios:
+                result = execute_scenario_safe(scenario)
+                self._remember(result)
+                self._checkpoint()
+                fresh.append(result)
+        except BaseException:
+            self._checkpoint()  # defensive: results above are already saved
+            raise
+        return fresh
+
     def _run_pool(self, scenarios: list[Scenario]) -> list[SweepResult]:
+        from repro.sweep.supervisor import SupervisedPool  # lazy: cycle
+
         workers = min(self.processes, len(scenarios))
         # Cost-aware sharding: predict each scenario's runtime (recorded
         # bench timings when available, size heuristic otherwise) and pack
         # one duration-balanced shard per worker, so no worker is left
         # holding every expensive full-geometry analysis while the others
         # idle — the failure mode of count-based chunking.  One shard per
-        # worker also means one IPC round trip per worker.
+        # worker also means one dispatch per worker on the happy path.
         costs = predict_costs(scenarios, self._timings)
         shards = [shard for shard in calculate_shards(costs, workers) if shard]
-        with multiprocessing.Pool(processes=workers,
-                                  initializer=_warm_worker) as pool:
-            shard_payloads = pool.map(
-                _pool_shard_worker,
-                [[scenarios[index] for index in shard] for shard in shards],
-                chunksize=1)
-        # Reassemble into input order; sharding must never drop or reorder.
-        payloads: list[dict | None] = [None] * len(scenarios)
-        for shard, batch in zip(shards, shard_payloads):
-            for index, payload in zip(shard, batch):
-                payloads[index] = payload
-        fresh = []
-        for payload in payloads:
-            assert payload is not None  # every index lands in one shard
-            elapsed = payload.pop("_elapsed", 0.0)
-            environment = payload.pop("_environment", {})
-            timeline = payload.pop("_timeline", ())
-            obs_trace.adopt(payload.pop("_trace", []))
-            result = SweepResult.from_payload(payload)
-            result.elapsed = elapsed
-            result.timeline = tuple(timeline)
-            if environment:
-                result.metrics["environment"] = environment
-            fresh.append(result)
-        return fresh
+        pool = SupervisedPool(workers, max_retries=self.max_retries,
+                              task_timeout_s=self.task_timeout_s)
+        self.last_pool = pool
+
+        def checkpoint(_index: int, result: SweepResult) -> None:
+            self._remember(result)
+            self._checkpoint()
+
+        # The supervisor returns results in input order with no holes:
+        # every scenario ends as a worker result or a quarantine report.
+        return pool.run(scenarios, shards, on_result=checkpoint)
 
 
 _DEFAULT_RUNNER: SweepRunner | None = None

@@ -141,6 +141,16 @@ class Scenario:
         """The target parameters as a dict."""
         return dict(self.params)
 
+    def matches(self, needle: str) -> bool:
+        """Case-insensitive substring match on the scenario name.
+
+        The one matching rule shared by CLI ``--select`` and the fault-
+        injection harness's ``REPRO_FAULT=<kind>:<substr>`` keying, so the
+        scenarios an operator selects and the scenarios a chaos run
+        targets are named the same way.
+        """
+        return needle.lower() in self.name.lower()
+
     def config_overrides(self) -> dict:
         """The non-``None`` analysis-config overrides."""
         overrides = {}

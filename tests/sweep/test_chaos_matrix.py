@@ -1,0 +1,146 @@
+"""Chaos matrix: for every fault kind, chaos + heal == clean, byte for byte.
+
+The store invariant under test: its bytes are a pure function of the set of
+*successfully* completed scenarios.  Whatever a fault does to a run — kill a
+worker, hang it, raise mid-scenario, corrupt a payload, kill the whole CLI —
+after the retry ladder (and, where the fault outlives the run, a ``--resume``
+pass) the store must be byte-identical to a run that never saw the fault.
+
+Two layers are covered: the :class:`SweepRunner` pool path in-process, and
+the ``python -m repro sweep`` CLI in real subprocesses for the exits that
+cannot be simulated in-process (an inline crash taking the interpreter down,
+SIGINT).
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.casestudy.scenarios import (
+    gather_scenario,
+    lookup_scenario,
+    sqm_scenario,
+)
+from repro.sweep import SweepRunner, faults
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+
+
+def _batch():
+    return [
+        sqm_scenario(opt_level=2, line_bytes=64),
+        lookup_scenario(opt_level=2, line_bytes=64),
+        gather_scenario(nbytes=16),
+    ]
+
+
+def _clean_store_bytes(tmp_path) -> bytes:
+    path = tmp_path / "clean.json"
+    SweepRunner(processes=2, store=path).run(_batch())
+    return path.read_bytes()
+
+
+class TestRunnerChaosMatrix:
+    @pytest.mark.parametrize("kind", sorted(faults.FAULT_KINDS))
+    def test_chaos_then_heal_reproduces_the_clean_store(
+            self, kind, monkeypatch, tmp_path):
+        clean = _clean_store_bytes(tmp_path)
+        monkeypatch.setenv(faults.FAULT_DIR_ENV, str(tmp_path / "markers"))
+        monkeypatch.setenv(faults.FAULT_ENV, f"{kind}:lookup")
+        chaos_path = tmp_path / "chaos.json"
+        # The hang fault sleeps for an hour; only the supervisor's
+        # no-progress kill gets that scenario back.
+        timeout = 2 if kind == "hang" else None
+        runner = SweepRunner(processes=2, store=chaos_path,
+                             task_timeout_s=timeout)
+        results = runner.run(_batch())
+        if any(not result.ok for result in results):
+            # The fault outlived the retry ladder (raise settles as an
+            # error without retry): heal exactly like an operator would —
+            # clear the fault and resume against the same store.
+            monkeypatch.delenv(faults.FAULT_ENV)
+            healed = SweepRunner(processes=2, store=chaos_path).run(_batch())
+            assert all(result.ok for result in healed)
+        assert chaos_path.read_bytes() == clean
+
+
+def _cli_env(fault: str | None, marker_dir) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    env.pop(faults.FAULT_ENV, None)
+    env.pop(faults.FAULT_DIR_ENV, None)
+    if fault is not None:
+        env[faults.FAULT_ENV] = fault
+        env[faults.FAULT_DIR_ENV] = str(marker_dir)
+    return env
+
+
+def _cli_sweep(store, *, fault=None, marker_dir=None, resume=False,
+               send_sigint_once_stored=False):
+    argv = [sys.executable, "-m", "repro", "sweep", "sqm-O2-64B",
+            "lookup-O2-64B", "--jobs", "1", "--store", str(store)]
+    if resume:
+        argv.append("--resume")
+    proc = subprocess.Popen(argv, env=_cli_env(fault, marker_dir),
+                            cwd=REPO_ROOT, stdout=subprocess.PIPE,
+                            stderr=subprocess.PIPE, text=True)
+    if send_sigint_once_stored:
+        # Interrupt only after the first scenario has checkpointed — the
+        # regression under test is "finished work survives the interrupt".
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            try:
+                if json.loads(store.read_text())["results"]:
+                    break
+            except (OSError, ValueError, KeyError):
+                pass
+            time.sleep(0.1)
+        else:
+            proc.kill()
+            pytest.fail("no checkpoint appeared before the interrupt")
+        proc.send_signal(signal.SIGINT)
+    out, err = proc.communicate(timeout=120)
+    return proc.returncode, out, err
+
+
+class TestCliChaos:
+    def test_inline_crash_exits_137_and_resume_completes(self, tmp_path):
+        clean = tmp_path / "clean.json"
+        code, _, _ = _cli_sweep(clean)
+        assert code == 0
+
+        store = tmp_path / "store.json"
+        code, _, _ = _cli_sweep(store, fault="crash:lookup",
+                                marker_dir=tmp_path / "markers")
+        assert code == faults.CRASH_EXIT_CODE
+        # The scenario that ran before the poison one survived the crash.
+        assert json.loads(store.read_text())["results"]
+
+        code, out, _ = _cli_sweep(store, resume=True)
+        assert code == 0
+        assert "resuming from" in out
+        assert store.read_bytes() == clean.read_bytes()
+
+    def test_sigint_saves_partial_results_and_resume_completes(
+            self, tmp_path):
+        clean = tmp_path / "clean.json"
+        code, _, _ = _cli_sweep(clean)
+        assert code == 0
+
+        store = tmp_path / "store.json"
+        code, _, err = _cli_sweep(store, fault="hang:lookup",
+                                  marker_dir=tmp_path / "markers",
+                                  send_sigint_once_stored=True)
+        assert code == 130
+        assert "interrupted" in err
+        assert "--resume" in err
+
+        code, _, _ = _cli_sweep(store, resume=True)
+        assert code == 0
+        assert store.read_bytes() == clean.read_bytes()

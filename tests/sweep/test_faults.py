@@ -1,0 +1,89 @@
+"""The deterministic fault-injection harness (repro.sweep.faults)."""
+
+import pytest
+
+from repro.sweep import faults
+from repro.sweep.faults import FaultPlan, InjectedFault
+
+
+class TestFaultPlanParsing:
+    def test_parses_kind_needle_and_times(self):
+        plan = FaultPlan.parse("crash:gather:3")
+        assert (plan.kind, plan.needle, plan.times) == ("crash", "gather", 3)
+
+    def test_times_defaults_to_one(self):
+        assert FaultPlan.parse("raise:sqm").times == 1
+
+    @pytest.mark.parametrize("value", [
+        "", "crash", "crash:", "meteor:sqm", "raise:sqm:zero", ":sqm",
+    ])
+    def test_malformed_values_parse_to_none(self, value):
+        assert FaultPlan.parse(value) is None
+
+    def test_every_documented_kind_parses(self):
+        for kind in faults.FAULT_KINDS:
+            assert FaultPlan.parse(f"{kind}:x") is not None
+
+    def test_matching_is_case_insensitive_substring(self):
+        plan = FaultPlan.parse("raise:GATHER")
+        assert plan.matches("gather-16B-fifo")
+        assert not plan.matches("sqm-O2-64B")
+
+
+class TestFiringBudget:
+    def test_in_process_budget_is_exact(self, monkeypatch):
+        monkeypatch.delenv(faults.FAULT_DIR_ENV, raising=False)
+        plan = FaultPlan.parse("raise:x:2")
+        assert [plan.claim() for _ in range(4)] == [True, True, False, False]
+
+    def test_marker_dir_budget_is_shared_across_plans(self, monkeypatch,
+                                                      tmp_path):
+        """Fresh plan instances (≈ fresh processes) share one budget."""
+        monkeypatch.setenv(faults.FAULT_DIR_ENV, str(tmp_path / "markers"))
+        first, second = (FaultPlan.parse("crash:x") for _ in range(2))
+        assert first.claim()
+        assert not second.claim()  # the crashed worker's firing is consumed
+        assert not first.claim()
+
+    def test_active_plan_tracks_env_changes(self, monkeypatch):
+        monkeypatch.delenv(faults.FAULT_ENV, raising=False)
+        assert faults.active_plan() is None
+        monkeypatch.setenv(faults.FAULT_ENV, "hang:lookup")
+        assert faults.active_plan().kind == "hang"
+        monkeypatch.setenv(faults.FAULT_ENV, "not-a-plan")
+        assert faults.active_plan() is None
+
+
+class TestInjection:
+    def test_raise_fault_fires_on_match_only(self, monkeypatch):
+        monkeypatch.setenv(faults.FAULT_ENV, "raise:gather")
+        monkeypatch.delenv(faults.FAULT_DIR_ENV, raising=False)
+        faults.inject("scenario.start", "sqm-O2-64B")  # no match: no-op
+        with pytest.raises(InjectedFault, match="scenario.start"):
+            faults.inject("scenario.start", "gather-16B")
+        faults.inject("scenario.start", "gather-16B")  # budget consumed
+
+    def test_truncate_never_fires_at_inject_points(self, monkeypatch):
+        monkeypatch.setenv(faults.FAULT_ENV, "truncate:gather")
+        faults.inject("scenario.start", "gather-16B")  # must not raise
+
+    def test_truncate_corrupts_payload_once(self, monkeypatch):
+        monkeypatch.setenv(faults.FAULT_ENV, "truncate:gather")
+        monkeypatch.delenv(faults.FAULT_DIR_ENV, raising=False)
+        payload = {"scenario": "gather-16B", "fingerprint": "f" * 16}
+        corrupted = faults.truncate_payload("gather-16B", payload)
+        assert corrupted["_injected_truncation"]
+        assert "fingerprint" not in corrupted
+        # Budget of one: the retried scenario's payload passes through.
+        assert faults.truncate_payload("gather-16B", payload) is payload
+
+    def test_unmatched_payload_passes_through(self, monkeypatch):
+        monkeypatch.setenv(faults.FAULT_ENV, "truncate:gather")
+        payload = {"scenario": "sqm-O2-64B"}
+        assert faults.truncate_payload("sqm-O2-64B", payload) is payload
+
+    def test_no_plan_is_a_noop(self, monkeypatch):
+        monkeypatch.delenv(faults.FAULT_ENV, raising=False)
+        faults.inject("scenario.start", "anything")
+        payload = {}
+        assert faults.truncate_payload("anything", payload) is payload

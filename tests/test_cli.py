@@ -349,3 +349,48 @@ class TestStats:
         log.write_text(json.dumps({"version": 1, "timings": {"a": 1.0}}))
         assert main(["stats", "--baseline", str(log),
                      "--current", str(tmp_path / "missing.json")]) == 2
+
+
+class TestSweepRobustness:
+    def test_resume_without_store_is_a_usage_error(self, capsys):
+        assert main(["sweep", "sqm-O2-64B", "--resume"]) == 2
+        assert "--resume needs --store" in capsys.readouterr().err
+
+    def test_resume_with_no_cache_is_a_usage_error(self, tmp_path, capsys):
+        assert main(["sweep", "sqm-O2-64B", "--resume", "--no-cache",
+                     "--store", str(tmp_path / "s.json")]) == 2
+        assert "contradict" in capsys.readouterr().err
+
+    def test_resume_reports_finished_scenarios(self, tmp_path, capsys):
+        store = tmp_path / "store.json"
+        assert main(["sweep", "sqm-O2-64B", "--store", str(store)]) == 0
+        capsys.readouterr()
+        assert main(["sweep", "sqm-O2-64B", "lookup-O2-64B",
+                     "--resume", "--store", str(store)]) == 0
+        assert "resuming from" in capsys.readouterr().out
+
+    def test_degraded_sweep_exits_3_and_lists_failures(
+            self, monkeypatch, tmp_path, capsys):
+        # ``--timeout`` plants DEADLINE_ENV in os.environ for pool workers
+        # to inherit; monkeypatch only rolls back its own writes, so seed
+        # the key through it to get teardown back to the original state.
+        from repro.analysis.engine import GUARD_STEPS_ENV
+        from repro.sweep.runner import DEADLINE_ENV
+        monkeypatch.setenv(GUARD_STEPS_ENV, "10")
+        monkeypatch.setenv(DEADLINE_ENV, "placeholder")
+        assert main(["sweep", "sqm-O2-64B", "--jobs", "1",
+                     "--timeout", "0.000001",
+                     "--store", str(tmp_path / "s.json")]) == 3
+        captured = capsys.readouterr()
+        assert "FAILED [timeout]" in captured.out
+        assert "1 scenario(s) failed" in captured.err
+        # A failed scenario never reaches the store.
+        assert json.loads(
+            (tmp_path / "s.json").read_text())["results"] == {}
+
+    def test_timeout_flag_plants_the_worker_deadline_env(self, monkeypatch):
+        import os as _os
+        from repro.sweep.runner import DEADLINE_ENV
+        monkeypatch.setenv(DEADLINE_ENV, "placeholder")
+        main(["sweep", "sqm-O2-64B", "--jobs", "1", "--timeout", "60"])
+        assert _os.environ.get(DEADLINE_ENV) == "60.0"
